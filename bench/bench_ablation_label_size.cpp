@@ -1,0 +1,49 @@
+// Ablation: PolKA routeID size vs port-switching label size.
+//
+// Section II-B contrasts PolKA with the ordered-port-list encoding; the
+// paper's related-work section adds that PolKA "can specify all the
+// nodes in the path without increasing the header like MPLS does".
+// This table quantifies both encodings across path lengths and port
+// radixes, plus the per-hop label rewrite count (PolKA: none).
+
+#include <iomanip>
+#include <iostream>
+#include <random>
+
+#include "polka/node_id.hpp"
+#include "polka/port_switching.hpp"
+#include "polka/route.hpp"
+
+int main() {
+  namespace polka = hp::polka;
+  std::cout << "=== Ablation: route label sizes (PolKA vs port list) ===\n\n";
+  std::cout << "hops  radix | polka routeID bits | port-list bits | "
+               "rewrites/path (polka vs list)\n";
+  std::mt19937_64 rng(5);
+  for (const unsigned radix : {4U, 16U}) {
+    for (const std::size_t hops : {2U, 4U, 8U, 16U, 24U}) {
+      polka::NodeIdAllocator alloc;
+      std::vector<polka::Hop> path;
+      std::vector<unsigned> ports;
+      for (std::size_t i = 0; i < hops; ++i) {
+        auto node = alloc.allocate("n" + std::to_string(i), radix);
+        const unsigned port = static_cast<unsigned>(rng() % radix);
+        path.push_back(polka::Hop{std::move(node), port});
+        ports.push_back(port);
+      }
+      const polka::RouteId route = polka::compute_route_id(path);
+      const unsigned port_bits = polka::min_degree_for_ports(radix);
+      const polka::PortListLabel label(ports, port_bits);
+      std::cout << std::setw(4) << hops << "  " << std::setw(5) << radix
+                << " | " << std::setw(18) << route.bit_length() << " | "
+                << std::setw(14) << label.bit_length() << " | 0 vs "
+                << hops << '\n';
+    }
+  }
+  std::cout << "\nreading: the routeID costs roughly sum(deg nodeID) bits "
+               "-- comparable to\nthe port list for small radixes, larger "
+               "when node IDs outgrow the port\nfield -- but it is *never "
+               "rewritten* in flight, which is what enables\nstateless "
+               "cores and single-PBR path migration.\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Ablation: predictive vs reactive path selection.
+//
+// Section III's "Real-time Decision Making" argument: "allocating the
+// network traffic based on the current QoS status of the route may
+// affect the allocated flows due to unexpected network impairment
+// factors", so Hecate feeds PolKA *forecast* QoS instead of the last
+// sample.  The scenario where that matters is recurring background
+// load: tunnel A carries a periodic bulk transfer (e.g. a cron-driven
+// replication job) that knocks its available bandwidth down for 15 s
+// out of every 30; tunnel B is steady but mediocre.  A reactive policy
+// keeps getting caught by the burst edges; a windowed forecast learns
+// the rhythm.
+//
+// Policies re-decide every 10 s for the next 10 s window:
+//   oracle     - knows the true future mean of each path,
+//   predictive - Hecate RFR 10-step recursive forecast (paper policy),
+//   reactive   - latest telemetry sample only.
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <random>
+
+#include "core/hecate.hpp"
+
+namespace {
+
+/// Tunnel A: 22 Mbps free, minus a 15 s-on/15 s-off 16 Mbps burst
+/// (offset so decision windows straddle the toggles); tunnel B: steady
+/// 11 Mbps.  Mild AR noise on both.  The 20-sample history window always
+/// contains a burst edge, so the cycle phase is identifiable.
+std::vector<double> make_path_a(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<double> s(n);
+  double ar = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    ar = 0.6 * ar + 0.8 * gauss(rng);
+    const std::size_t phase = (t + 8) % 30;
+    const bool burst_on = phase < 15;
+    s[t] = std::max(0.0, (burst_on ? 6.0 : 22.0) + ar);
+  }
+  return s;
+}
+
+std::vector<double> make_path_b(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::vector<double> s(n);
+  double ar = 0.0;
+  for (std::size_t t = 0; t < n; ++t) {
+    ar = 0.6 * ar + 0.6 * gauss(rng);
+    s[t] = std::max(0.0, 11.0 + ar);
+  }
+  return s;
+}
+
+double future_mean(const std::vector<double>& s, std::size_t t,
+                   std::size_t period) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < period; ++k) acc += s[t + k];
+  return acc / static_cast<double>(period);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: predictive (Hecate) vs reactive routing ===\n\n";
+  constexpr std::size_t kDuration = 900;
+  constexpr std::size_t kWarmup = 180;  // six full burst cycles
+  constexpr std::size_t kPeriod = 10;
+  const auto path_a = make_path_a(kDuration, 11);
+  const auto path_b = make_path_b(kDuration, 12);
+
+  hp::core::HecateConfig config;
+  config.model = "RFR";
+  config.history = 20;  // > half the burst cycle: phase is observable
+  config.horizon = kPeriod;
+  hp::core::HecateService hecate(config);
+  hecate.load_series("A", {path_a.begin(), path_a.begin() + kWarmup});
+  hecate.load_series("B", {path_b.begin(), path_b.begin() + kWarmup});
+  hecate.fit("A");
+  hecate.fit("B");
+
+  double got_oracle = 0.0, got_pred = 0.0, got_react = 0.0;
+  std::size_t decisions = 0, pred_hits = 0, react_hits = 0;
+  for (std::size_t t = kWarmup; t + kPeriod <= kDuration; t += kPeriod) {
+    const double a_future = future_mean(path_a, t, kPeriod);
+    const double b_future = future_mean(path_b, t, kPeriod);
+    const bool oracle_a = a_future >= b_future;
+
+    const auto recommended = hecate.recommend({"A", "B"});
+    const bool pred_a = recommended && *recommended == "A";
+    const bool react_a = path_a[t - 1] >= path_b[t - 1];
+
+    got_oracle += oracle_a ? a_future : b_future;
+    got_pred += pred_a ? a_future : b_future;
+    got_react += react_a ? a_future : b_future;
+    pred_hits += pred_a == oracle_a;
+    react_hits += react_a == oracle_a;
+    ++decisions;
+
+    for (std::size_t k = 0; k < kPeriod; ++k) {
+      hecate.observe("A", static_cast<double>(t + k), path_a[t + k]);
+      hecate.observe("B", static_cast<double>(t + k), path_b[t + k]);
+    }
+    hecate.fit("A");  // periodic retraining from telemetry
+    hecate.fit("B");
+  }
+
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << "scenario: tunnel A = 22 Mbps with a 16 Mbps burst 15s "
+               "on/off; tunnel B = steady 11 Mbps\n";
+  std::cout << "decisions every 10 s over " << decisions << " windows\n\n";
+  std::cout << "policy       mean obtained Mbps   oracle-agreement\n";
+  std::cout << "oracle       " << std::setw(12) << got_oracle / decisions
+            << "           " << std::setw(5) << 100.0 << "%\n";
+  std::cout << "predictive   " << std::setw(12) << got_pred / decisions
+            << "           " << std::setw(5)
+            << 100.0 * pred_hits / decisions << "%\n";
+  std::cout << "reactive     " << std::setw(12) << got_react / decisions
+            << "           " << std::setw(5)
+            << 100.0 * react_hits / decisions << "%\n";
+  std::cout << "\nshape check: predictive > reactive -- the windowed "
+               "forecast anticipates the\nrecurring burst that the "
+               "last-sample policy keeps walking into.\n";
+  return 0;
+}

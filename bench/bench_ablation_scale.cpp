@@ -1,0 +1,117 @@
+// Ablation: scaling from 10s to 100s of routers (the Section II-A
+// concern: TE "has limitations in dynamic large network topology as
+// networks grow from 10s to 100s of routers").
+//
+// Random ring-plus-chords WANs of growing size; for each size we
+// measure what actually grows in this architecture:
+//   * routeID bit length (the PolKA header cost) for k-shortest paths,
+//   * CRT routeID computation time (control plane),
+//   * per-hop mod time (data plane -- should stay flat),
+//   * the k-path min-max LP solve time (optimizer).
+
+#include <chrono>
+#include <iomanip>
+#include <iostream>
+#include <random>
+
+#include "core/objective.hpp"
+#include "netsim/paths.hpp"
+#include "polka/crc.hpp"
+#include "polka/forwarding.hpp"
+
+namespace {
+
+using namespace hp::netsim;
+
+/// Connected random WAN: a ring of `n` routers plus n/2 random chords.
+Topology make_wan(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> cap(5.0, 100.0);
+  std::uniform_real_distribution<double> delay(1.0, 30.0);
+  Topology topo;
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_node("r" + std::to_string(i));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    topo.add_duplex_link(i, (i + 1) % n, cap(rng), delay(rng));
+  }
+  for (std::size_t c = 0; c < n / 2; ++c) {
+    const NodeIndex a = rng() % n;
+    const NodeIndex b = rng() % n;
+    if (a == b || topo.link_between(a, b)) continue;
+    topo.add_duplex_link(a, b, cap(rng), delay(rng));
+  }
+  return topo;
+}
+
+template <typename F>
+double time_us(F&& fn, int repeats = 50) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < repeats; ++i) fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         repeats;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: topology scale (10s to 100s of routers) "
+               "===\n\n";
+  std::cout << "routers  hops  routeID(bits)  CRT(us)  per-hop mod(ns)  "
+               "3-path LP(us)\n";
+  std::cout << std::fixed << std::setprecision(1);
+
+  for (const std::size_t n : {10U, 20U, 40U, 80U, 160U}) {
+    const Topology topo = make_wan(n, n * 31 + 7);
+    // Mirror into a PolKA fabric.
+    hp::polka::PolkaFabric fabric(hp::polka::ModEngine::kTable);
+    for (NodeIndex i = 0; i < topo.node_count(); ++i) {
+      fabric.add_node(topo.node(i).name,
+                      static_cast<unsigned>(topo.outgoing(i).size()) + 1);
+    }
+    for (NodeIndex i = 0; i < topo.node_count(); ++i) {
+      const auto& out = topo.outgoing(i);
+      for (unsigned p = 0; p < out.size(); ++p) {
+        fabric.connect(i, p, topo.link(out[p]).to);
+      }
+    }
+
+    // Longest of the 3 shortest paths across the diameter-ish pair.
+    const auto paths = k_shortest_paths(topo, 0, n / 2, 3);
+    const Path& longest = paths.back();
+    const auto nodes = path_nodes(topo, longest);
+    std::vector<std::size_t> fabric_path(nodes.begin(), nodes.end());
+    const unsigned egress =
+        static_cast<unsigned>(topo.outgoing(nodes.back()).size());
+
+    const auto route = fabric.route_for_path(fabric_path, egress);
+    const double crt_us = time_us(
+        [&] { (void)fabric.route_for_path(fabric_path, egress); }, 20);
+
+    const hp::polka::TableCrc crc(fabric.node(fabric_path[1]).poly);
+    const double mod_ns =
+        time_us([&] { (void)crc.remainder_bits(route.value); }, 2000) * 1e3;
+
+    std::vector<double> capacities;
+    for (const auto& p : paths) {
+      capacities.push_back(topo.path_bottleneck_mbps(p));
+    }
+    double demand = 0.0;
+    for (const double c : capacities) demand += 0.6 * c;
+    const double lp_us = time_us(
+        [&] { (void)hp::core::solve_k_path_min_max(demand, capacities); },
+        200);
+
+    std::cout << std::setw(7) << n << std::setw(6) << nodes.size() - 1
+              << std::setw(14) << route.bit_length() << std::setw(9)
+              << crt_us << std::setw(17) << mod_ns << std::setw(14) << lp_us
+              << '\n';
+  }
+  std::cout << "\nreading: the per-hop data-plane cost is *flat* in network "
+               "size (it depends\nonly on the local nodeID degree and the "
+               "routeID length), which is PolKA's\nscaling argument; header "
+               "bits and control-plane CRT grow with path length,\nnot with "
+               "the router population.\n";
+  return 0;
+}

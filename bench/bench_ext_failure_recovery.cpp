@@ -1,0 +1,66 @@
+// Extension (paper Section VII / PolKA capability): failure recovery.
+//
+// A transatlantic flow runs on tunnel 1 (MIA-SAO-AMS).  At t = 60 s the
+// MIA-SAO fibre is cut; the Controller detects the unhealthy tunnel and
+// re-binds the flow to the best healthy candidate with a single PBR
+// rewrite -- stateless PolKA cores need no updates at all.  Prints the
+// throughput timeline around the failure and the recovery cost.
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/runtime.hpp"
+
+int main() {
+  using namespace hp::core;
+  std::cout << "=== Extension: link-failure recovery ===\n\n";
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  auto& sim = runtime.simulator();
+  auto& controller = runtime.controller();
+  sim.set_sample_interval(1.0);
+
+  FlowRequest request;
+  request.name = "transfer";
+  request.acl_name = "transfer";
+  request.src_ip = hp::freertr::parse_ipv4("40.40.1.2");
+  request.dst_ip = hp::freertr::parse_ipv4("40.40.2.2");
+  request.tos = 1;
+  const auto index =
+      controller.handle_new_flow(request, 0.0, Objective::kFirstConfigured);
+  const auto flow = controller.managed(index).sim_flow;
+
+  const auto& topo = sim.topology();
+  const auto mia_sao =
+      *topo.link_between(topo.index_of("MIA"), topo.index_of("SAO"));
+  sim.fail_link(60.0, mia_sao);
+  sim.run_until(62.0);  // detection delay: two telemetry periods
+
+  const std::uint64_t revision_before = runtime.edge().config().revision();
+  const std::size_t migrated =
+      controller.recover_from_failures(62.0, Objective::kCurrentBandwidth);
+  const std::uint64_t revision_after = runtime.edge().config().revision();
+  sim.run_until(120.0);
+
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << "t(s)    rate(Mbps)   (MIA-SAO cut at t=60, recovery at "
+               "t=62)\n";
+  for (const auto& sample : sim.flow_rate_series(flow)) {
+    const int t = static_cast<int>(sample.t_s);
+    if (t % 10 != 0 && t != 61 && t != 62) continue;
+    if (sample.t_s != t) continue;
+    std::cout << std::setw(4) << t << std::setw(12) << sample.value << "  ";
+    for (int i = 0; i < static_cast<int>(sample.value); ++i) std::cout << '#';
+    std::cout << '\n';
+  }
+
+  std::cout << "\nflows migrated: " << migrated << "; tunnel now "
+            << controller.managed(index).tunnel_id
+            << "; edge config changes: " << revision_after - revision_before
+            << " (one PBR rewrite)\n";
+  std::cout << "core router updates required: 0 (stateless PolKA "
+               "forwarding)\n";
+  std::cout << "\nshape check: throughput 20 -> 0 at the cut, restored to "
+               "the best healthy\ntunnel's bottleneck (10 Mbps on "
+               "MIA-CHI-AMS) after one control action.\n";
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Extension: flow-completion time under an elephants-and-mice science
+// workload (the DeepRoute / Hecate motivation of Section II-A:
+// "minimize flow completion time").
+//
+// The same Poisson workload is replayed under three allocation
+// policies on the Fig 9 testbed:
+//   pinned     - every flow on tunnel 1 (no TE at all),
+//   round-robin - arrival-order rotation over the three tunnels,
+//   best-available - each arrival placed on the tunnel with the most
+//                    available bandwidth at that instant (the
+//                    framework's reactive placement).
+// Reported: mean/p95/max FCT and unfinished counts.
+
+#include <iomanip>
+#include <iostream>
+
+#include "netsim/workload.hpp"
+#include "telemetry/agent.hpp"
+
+namespace {
+
+using namespace hp::netsim;
+
+struct RunResult {
+  FctStats stats;
+  double makespan = 0.0;
+};
+
+enum class Policy { kPinned, kRoundRobin, kBestAvailable };
+
+RunResult run_policy(Policy policy) {
+  Topology topo = make_global_p4_lab();
+  const std::vector<Path> tunnels{
+      topo.path_through({"host1", "MIA", "SAO", "AMS", "host2"}),
+      topo.path_through({"host1", "MIA", "CHI", "AMS", "host2"}),
+      topo.path_through({"host1", "MIA", "CAL", "CHI", "AMS", "host2"})};
+
+  WorkloadParams params;
+  params.duration_s = 300.0;
+  params.arrival_rate_per_s = 0.4;
+  params.elephant_fraction = 0.08;
+  params.elephant_max_mb = 600.0;
+  const auto workload = generate_workload({tunnels[0]}, params);
+
+  Simulator sim(std::move(topo));
+  std::vector<FlowId> ids;
+  std::size_t rr = 0;
+  for (const auto& arrival : workload) {
+    FlowSpec spec = arrival.spec;
+    switch (policy) {
+      case Policy::kPinned:
+        spec.path = tunnels[0];
+        break;
+      case Policy::kRoundRobin:
+        spec.path = tunnels[rr++ % tunnels.size()];
+        break;
+      case Policy::kBestAvailable:
+        // Decide at arrival time with a callback reading live state.
+        break;
+    }
+    if (policy == Policy::kBestAvailable) {
+      // Placement deferred to arrival: pick the emptiest tunnel then.
+      const FlowId id = sim.add_flow(arrival.at_s, spec);
+      ids.push_back(id);
+      sim.schedule_callback(arrival.at_s, [id, &tunnels](Simulator& s) {
+        double best_avail = -1.0;
+        const Path* best = &tunnels[0];
+        for (const Path& tunnel : tunnels) {
+          const double avail =
+              hp::telemetry::PathAgent::available_mbps(s, tunnel);
+          if (avail > best_avail) {
+            best_avail = avail;
+            best = &tunnel;
+          }
+        }
+        s.migrate_flow(s.now(), id, *best);
+      });
+    } else {
+      ids.push_back(sim.add_flow(arrival.at_s, spec));
+    }
+  }
+  sim.run_until(3000.0);  // generous drain window
+  RunResult result;
+  result.stats = collect_fct(sim, ids);
+  double last = 0.0;
+  for (const FlowId id : ids) {
+    if (const auto t = sim.completion_time(id)) last = std::max(last, *t);
+  }
+  result.makespan = last;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Extension: FCT under an elephants-and-mice workload "
+               "===\n\n";
+  std::cout << "workload: Poisson arrivals (0.4/s for 300 s), ~8% "
+               "elephants (bounded Pareto\n100-600 MB), log-normal mice; "
+               "identical across policies.\n\n";
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << "policy           done  unfin   mean FCT   p95 FCT   max "
+               "FCT   makespan\n";
+  const std::pair<const char*, Policy> policies[] = {
+      {"pinned-t1     ", Policy::kPinned},
+      {"round-robin   ", Policy::kRoundRobin},
+      {"best-available", Policy::kBestAvailable},
+  };
+  for (const auto& [label, policy] : policies) {
+    const RunResult r = run_policy(policy);
+    std::cout << label << "  " << std::setw(5) << r.stats.completed
+              << std::setw(7) << r.stats.unfinished << std::setw(10)
+              << r.stats.mean_fct_s << "s" << std::setw(9)
+              << r.stats.p95_fct_s << "s" << std::setw(9) << r.stats.max_fct_s
+              << "s" << std::setw(10) << r.makespan << "s\n";
+  }
+  std::cout << "\nshape check: load-aware placement cuts mean and tail "
+               "FCT versus pinning\neverything behind tunnel 1's 20 Mbps "
+               "bottleneck; round-robin helps but\nwastes the asymmetric "
+               "capacities (20/10/5).\n";
+  return 0;
+}

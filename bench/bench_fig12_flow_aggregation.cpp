@@ -1,0 +1,80 @@
+// Fig 12: flow aggregation with multiple paths.
+//
+// Regenerates the experiment-2 series: three ToS-tagged TCP flows all
+// start on tunnel 1 (total limited to 20 Mbps); the optimizer with a
+// bandwidth metric moves one flow to tunnel 2 and one to tunnel 3, and
+// the aggregate throughput rises (paper: ~30 Mbps measured; fluid
+// model: 35 Mbps = 20 + 10 + 5).
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/runtime.hpp"
+
+int main() {
+  using namespace hp::core;
+  std::cout << "=== Fig 12: flow aggregation over multiple paths ===\n\n";
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  auto& sim = runtime.simulator();
+  auto& controller = runtime.controller();
+  sim.set_sample_interval(1.0);
+
+  std::vector<std::size_t> flows;
+  for (unsigned tos = 1; tos <= 3; ++tos) {
+    FlowRequest request;
+    request.name = "flow" + std::to_string(tos);
+    request.acl_name = request.name;
+    request.src_ip = hp::freertr::parse_ipv4("40.40.1.2");
+    request.dst_ip = hp::freertr::parse_ipv4("40.40.2.2");
+    request.tos = tos;
+    flows.push_back(
+        controller.handle_new_flow(request, 0.0, Objective::kFirstConfigured));
+  }
+  sim.run_until(60.0);
+  controller.reoptimize(flows[1], 60.0, Objective::kCurrentBandwidth);
+  sim.run_until(65.0);
+  controller.reoptimize(flows[2], 65.0, Objective::kCurrentBandwidth);
+  sim.run_until(120.0);
+
+  // Average throughput per flow in each phase (the Fig 12 bars).
+  auto phase_mean = [&](std::size_t f, double t0, double t1) {
+    const auto& series =
+        sim.flow_rate_series(controller.managed(f).sim_flow);
+    double acc = 0.0;
+    int n = 0;
+    for (const auto& s : series) {
+      if (s.t_s >= t0 && s.t_s <= t1) {
+        acc += s.value;
+        ++n;
+      }
+    }
+    return n > 0 ? acc / n : 0.0;
+  };
+
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << "             phase (i) 0-60s        phase (ii) 70-120s\n";
+  std::cout << "flow   ToS   tunnel  Mbps           tunnel  Mbps\n";
+  double total_before = 0.0, total_after = 0.0;
+  const unsigned phase1_tunnels[3] = {1, 1, 1};
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    const auto& managed = controller.managed(flows[k]);
+    const double before = phase_mean(flows[k], 1.0, 59.0);
+    const double after = phase_mean(flows[k], 70.0, 120.0);
+    total_before += before;
+    total_after += after;
+    std::cout << "flow" << k + 1 << "    " << *managed.request.tos
+              << "      " << phase1_tunnels[k] << "    " << std::setw(6)
+              << before << "              " << managed.tunnel_id << "    "
+              << std::setw(6) << after << '\n';
+  }
+  std::cout << "total            " << std::setw(11) << total_before
+            << "                   " << std::setw(6) << total_after << '\n';
+
+  std::cout << '\n' << runtime.dashboard().link_occupation_report() << '\n';
+  std::cout << "shape check vs paper: total rises from <=20 Mbps to ~"
+            << total_after
+            << " Mbps once flows spread over tunnels 1/2/3\n(paper measured "
+               "~30 Mbps with real TCP; the fluid model reaches the full "
+               "35).\n";
+  return 0;
+}

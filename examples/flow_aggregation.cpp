@@ -1,0 +1,67 @@
+// Experiment 2 (paper Fig 12): flow aggregation over multiple paths.
+//
+// Three ToS-tagged TCP flows between host1 and host2 all start on
+// tunnel 1 and share its 20 Mbps.  The optimizer is then consulted with
+// a bandwidth metric; one flow moves to tunnel 2 and another to tunnel 3
+// (each move is a single PBR rewrite at the MIA edge), raising the
+// aggregate throughput from ~20 Mbps toward ~35 Mbps in the fluid model
+// (the paper measured ~30 Mbps with real TCP).
+//
+// Build & run:  ./build/examples/flow_aggregation
+
+#include <iomanip>
+#include <iostream>
+
+#include "core/runtime.hpp"
+
+int main() {
+  using namespace hp::core;
+  std::cout << "== Experiment 2: flow aggregation (Fig 12) ==\n\n";
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  auto& sim = runtime.simulator();
+  auto& controller = runtime.controller();
+
+  std::vector<std::size_t> flows;
+  for (unsigned tos = 1; tos <= 3; ++tos) {
+    FlowRequest request;
+    request.name = "flow" + std::to_string(tos);
+    request.acl_name = request.name;
+    request.src_ip = hp::freertr::parse_ipv4("40.40.1.2");
+    request.dst_ip = hp::freertr::parse_ipv4("40.40.2.2");
+    request.tos = tos;
+    flows.push_back(
+        controller.handle_new_flow(request, 0.0, Objective::kFirstConfigured));
+  }
+  sim.run_until(60.0);
+
+  std::cout << std::fixed << std::setprecision(1);
+  auto print_state = [&](const char* label) {
+    double total = 0.0;
+    std::cout << label << '\n';
+    for (const auto f : flows) {
+      const auto& managed = controller.managed(f);
+      const double rate = sim.current_rate(managed.sim_flow);
+      total += rate;
+      std::cout << "  " << managed.request.name << " (ToS "
+                << *managed.request.tos << ") on tunnel " << managed.tunnel_id
+                << ": " << rate << " Mbps\n";
+    }
+    std::cout << "  total: " << total << " Mbps\n\n";
+    return total;
+  };
+  const double before = print_state("phase (i): all flows on tunnel 1");
+
+  // Phase (ii): bandwidth-metric re-optimization, one flow at a time
+  // (telemetry refreshes between decisions).
+  controller.reoptimize(flows[1], 60.0, Objective::kCurrentBandwidth);
+  sim.run_until(65.0);
+  controller.reoptimize(flows[2], 65.0, Objective::kCurrentBandwidth);
+  sim.run_until(120.0);
+
+  const double after =
+      print_state("phase (ii): after bandwidth re-optimization");
+  std::cout << "aggregate throughput: " << before << " -> " << after
+            << " Mbps\n\n";
+  std::cout << runtime.dashboard().link_occupation_report();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// The full self-driving loop of Figs 3/4: telemetry -> time-series store
+// -> Hecate training -> prediction -> optimizer -> PolKA PBR rewrite.
+//
+// Background load on tunnel 1 oscillates; telemetry agents feed the
+// store; Hecate (Random Forest over 10-sample windows) is retrained
+// periodically and a managed flow is re-optimized onto whichever tunnel
+// has the most *predicted* available bandwidth.
+//
+// Build & run:  ./build/examples/selfdriving_loop
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "core/runtime.hpp"
+
+int main() {
+  using namespace hp::core;
+  std::cout << "== Self-driving loop: predictive re-routing ==\n\n";
+
+  HecateConfig config;
+  config.model = "RFR";
+  config.history = 10;
+  config.horizon = 10;
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab(config);
+  auto& sim = runtime.simulator();
+  auto& controller = runtime.controller();
+
+  // Oscillating background load on tunnel 1: alternating 16 Mbps bursts
+  // (30 s on / 30 s off), giving Hecate a pattern worth learning.
+  const auto t1_path =
+      runtime.polka().host_to_host_path(1, "host1", "host2");
+  for (int burst = 0; burst < 6; ++burst) {
+    const double start = burst * 60.0;
+    const auto bg = sim.add_flow(
+        start, hp::netsim::FlowSpec{"bg" + std::to_string(burst), t1_path,
+                                    16.0, 0});
+    sim.stop_flow(start + 30.0, bg);
+  }
+
+  // The managed user flow, initially wherever the first tunnel is.
+  FlowRequest request;
+  request.name = "science-transfer";
+  request.acl_name = "sci";
+  request.src_ip = hp::freertr::parse_ipv4("40.40.1.2");
+  request.dst_ip = hp::freertr::parse_ipv4("40.40.2.2");
+  request.tos = 1;
+  request.demand_mbps = 8.0;
+  const auto flow =
+      controller.handle_new_flow(request, 0.0, Objective::kFirstConfigured);
+
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << " t(s)  tunnel  rate(Mbps)  decision\n";
+  for (int round = 1; round <= 6; ++round) {
+    const double t = round * 60.0;
+    sim.run_until(t);
+    const std::size_t trained = runtime.train_hecate_from_telemetry();
+    const unsigned chosen =
+        controller.reoptimize(flow, t, Objective::kPredictedBandwidth);
+    sim.run_until(t + 5.0);  // let the migration settle
+    std::cout << std::setw(5) << t << "  " << std::setw(6) << chosen << "  "
+              << std::setw(10)
+              << sim.current_rate(controller.managed(flow).sim_flow) << "  "
+              << (trained > 0 ? "Hecate forecast" : "reactive fallback")
+              << '\n';
+  }
+
+  const double transferred =
+      sim.transferred_mb(controller.managed(flow).sim_flow);
+  std::cout << "\ntransferred by the managed flow: " << transferred
+            << " MB over " << sim.now() << " s\n";
+  std::cout << "\nfinal " << runtime.dashboard().link_occupation_report();
+  return 0;
+}

@@ -1,0 +1,227 @@
+#include "core/controller.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/objective.hpp"
+
+namespace hp::core {
+
+FlowRequest Scheduler::next() {
+  if (pending_.empty()) throw std::out_of_range("Scheduler: no requests");
+  FlowRequest request = std::move(pending_.front());
+  pending_.pop_front();
+  return request;
+}
+
+Controller::Controller(hp::netsim::Simulator& sim,
+                       hp::telemetry::TimeSeriesStore& store,
+                       HecateService& hecate, PolkaService& polka)
+    : sim_(&sim), store_(&store), hecate_(&hecate), polka_(&polka) {}
+
+void Controller::register_candidate(unsigned tunnel_id) {
+  if (!polka_->has_tunnel(tunnel_id)) {
+    throw std::invalid_argument("register_candidate: unknown tunnel " +
+                                std::to_string(tunnel_id));
+  }
+  candidates_.push_back(tunnel_id);
+}
+
+bool Controller::tunnel_healthy(unsigned tunnel_id) const {
+  for (const hp::netsim::LinkIndex l :
+       polka_->tunnel(tunnel_id).netsim_path) {
+    if (!sim_->is_link_up(l)) return false;
+  }
+  return true;
+}
+
+unsigned Controller::choose_tunnel(Objective objective) const {
+  if (candidates_.empty()) {
+    throw std::logic_error("Controller: no candidate tunnels registered");
+  }
+  // Down tunnels never win; if everything is down, fall back to the
+  // full list (the caller will see zero throughput either way).
+  std::vector<unsigned> pool;
+  for (const unsigned id : candidates_) {
+    if (tunnel_healthy(id)) pool.push_back(id);
+  }
+  if (pool.empty()) pool = candidates_;
+
+  switch (objective) {
+    case Objective::kFirstConfigured:
+      return pool.front();
+
+    case Objective::kMinLatency: {
+      // Lowest current RTT over the tunnel's router path.
+      unsigned best = pool.front();
+      double best_rtt = std::numeric_limits<double>::infinity();
+      for (const unsigned id : pool) {
+        const double rtt = sim_->path_rtt_ms(polka_->tunnel(id).netsim_path);
+        if (rtt < best_rtt) {
+          best_rtt = rtt;
+          best = id;
+        }
+      }
+      return best;
+    }
+
+    case Objective::kCurrentBandwidth: {
+      // Reactive: latest telemetry sample of available bandwidth.
+      unsigned best = pool.front();
+      double best_bw = -1.0;
+      for (const unsigned id : pool) {
+        const auto latest =
+            store_->latest(bandwidth_series(polka_->tunnel(id)));
+        const double bw = latest ? latest->value : 0.0;
+        if (bw > best_bw) {
+          best_bw = bw;
+          best = id;
+        }
+      }
+      return best;
+    }
+
+    case Objective::kPredictedBandwidth: {
+      // Predictive: Hecate's multi-step forecast per tunnel series.
+      std::vector<std::string> series;
+      series.reserve(pool.size());
+      for (const unsigned id : pool) {
+        series.push_back(bandwidth_series(polka_->tunnel(id)));
+      }
+      const auto recommended = hecate_->recommend(series);
+      if (!recommended) {
+        // No trained model yet: fall back to the reactive choice, which
+        // is exactly the paper's phase (i) -> phase (ii) progression.
+        return choose_tunnel(Objective::kCurrentBandwidth);
+      }
+      for (std::size_t k = 0; k < series.size(); ++k) {
+        if (series[k] == *recommended) return pool[k];
+      }
+      return pool.front();
+    }
+  }
+  throw std::logic_error("Controller: unknown objective");
+}
+
+std::size_t Controller::handle_new_flow(const FlowRequest& request,
+                                        double at_s, Objective objective) {
+  const unsigned tunnel_id = choose_tunnel(objective);
+  const Tunnel& tunnel = polka_->tunnel(tunnel_id);
+
+  // Program the edge: classification ACL, then the PBR binding.
+  hp::freertr::AccessList acl;
+  acl.name = request.acl_name;
+  acl.protocol = request.protocol;
+  acl.source = hp::freertr::Prefix{request.src_ip, 24};
+  acl.destination = hp::freertr::Prefix{request.dst_ip, 32};
+  acl.tos = request.tos;
+  polka_->install_access_list(acl);
+  polka_->bind_flow(request.acl_name, tunnel_id,
+                    hp::freertr::ipv4_to_string(request.dst_ip));
+
+  // Admit the flow into the network on the tunnel's end-to-end path.
+  hp::netsim::FlowSpec spec;
+  spec.name = request.name;
+  spec.path = polka_->host_to_host_path(tunnel_id, request.src_host,
+                                        request.dst_host);
+  spec.demand_mbps = request.demand_mbps;
+  spec.tos = request.tos ? static_cast<int>(*request.tos) : 0;
+  const hp::netsim::FlowId sim_flow = sim_->add_flow(at_s, std::move(spec));
+
+  managed_.push_back(ManagedFlow{request, sim_flow, tunnel_id});
+  return managed_.size() - 1;
+}
+
+unsigned Controller::reoptimize(std::size_t managed_index, double at_s,
+                                Objective objective) {
+  ManagedFlow& flow = managed_.at(managed_index);
+  const unsigned chosen = choose_tunnel(objective);
+  if (chosen == flow.tunnel_id) return chosen;
+
+  // One PBR rewrite at the ingress edge...
+  polka_->bind_flow(flow.request.acl_name, chosen,
+                    hp::freertr::ipv4_to_string(flow.request.dst_ip));
+  // ...and the corresponding path change in the network.
+  sim_->migrate_flow(at_s, flow.sim_flow,
+                     polka_->host_to_host_path(chosen, flow.request.src_host,
+                                               flow.request.dst_host));
+  flow.tunnel_id = chosen;
+  return chosen;
+}
+
+std::vector<std::size_t> Controller::split_flow(const FlowRequest& request,
+                                                double at_s) {
+  if (!std::isfinite(request.demand_mbps)) {
+    throw std::invalid_argument("split_flow: demand must be finite");
+  }
+  std::vector<unsigned> pool;
+  std::vector<double> capacities;
+  for (const unsigned id : candidates_) {
+    if (!tunnel_healthy(id)) continue;
+    pool.push_back(id);
+    capacities.push_back(sim_->topology().path_bottleneck_mbps(
+        polka_->tunnel(id).netsim_path));
+  }
+  if (pool.empty()) throw std::domain_error("split_flow: no healthy tunnel");
+  // Section III min-max LP: balance utilization across the tunnels.
+  const std::vector<double> shares =
+      solve_k_path_min_max(request.demand_mbps, capacities);
+
+  std::vector<std::size_t> indices;
+  for (std::size_t k = 0; k < pool.size(); ++k) {
+    if (shares[k] <= 1e-9) continue;
+    FlowRequest sub = request;
+    sub.name = request.name + "." + std::to_string(k);
+    sub.acl_name = request.acl_name + "." + std::to_string(k);
+    sub.demand_mbps = shares[k];
+
+    const Tunnel& tunnel = polka_->tunnel(pool[k]);
+    hp::freertr::AccessList acl;
+    acl.name = sub.acl_name;
+    acl.protocol = sub.protocol;
+    acl.source = hp::freertr::Prefix{sub.src_ip, 24};
+    acl.destination = hp::freertr::Prefix{sub.dst_ip, 32};
+    acl.tos = sub.tos;
+    polka_->install_access_list(acl);
+    polka_->bind_flow(sub.acl_name, tunnel.id,
+                      hp::freertr::ipv4_to_string(sub.dst_ip));
+
+    hp::netsim::FlowSpec spec;
+    spec.name = sub.name;
+    spec.path =
+        polka_->host_to_host_path(tunnel.id, sub.src_host, sub.dst_host);
+    spec.demand_mbps = sub.demand_mbps;
+    spec.tos = sub.tos ? static_cast<int>(*sub.tos) : 0;
+    const hp::netsim::FlowId sim_flow = sim_->add_flow(at_s, std::move(spec));
+    managed_.push_back(ManagedFlow{std::move(sub), sim_flow, tunnel.id});
+    indices.push_back(managed_.size() - 1);
+  }
+  return indices;
+}
+
+std::size_t Controller::recover_from_failures(double at_s,
+                                              Objective objective) {
+  std::size_t migrated = 0;
+  for (std::size_t i = 0; i < managed_.size(); ++i) {
+    if (tunnel_healthy(managed_[i].tunnel_id)) continue;
+    const unsigned chosen = choose_tunnel(objective);
+    if (!tunnel_healthy(chosen)) {
+      throw std::runtime_error(
+          "recover_from_failures: no healthy candidate tunnel for flow " +
+          managed_[i].request.name);
+    }
+    ManagedFlow& flow = managed_[i];
+    polka_->bind_flow(flow.request.acl_name, chosen,
+                      hp::freertr::ipv4_to_string(flow.request.dst_ip));
+    sim_->migrate_flow(
+        at_s, flow.sim_flow,
+        polka_->host_to_host_path(chosen, flow.request.src_host,
+                                  flow.request.dst_host));
+    flow.tunnel_id = chosen;
+    ++migrated;
+  }
+  return migrated;
+}
+
+}  // namespace hp::core

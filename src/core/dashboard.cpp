@@ -1,0 +1,92 @@
+#include "core/dashboard.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace hp::core {
+
+std::string Dashboard::link_occupation_report(unsigned width) const {
+  const auto& topo = sim_->topology();
+  std::ostringstream os;
+  os << "link occupation @ t=" << std::fixed << std::setprecision(1)
+     << sim_->now() << "s\n";
+  for (hp::netsim::LinkIndex l = 0; l < topo.link_count(); ++l) {
+    const double util = sim_->link_utilization(l);
+    if (util <= 1e-9) continue;
+    const auto& link = topo.link(l);
+    const unsigned filled = static_cast<unsigned>(
+        std::round(std::min(util, 1.0) * width));
+    os << std::setw(6) << topo.node(link.from).name << "->" << std::left
+       << std::setw(6) << topo.node(link.to).name << std::right << " [";
+    for (unsigned i = 0; i < width; ++i) os << (i < filled ? '#' : ' ');
+    os << "] " << std::setprecision(1) << util * link.capacity_mbps << '/'
+       << link.capacity_mbps << " Mbps\n";
+  }
+  return os.str();
+}
+
+std::string Dashboard::series_table(
+    const std::vector<hp::netsim::Sample>& series, const std::string& header,
+    std::size_t max_rows) {
+  std::ostringstream os;
+  os << header << '\n';
+  if (series.empty()) {
+    os << "  (empty)\n";
+    return os.str();
+  }
+  const std::size_t stride =
+      std::max<std::size_t>(1, series.size() / std::max<std::size_t>(
+                                                   max_rows, 1));
+  os << std::fixed << std::setprecision(2);
+  for (std::size_t i = 0; i < series.size(); i += stride) {
+    os << "  " << std::setw(8) << series[i].t_s << "  " << std::setw(10)
+       << series[i].value << '\n';
+  }
+  return os.str();
+}
+
+std::string Dashboard::strip_chart(
+    const std::vector<hp::netsim::Sample>& series, std::size_t width) {
+  if (series.empty()) return "(empty)";
+  double lo = series.front().value;
+  double hi = lo;
+  for (const auto& s : series) {
+    lo = std::min(lo, s.value);
+    hi = std::max(hi, s.value);
+  }
+  static constexpr char kLevels[] = " .:-=+*#%@";
+  const std::size_t n_levels = sizeof(kLevels) - 2;
+  std::string chart;
+  chart.reserve(width);
+  const std::size_t n = series.size();
+  for (std::size_t b = 0; b < width; ++b) {
+    const std::size_t i0 = b * n / width;
+    const std::size_t i1 = std::max(i0 + 1, (b + 1) * n / width);
+    double acc = 0.0;
+    for (std::size_t i = i0; i < i1 && i < n; ++i) acc += series[i].value;
+    const double v = acc / static_cast<double>(i1 - i0);
+    const double norm = hi > lo ? (v - lo) / (hi - lo) : 0.5;
+    chart.push_back(
+        kLevels[static_cast<std::size_t>(std::round(norm * n_levels))]);
+  }
+  std::ostringstream os;
+  os << '[' << chart << "] min=" << lo << " max=" << hi;
+  return os.str();
+}
+
+double Dashboard::mean_between(const std::vector<hp::netsim::Sample>& series,
+                               double t0, double t1) {
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (const auto& s : series) {
+    if (s.t_s >= t0 && s.t_s <= t1) {
+      acc += s.value;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+}  // namespace hp::core

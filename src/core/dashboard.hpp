@@ -1,0 +1,42 @@
+#pragma once
+// Dashboard: "visual feedback through link occupation graphs" (Fig 4).
+//
+// Renders ASCII reports from simulator and telemetry series: per-link
+// occupation bars, flow-rate tables, and probe (RTT) timelines.  The
+// benches print these to regenerate the paper's figures as text.
+
+#include <string>
+#include <vector>
+
+#include "netsim/simulator.hpp"
+#include "telemetry/store.hpp"
+
+namespace hp::core {
+
+class Dashboard {
+ public:
+  explicit Dashboard(const hp::netsim::Simulator& sim) : sim_(&sim) {}
+
+  /// One bar per directed link with nonzero load:
+  /// "MIA->SAO [#####     ] 10.0/20.0 Mbps".
+  [[nodiscard]] std::string link_occupation_report(unsigned width = 30) const;
+
+  /// Tabulate a sampled series as "t  value" rows, optionally
+  /// downsampled to at most `max_rows` rows.
+  [[nodiscard]] static std::string series_table(
+      const std::vector<hp::netsim::Sample>& series,
+      const std::string& header, std::size_t max_rows = 40);
+
+  /// Sparkline-style strip chart of a series (one char per bucket).
+  [[nodiscard]] static std::string strip_chart(
+      const std::vector<hp::netsim::Sample>& series, std::size_t width = 60);
+
+  /// Mean of series values within [t0, t1].
+  [[nodiscard]] static double mean_between(
+      const std::vector<hp::netsim::Sample>& series, double t0, double t1);
+
+ private:
+  const hp::netsim::Simulator* sim_;
+};
+
+}  // namespace hp::core

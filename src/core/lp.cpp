@@ -1,0 +1,211 @@
+#include "core/lp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hp::core {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/// Tableau simplex on standard form min c.x, Ax = b, x >= 0, b >= 0.
+/// `basis` holds the basic variable of each row and must index an
+/// identity submatrix on entry.  Returns false when unbounded.
+bool run_simplex(Matrix& a, Vector& b, Vector& c, std::vector<std::size_t>& basis,
+                 double& objective) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  // Reduced costs: make c zero on basic columns.
+  for (std::size_t r = 0; r < m; ++r) {
+    const double cb = c[basis[r]];
+    if (cb == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) c[j] -= cb * a(r, j);
+    objective -= cb * b[r];
+  }
+  while (true) {
+    // Bland's rule: entering variable = lowest index with negative
+    // reduced cost.
+    std::size_t enter = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (c[j] < -kEps) {
+        enter = j;
+        break;
+      }
+    }
+    if (enter == n) return true;  // optimal
+    // Ratio test (Bland: smallest basis index breaks ties).
+    std::size_t leave = m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t r = 0; r < m; ++r) {
+      if (a(r, enter) > kEps) {
+        const double ratio = b[r] / a(r, enter);
+        if (ratio < best_ratio - kEps ||
+            (ratio < best_ratio + kEps &&
+             (leave == m || basis[r] < basis[leave]))) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == m) return false;  // unbounded
+    // Pivot.
+    const double pivot = a(leave, enter);
+    for (std::size_t j = 0; j < n; ++j) a(leave, j) /= pivot;
+    b[leave] /= pivot;
+    for (std::size_t r = 0; r < m; ++r) {
+      if (r == leave) continue;
+      const double f = a(r, enter);
+      if (f == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) a(r, j) -= f * a(leave, j);
+      b[r] -= f * b[leave];
+    }
+    const double fc = c[enter];
+    if (fc != 0.0) {
+      for (std::size_t j = 0; j < n; ++j) c[j] -= fc * a(leave, j);
+      objective -= fc * b[leave];
+    }
+    basis[leave] = enter;
+  }
+}
+
+}  // namespace
+
+LpSolution solve_lp(const LpProblem& problem) {
+  const std::size_t m = problem.a.rows();
+  const std::size_t n = problem.a.cols();
+  if (problem.b.size() != m || problem.senses.size() != m ||
+      problem.c.size() != n) {
+    throw std::invalid_argument("solve_lp: dimension mismatch");
+  }
+
+  // Standard form: normalize b >= 0, add slacks/surplus, then
+  // artificials where no natural basic column exists.
+  struct Row {
+    Vector coeffs;
+    double rhs;
+    Sense sense;
+  };
+  std::vector<Row> rows(m);
+  for (std::size_t r = 0; r < m; ++r) {
+    rows[r].coeffs = problem.a.row(r);
+    rows[r].rhs = problem.b[r];
+    rows[r].sense = problem.senses[r];
+    if (rows[r].rhs < 0.0) {
+      for (double& v : rows[r].coeffs) v = -v;
+      rows[r].rhs = -rows[r].rhs;
+      if (rows[r].sense == Sense::kLessEqual) {
+        rows[r].sense = Sense::kGreaterEqual;
+      } else if (rows[r].sense == Sense::kGreaterEqual) {
+        rows[r].sense = Sense::kLessEqual;
+      }
+    }
+  }
+
+  std::size_t n_slack = 0;
+  for (const Row& row : rows) {
+    if (row.sense != Sense::kEqual) ++n_slack;
+  }
+  std::size_t n_art = 0;
+  for (const Row& row : rows) {
+    if (row.sense != Sense::kLessEqual) ++n_art;
+  }
+
+  const std::size_t total = n + n_slack + n_art;
+  Matrix a(m, total, 0.0);
+  Vector b(m, 0.0);
+  std::vector<std::size_t> basis(m);
+  std::size_t slack_col = n;
+  std::size_t art_col = n + n_slack;
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t j = 0; j < n; ++j) a(r, j) = rows[r].coeffs[j];
+    b[r] = rows[r].rhs;
+    switch (rows[r].sense) {
+      case Sense::kLessEqual:
+        a(r, slack_col) = 1.0;
+        basis[r] = slack_col++;
+        break;
+      case Sense::kGreaterEqual:
+        a(r, slack_col) = -1.0;  // surplus
+        ++slack_col;
+        a(r, art_col) = 1.0;
+        basis[r] = art_col++;
+        break;
+      case Sense::kEqual:
+        a(r, art_col) = 1.0;
+        basis[r] = art_col++;
+        break;
+    }
+  }
+
+  LpSolution solution;
+
+  if (n_art > 0) {
+    // Phase 1: minimize the sum of artificials.
+    Vector c1(total, 0.0);
+    for (std::size_t j = n + n_slack; j < total; ++j) c1[j] = 1.0;
+    double obj1 = 0.0;
+    Matrix a1 = a;
+    Vector b1 = b;
+    if (!run_simplex(a1, b1, c1, basis, obj1)) {
+      solution.status = LpStatus::kInfeasible;  // cannot happen, guard
+      return solution;
+    }
+    // run_simplex tracks the *negated* objective value (z-row
+    // convention), so the attained sum of artificials is -obj1.
+    if (-obj1 > 1e-7) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Drive any artificial still in the basis out (degenerate case):
+    // pivot on any nonzero non-artificial column in its row.
+    for (std::size_t r = 0; r < m; ++r) {
+      if (basis[r] >= n + n_slack) {
+        std::size_t pivot_col = total;
+        for (std::size_t j = 0; j < n + n_slack; ++j) {
+          if (std::abs(a1(r, j)) > kEps) {
+            pivot_col = j;
+            break;
+          }
+        }
+        if (pivot_col == total) continue;  // redundant row; keep artificial=0
+        const double pivot = a1(r, pivot_col);
+        for (std::size_t j = 0; j < total; ++j) a1(r, j) /= pivot;
+        b1[r] /= pivot;
+        for (std::size_t rr = 0; rr < m; ++rr) {
+          if (rr == r) continue;
+          const double f = a1(rr, pivot_col);
+          if (f == 0.0) continue;
+          for (std::size_t j = 0; j < total; ++j) a1(rr, j) -= f * a1(r, j);
+          b1[rr] -= f * b1[r];
+        }
+        basis[r] = pivot_col;
+      }
+    }
+    a = std::move(a1);
+    b = std::move(b1);
+  }
+
+  // Phase 2: original objective (artificial columns pinned by zero
+  // coefficients but excluded from entering via a large cost).
+  Vector c2(total, 0.0);
+  for (std::size_t j = 0; j < n; ++j) c2[j] = problem.c[j];
+  // Forbid artificials from re-entering.
+  for (std::size_t j = n + n_slack; j < total; ++j) c2[j] = 1e30;
+  double obj2 = 0.0;
+  if (!run_simplex(a, b, c2, basis, obj2)) {
+    solution.status = LpStatus::kUnbounded;
+    return solution;
+  }
+
+  solution.status = LpStatus::kOptimal;
+  solution.x.assign(n, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) solution.x[basis[r]] = b[r];
+  }
+  solution.objective = hp::ml::dot(solution.x, problem.c);
+  return solution;
+}
+
+}  // namespace hp::core

@@ -1,0 +1,39 @@
+#pragma once
+// Dense two-phase simplex LP solver.
+//
+// Section III frames optimal flow allocation as a Linear Programming
+// problem ("this can be solved using LP solvers").  This is that solver:
+// small, exact, dense -- the framework's allocation problems have a
+// handful of paths and links.
+
+#include "ml/linalg.hpp"
+
+namespace hp::core {
+
+using hp::ml::Matrix;
+using hp::ml::Vector;
+
+/// Constraint sense for one row.
+enum class Sense { kLessEqual, kGreaterEqual, kEqual };
+
+/// minimize c.x  subject to  A x (sense) b,  x >= 0.
+struct LpProblem {
+  Matrix a;
+  Vector b;
+  std::vector<Sense> senses;
+  Vector c;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded };
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  Vector x;
+  double objective = 0.0;
+};
+
+/// Solve with two-phase simplex (Bland's rule; always terminates).
+/// Throws std::invalid_argument on dimension mismatches.
+[[nodiscard]] LpSolution solve_lp(const LpProblem& problem);
+
+}  // namespace hp::core

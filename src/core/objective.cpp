@@ -1,0 +1,140 @@
+#include "core/objective.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace hp::core {
+
+bool is_feasible(const TwoPathProblem& p) {
+  return p.demand >= 0.0 && p.capacity1 >= 0.0 && p.capacity2 >= 0.0 &&
+         p.demand <= p.capacity1 + p.capacity2;
+}
+
+DemandSplit solve_linear_cost(const TwoPathProblem& p) {
+  if (!is_feasible(p)) {
+    throw std::domain_error("solve_linear_cost: infeasible demand");
+  }
+  DemandSplit s;
+  // Corner solution of the LP: saturate the cheaper path first.
+  if (p.cost1 <= p.cost2) {
+    s.x1 = std::min(p.demand, p.capacity1);
+    s.x2 = p.demand - s.x1;
+  } else {
+    s.x2 = std::min(p.demand, p.capacity2);
+    s.x1 = p.demand - s.x2;
+  }
+  s.objective = p.cost1 * s.x1 + p.cost2 * s.x2;
+  return s;
+}
+
+DemandSplit solve_min_max_utilization(const TwoPathProblem& p) {
+  if (!is_feasible(p)) {
+    throw std::domain_error("solve_min_max_utilization: infeasible demand");
+  }
+  if (p.capacity1 + p.capacity2 <= 0.0) {
+    throw std::domain_error("solve_min_max_utilization: no capacity");
+  }
+  DemandSplit s;
+  // Equal utilization split (both paths at h / (c1 + c2)).
+  s.x1 = p.demand * p.capacity1 / (p.capacity1 + p.capacity2);
+  s.x2 = p.demand - s.x1;
+  const double u1 = p.capacity1 > 0.0 ? s.x1 / p.capacity1 : 0.0;
+  const double u2 = p.capacity2 > 0.0 ? s.x2 / p.capacity2 : 0.0;
+  s.objective = std::max(u1, u2);
+  return s;
+}
+
+double delay_objective_value(const TwoPathProblem& p, double x1) {
+  const double x2 = p.demand - x1;
+  if (x1 < 0.0 || x2 < 0.0 || x1 >= p.capacity1 || x2 >= p.capacity2) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return x1 / (p.capacity1 - x1) + 2.0 * x2 / (p.capacity2 - x2);
+}
+
+DemandSplit solve_delay_objective(const TwoPathProblem& p) {
+  if (p.demand >= p.capacity1 + p.capacity2) {
+    throw std::domain_error("solve_delay_objective: needs h < c1 + c2");
+  }
+  if (p.demand < 0.0) {
+    throw std::domain_error("solve_delay_objective: negative demand");
+  }
+  // Feasible interval for x1: both paths strictly under capacity.
+  const double lo = std::max(0.0, p.demand - p.capacity2 + 1e-12);
+  const double hi = std::min(p.capacity1 - 1e-12, p.demand);
+  DemandSplit s;
+  if (lo >= hi) {  // single feasible point (or h == 0)
+    s.x1 = std::clamp(p.demand, lo, std::max(lo, hi));
+    s.x2 = p.demand - s.x1;
+    s.objective = delay_objective_value(p, s.x1);
+    return s;
+  }
+  // f(x1) = x1/(c1-x1) + 2(h-x1)/(c2-(h-x1)) is strictly convex; golden
+  // section search is robust to the boundary asymptotes.
+  constexpr double kPhi = 0.6180339887498949;
+  double a = lo, b = hi;
+  double x_left = b - kPhi * (b - a);
+  double x_right = a + kPhi * (b - a);
+  double f_left = delay_objective_value(p, x_left);
+  double f_right = delay_objective_value(p, x_right);
+  for (int it = 0; it < 200 && (b - a) > 1e-12; ++it) {
+    if (f_left < f_right) {
+      b = x_right;
+      x_right = x_left;
+      f_right = f_left;
+      x_left = b - kPhi * (b - a);
+      f_left = delay_objective_value(p, x_left);
+    } else {
+      a = x_left;
+      x_left = x_right;
+      f_left = f_right;
+      x_right = a + kPhi * (b - a);
+      f_right = delay_objective_value(p, x_right);
+    }
+  }
+  s.x1 = 0.5 * (a + b);
+  s.x2 = p.demand - s.x1;
+  s.objective = delay_objective_value(p, s.x1);
+  return s;
+}
+
+std::vector<double> solve_k_path_min_max(
+    double demand, const std::vector<double>& path_capacities) {
+  const std::size_t k = path_capacities.size();
+  if (k == 0) throw std::domain_error("solve_k_path_min_max: no paths");
+  // Variables: x_0..x_{k-1}, t.  Minimize t subject to
+  //   sum x = demand;  x_i - c_i * t <= 0;  x_i <= c_i.
+  LpProblem lp;
+  const std::size_t nvars = k + 1;
+  const std::size_t nrows = 1 + k + k;
+  lp.a = Matrix(nrows, nvars, 0.0);
+  lp.b.assign(nrows, 0.0);
+  lp.senses.assign(nrows, Sense::kLessEqual);
+  lp.c.assign(nvars, 0.0);
+  lp.c[k] = 1.0;  // minimize t
+
+  // Row 0: sum x_i == demand.
+  for (std::size_t i = 0; i < k; ++i) lp.a(0, i) = 1.0;
+  lp.b[0] = demand;
+  lp.senses[0] = Sense::kEqual;
+  // Rows 1..k: x_i - c_i t <= 0.
+  for (std::size_t i = 0; i < k; ++i) {
+    lp.a(1 + i, i) = 1.0;
+    lp.a(1 + i, k) = -path_capacities[i];
+  }
+  // Rows k+1..2k: x_i <= c_i.
+  for (std::size_t i = 0; i < k; ++i) {
+    lp.a(1 + k + i, i) = 1.0;
+    lp.b[1 + k + i] = path_capacities[i];
+  }
+
+  const LpSolution sol = solve_lp(lp);
+  if (sol.status != LpStatus::kOptimal) {
+    throw std::domain_error("solve_k_path_min_max: infeasible");
+  }
+  return {sol.x.begin(), sol.x.begin() + static_cast<std::ptrdiff_t>(k)};
+}
+
+}  // namespace hp::core

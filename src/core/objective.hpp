@@ -1,0 +1,61 @@
+#pragma once
+// The Section III objective functions for the two-path demand-split
+// problem of Fig 2, plus a general K-path min-max LP formulation.
+//
+// Notation follows the paper: demand volume h arrives at source s and
+// can be split between the direct path (x_sd) and the path via node i
+// (x_sid); each path has a capacity c and a unit cost xi.
+
+#include <vector>
+
+#include "core/lp.hpp"
+
+namespace hp::core {
+
+/// The Fig 2 instance: split demand h over two capacitated paths.
+struct TwoPathProblem {
+  double demand = 0.0;      ///< h
+  double capacity1 = 0.0;   ///< c for path s-d
+  double capacity2 = 0.0;   ///< c for path s-i-d
+  double cost1 = 1.0;       ///< xi_sd   (Eq 2)
+  double cost2 = 1.0;       ///< xi_sid  (Eq 2)
+};
+
+/// A demand split; valid iff x1 + x2 == h within tolerance and both
+/// parts respect their capacities.
+struct DemandSplit {
+  double x1 = 0.0;
+  double x2 = 0.0;
+  double objective = 0.0;
+};
+
+/// Is the problem feasible at all (h <= c1 + c2, strict for delay)?
+[[nodiscard]] bool is_feasible(const TwoPathProblem& p);
+
+/// Eq 2: minimize xi1*x1 + xi2*x2 -- a corner solution: fill the cheaper
+/// path first.  Throws std::domain_error when infeasible.
+[[nodiscard]] DemandSplit solve_linear_cost(const TwoPathProblem& p);
+
+/// Min-max link utilization: minimize max(x1/c1, x2/c2); the optimum
+/// equalizes utilizations, x1 = h*c1/(c1+c2).  The objective field holds
+/// the max utilization.
+[[nodiscard]] DemandSplit solve_min_max_utilization(const TwoPathProblem& p);
+
+/// Eq 3: minimize x1/(c1-x1) + 2*x2/(c2-x2) (the M/M/1 delay objective
+/// with the via path counted twice for its two hops).  Requires
+/// h < c1 + c2 strictly; solved by bisection on the derivative (the
+/// objective is strictly convex on the feasible interval).
+[[nodiscard]] DemandSplit solve_delay_objective(const TwoPathProblem& p);
+
+/// Evaluate Eq 3's objective at a given split (infinity at/over
+/// capacity) -- used by tests and the ablation bench.
+[[nodiscard]] double delay_objective_value(const TwoPathProblem& p, double x1);
+
+/// General K-path min-max: distribute `demand` over `path_capacities`
+/// minimizing the maximum utilization, as an LP (variables x_k and the
+/// max-utilization t).  Returns per-path allocations; throws
+/// std::domain_error when infeasible.
+[[nodiscard]] std::vector<double> solve_k_path_min_max(
+    double demand, const std::vector<double>& path_capacities);
+
+}  // namespace hp::core

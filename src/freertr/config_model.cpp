@@ -1,0 +1,181 @@
+#include "freertr/config_model.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hp::freertr {
+
+std::uint32_t parse_ipv4(const std::string& text) {
+  std::uint32_t addr = 0;
+  std::size_t pos = 0;
+  for (int octet = 0; octet < 4; ++octet) {
+    if (pos >= text.size()) {
+      throw std::invalid_argument("parse_ipv4: truncated address " + text);
+    }
+    std::size_t next = text.find('.', pos);
+    if (octet == 3) {
+      next = text.size();
+    } else if (next == std::string::npos) {
+      throw std::invalid_argument("parse_ipv4: malformed address " + text);
+    }
+    const std::string part = text.substr(pos, next - pos);
+    if (part.empty() || part.size() > 3) {
+      throw std::invalid_argument("parse_ipv4: bad octet in " + text);
+    }
+    unsigned value = 0;
+    for (const char c : part) {
+      if (c < '0' || c > '9') {
+        throw std::invalid_argument("parse_ipv4: bad digit in " + text);
+      }
+      value = value * 10 + static_cast<unsigned>(c - '0');
+    }
+    if (value > 255) {
+      throw std::invalid_argument("parse_ipv4: octet out of range in " + text);
+    }
+    addr = (addr << 8) | value;
+    pos = next + 1;
+  }
+  return addr;
+}
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  std::ostringstream os;
+  os << ((addr >> 24) & 0xFF) << '.' << ((addr >> 16) & 0xFF) << '.'
+     << ((addr >> 8) & 0xFF) << '.' << (addr & 0xFF);
+  return os.str();
+}
+
+Prefix Prefix::parse(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  Prefix p;
+  if (slash == std::string::npos) {
+    p.address = parse_ipv4(text);
+    p.length = 32;
+    return p;
+  }
+  p.address = parse_ipv4(text.substr(0, slash));
+  const std::string len = text.substr(slash + 1);
+  if (len.empty() || len.size() > 2) {
+    throw std::invalid_argument("Prefix: bad length in " + text);
+  }
+  unsigned value = 0;
+  for (const char c : len) {
+    if (c < '0' || c > '9') {
+      throw std::invalid_argument("Prefix: bad length in " + text);
+    }
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  if (value > 32) throw std::invalid_argument("Prefix: length > 32 in " + text);
+  p.length = value;
+  return p;
+}
+
+bool Prefix::contains(std::uint32_t addr) const noexcept {
+  if (length == 0) return true;
+  const std::uint32_t mask = length == 32
+                                 ? 0xFFFFFFFFu
+                                 : ~((std::uint32_t{1} << (32 - length)) - 1);
+  return (addr & mask) == (address & mask);
+}
+
+std::string Prefix::to_string() const {
+  return ipv4_to_string(address) + "/" + std::to_string(length);
+}
+
+bool AccessList::matches(std::uint32_t src, std::uint32_t dst, unsigned proto,
+                         std::optional<unsigned> packet_tos) const {
+  if (proto != protocol) return false;
+  if (!source.contains(src) || !destination.contains(dst)) return false;
+  if (tos && (!packet_tos || *packet_tos != *tos)) return false;
+  return true;
+}
+
+void RouterConfig::upsert_access_list(AccessList acl) {
+  if (acl.name.empty()) {
+    throw std::invalid_argument("RouterConfig: access list needs a name");
+  }
+  acls_[acl.name] = std::move(acl);
+  ++revision_;
+}
+
+void RouterConfig::upsert_tunnel(PolkaTunnel tunnel) {
+  if (tunnel.domain_path.size() < 2) {
+    throw std::invalid_argument(
+        "RouterConfig: tunnel domain-name needs >= 2 routers");
+  }
+  tunnels_[tunnel.id] = std::move(tunnel);
+  ++revision_;
+}
+
+void RouterConfig::set_pbr(PbrEntry entry) {
+  if (!acls_.contains(entry.access_list)) {
+    throw std::invalid_argument("RouterConfig: PBR references unknown ACL " +
+                                entry.access_list);
+  }
+  if (!tunnels_.contains(entry.tunnel_id)) {
+    throw std::invalid_argument("RouterConfig: PBR references unknown tunnel " +
+                                std::to_string(entry.tunnel_id));
+  }
+  pbr_[entry.access_list] = std::move(entry);
+  ++revision_;
+}
+
+bool RouterConfig::remove_pbr(const std::string& access_list) {
+  const bool removed = pbr_.erase(access_list) > 0;
+  if (removed) ++revision_;
+  return removed;
+}
+
+const AccessList* RouterConfig::find_access_list(
+    const std::string& name) const {
+  const auto it = acls_.find(name);
+  return it == acls_.end() ? nullptr : &it->second;
+}
+
+const PolkaTunnel* RouterConfig::find_tunnel(unsigned id) const {
+  const auto it = tunnels_.find(id);
+  return it == tunnels_.end() ? nullptr : &it->second;
+}
+
+const PbrEntry* RouterConfig::find_pbr(const std::string& acl_name) const {
+  const auto it = pbr_.find(acl_name);
+  return it == pbr_.end() ? nullptr : &it->second;
+}
+
+std::optional<unsigned> RouterConfig::route_lookup(
+    std::uint32_t src, std::uint32_t dst, unsigned proto,
+    std::optional<unsigned> tos) const {
+  for (const auto& [acl_name, entry] : pbr_) {
+    const AccessList* acl = find_access_list(acl_name);
+    if (acl != nullptr && acl->matches(src, dst, proto, tos)) {
+      return entry.tunnel_id;
+    }
+  }
+  return std::nullopt;
+}
+
+std::string RouterConfig::to_text() const {
+  std::ostringstream os;
+  for (const auto& [name, acl] : acls_) {
+    os << "access-list " << name << " permit " << acl.protocol << ' '
+       << acl.source.to_string() << ' ' << acl.destination.to_string();
+    if (acl.tos) os << " tos " << *acl.tos;
+    os << '\n';
+  }
+  for (const auto& [id, tunnel] : tunnels_) {
+    os << "interface tunnel" << id << '\n';
+    os << " tunnel destination " << tunnel.destination_ip << '\n';
+    os << " tunnel domain-name";
+    for (const std::string& hop : tunnel.domain_path) os << ' ' << hop;
+    os << '\n';
+    os << " tunnel mode " << tunnel.mode << '\n';
+    os << "exit\n";
+  }
+  for (const auto& [acl, entry] : pbr_) {
+    os << "pbr " << acl << " tunnel " << entry.tunnel_id << " nexthop "
+       << entry.nexthop_ip << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hp::freertr

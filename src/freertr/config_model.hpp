@@ -1,0 +1,124 @@
+#pragma once
+// RARE/freeRtr configuration model (edge-router subset).
+//
+// The paper configures PolKA on freeRtr edge routers with three object
+// kinds (Fig 10): access lists that classify flows (protocol, prefixes,
+// ToS), PolKA tunnels whose "domain-name" lists the explicit router
+// path (converted internally to a routeID), and policy-based-routing
+// entries binding an access list to a tunnel.  Fig 10 is reproduced from
+// a screenshot, so the concrete text grammar here is our reconstruction
+// of that command subset (documented substitution in DESIGN.md); the
+// object model and the reconfiguration semantics follow the paper.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hp::freertr {
+
+/// IPv4 prefix in CIDR form.
+struct Prefix {
+  std::uint32_t address = 0;
+  unsigned length = 0;
+
+  /// Parse "40.40.1.0/24" (or a bare address, treated as /32).
+  /// Throws std::invalid_argument on malformed input.
+  static Prefix parse(const std::string& text);
+
+  /// Does this prefix contain `addr`?
+  [[nodiscard]] bool contains(std::uint32_t addr) const noexcept;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Prefix&, const Prefix&) = default;
+};
+
+/// Parse a dotted-quad IPv4 address.
+[[nodiscard]] std::uint32_t parse_ipv4(const std::string& text);
+[[nodiscard]] std::string ipv4_to_string(std::uint32_t addr);
+
+/// One access-list entry: "network 40.40.1.0/24 can access machine
+/// 40.40.2.2 using protocol 6 (TCP) ... ToS filters only packets with
+/// that indication" (paper Section V-C1).
+struct AccessList {
+  std::string name;
+  unsigned protocol = 6;  ///< IP protocol number (6 = TCP)
+  Prefix source;
+  Prefix destination;
+  std::optional<unsigned> tos;  ///< match any ToS when unset
+
+  /// Does a packet 5-tuple+ToS match this entry?
+  [[nodiscard]] bool matches(std::uint32_t src, std::uint32_t dst,
+                             unsigned proto,
+                             std::optional<unsigned> packet_tos) const;
+};
+
+/// A PolKA tunnel: explicit router path, converted by the control plane
+/// into a routeID at installation time.
+struct PolkaTunnel {
+  unsigned id = 0;
+  std::string destination_ip;            ///< remote edge loopback
+  std::vector<std::string> domain_path;  ///< explicit router names
+  std::string mode = "polka";
+};
+
+/// PBR entry: traffic matching `access_list` uses `tunnel_id` with the
+/// given next hop.  The "single modification of a PBR entry in the
+/// ingress edge node" is exactly the migration primitive of Figs 11/12.
+struct PbrEntry {
+  std::string access_list;
+  unsigned tunnel_id = 0;
+  std::string nexthop_ip;
+};
+
+/// The running configuration of one edge router.
+class RouterConfig {
+ public:
+  /// Insert or replace by name / id.
+  void upsert_access_list(AccessList acl);
+  void upsert_tunnel(PolkaTunnel tunnel);
+  /// Bind (or rebind) an access list to a tunnel; the access list and
+  /// tunnel must exist (throws std::invalid_argument).
+  void set_pbr(PbrEntry entry);
+  /// Remove a PBR binding; returns false when absent.
+  bool remove_pbr(const std::string& access_list);
+
+  [[nodiscard]] const AccessList* find_access_list(
+      const std::string& name) const;
+  [[nodiscard]] const PolkaTunnel* find_tunnel(unsigned id) const;
+  [[nodiscard]] const PbrEntry* find_pbr(const std::string& acl_name) const;
+
+  [[nodiscard]] const std::map<std::string, AccessList>& access_lists()
+      const noexcept {
+    return acls_;
+  }
+  [[nodiscard]] const std::map<unsigned, PolkaTunnel>& tunnels()
+      const noexcept {
+    return tunnels_;
+  }
+  [[nodiscard]] const std::map<std::string, PbrEntry>& pbr_entries()
+      const noexcept {
+    return pbr_;
+  }
+
+  /// Which tunnel (if any) a packet should take, after ACL + PBR lookup.
+  [[nodiscard]] std::optional<unsigned> route_lookup(
+      std::uint32_t src, std::uint32_t dst, unsigned proto,
+      std::optional<unsigned> tos) const;
+
+  /// Render as freeRtr-style configuration text.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Monotonic revision, bumped by every successful mutation.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
+ private:
+  std::map<std::string, AccessList> acls_;
+  std::map<unsigned, PolkaTunnel> tunnels_;
+  std::map<std::string, PbrEntry> pbr_;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace hp::freertr

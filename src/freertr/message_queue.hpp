@@ -1,0 +1,77 @@
+#pragma once
+// Thread-safe message queue.
+//
+// "The framework uses a message queue system to facilitate communication
+// between its components ... We manage FreeRtr configurations by sending
+// messages through a Message Queue to reconfigure the router" (paper
+// Section V-C1).  This is a minimal MPMC blocking queue with close
+// semantics; the RouterConfigService drains it.
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace hp::freertr {
+
+template <typename T>
+class MessageQueue {
+ public:
+  /// Enqueue a message; returns false when the queue is closed.
+  bool push(T message) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_) return false;
+      queue_.push_back(std::move(message));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; empty optional means the queue was closed and fully
+  /// drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T message = std::move(queue_.front());
+    queue_.pop_front();
+    return message;
+  }
+
+  /// No further pushes succeed; blocked pops wake and drain.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace hp::freertr

@@ -1,0 +1,162 @@
+#include "freertr/parser.hpp"
+
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hp::freertr {
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("line " + std::to_string(line) + ": " + message);
+}
+
+unsigned parse_uint(const std::string& text, std::size_t line,
+                    const std::string& what) {
+  if (text.empty()) fail(line, what + " missing");
+  unsigned value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') fail(line, what + " is not a number: " + text);
+    value = value * 10 + static_cast<unsigned>(c - '0');
+  }
+  return value;
+}
+
+}  // namespace
+
+void parse_config(const std::string& text, RouterConfig& config) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::optional<PolkaTunnel> open_tunnel;
+
+  auto flush_tunnel = [&](std::size_t at_line) {
+    if (!open_tunnel) return;
+    if (open_tunnel->domain_path.empty()) {
+      fail(at_line, "tunnel" + std::to_string(open_tunnel->id) +
+                        " has no domain-name");
+    }
+    config.upsert_tunnel(std::move(*open_tunnel));
+    open_tunnel.reset();
+  };
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto tokens = tokenize(line);
+    if (tokens.empty() || tokens[0][0] == '!') continue;
+    const std::string& head = tokens[0];
+
+    if (open_tunnel) {
+      // Inside an interface tunnel block.
+      if (head == "exit") {
+        flush_tunnel(line_no);
+        continue;
+      }
+      if (head == "tunnel" && tokens.size() >= 2) {
+        const std::string& sub = tokens[1];
+        if (sub == "destination") {
+          if (tokens.size() != 3) fail(line_no, "tunnel destination <ip>");
+          (void)parse_ipv4(tokens[2]);  // validate
+          open_tunnel->destination_ip = tokens[2];
+          continue;
+        }
+        if (sub == "domain-name") {
+          if (tokens.size() < 4) {
+            fail(line_no, "tunnel domain-name needs >= 2 routers");
+          }
+          open_tunnel->domain_path.assign(tokens.begin() + 2, tokens.end());
+          continue;
+        }
+        if (sub == "mode") {
+          if (tokens.size() != 3) fail(line_no, "tunnel mode <name>");
+          open_tunnel->mode = tokens[2];
+          continue;
+        }
+      }
+      fail(line_no, "unknown tunnel sub-command: " + line);
+    }
+
+    if (head == "access-list") {
+      // access-list <name> permit <proto> <src> <dst> [tos <n>]
+      if (tokens.size() < 6 || tokens[2] != "permit") {
+        fail(line_no, "access-list <name> permit <proto> <src> <dst> [tos n]");
+      }
+      AccessList acl;
+      acl.name = tokens[1];
+      acl.protocol = parse_uint(tokens[3], line_no, "protocol");
+      try {
+        acl.source = Prefix::parse(tokens[4]);
+        acl.destination = Prefix::parse(tokens[5]);
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+      if (tokens.size() == 8 && tokens[6] == "tos") {
+        acl.tos = parse_uint(tokens[7], line_no, "tos");
+      } else if (tokens.size() != 6) {
+        fail(line_no, "trailing tokens on access-list");
+      }
+      config.upsert_access_list(std::move(acl));
+      continue;
+    }
+
+    if (head == "interface") {
+      if (tokens.size() != 2 || tokens[1].rfind("tunnel", 0) != 0) {
+        fail(line_no, "interface tunnel<N>");
+      }
+      PolkaTunnel tunnel;
+      tunnel.id = parse_uint(tokens[1].substr(6), line_no, "tunnel id");
+      open_tunnel = std::move(tunnel);
+      continue;
+    }
+
+    if (head == "pbr") {
+      // pbr <acl> tunnel <N> nexthop <ip>
+      if (tokens.size() != 6 || tokens[2] != "tunnel" ||
+          tokens[4] != "nexthop") {
+        fail(line_no, "pbr <acl> tunnel <N> nexthop <ip>");
+      }
+      PbrEntry entry;
+      entry.access_list = tokens[1];
+      entry.tunnel_id = parse_uint(tokens[3], line_no, "tunnel id");
+      (void)parse_ipv4(tokens[5]);
+      entry.nexthop_ip = tokens[5];
+      try {
+        config.set_pbr(std::move(entry));
+      } catch (const std::invalid_argument& e) {
+        fail(line_no, e.what());
+      }
+      continue;
+    }
+
+    if (head == "no") {
+      if (tokens.size() == 3 && tokens[1] == "pbr") {
+        config.remove_pbr(tokens[2]);
+        continue;
+      }
+      fail(line_no, "only 'no pbr <acl>' is supported");
+    }
+
+    if (head == "exit") continue;  // stray exit at top level is harmless
+
+    fail(line_no, "unknown command: " + head);
+  }
+  flush_tunnel(line_no);
+}
+
+RouterConfig parse_config(const std::string& text) {
+  RouterConfig config;
+  parse_config(text, config);
+  return config;
+}
+
+}  // namespace hp::freertr

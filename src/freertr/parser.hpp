@@ -1,0 +1,38 @@
+#pragma once
+// Parser for the freeRtr-style command subset used by the framework.
+//
+// Grammar (one command per line; blank lines and '!' comments ignored):
+//   access-list <name> permit <proto> <src-cidr> <dst-cidr> [tos <n>]
+//   interface tunnel<N>
+//    tunnel destination <ip>
+//    tunnel domain-name <R1> <R2> ...
+//    tunnel mode polka
+//   exit
+//   pbr <acl> tunnel <N> nexthop <ip>
+//   no pbr <acl>
+//
+// parse_config applies commands to a RouterConfig, so round-tripping
+// RouterConfig::to_text() through the parser reproduces the config.
+
+#include <string>
+
+#include "freertr/config_model.hpp"
+
+namespace hp::freertr {
+
+/// Error with the offending line number and message.
+struct ParseError {
+  std::size_t line = 0;
+  std::string message;
+};
+
+/// Parse `text` and apply every command to `config`.  Throws
+/// std::invalid_argument with "line N: ..." on the first error; the
+/// config may be partially updated at that point (callers that need
+/// atomicity parse into a scratch copy first).
+void parse_config(const std::string& text, RouterConfig& config);
+
+/// Parse into a fresh config (atomic convenience).
+[[nodiscard]] RouterConfig parse_config(const std::string& text);
+
+}  // namespace hp::freertr

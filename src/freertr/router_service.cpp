@@ -1,0 +1,28 @@
+#include "freertr/router_service.hpp"
+
+namespace hp::freertr {
+
+std::size_t RouterConfigService::process_pending() {
+  std::size_t processed = 0;
+  while (auto message = queue_.try_pop()) {
+    ConfigAck ack;
+    ack.message_id = message->id;
+    // Apply atomically: parse into a scratch copy, commit on success.
+    RouterConfig scratch = config_;
+    try {
+      parse_config(message->commands, scratch);
+      config_ = std::move(scratch);
+      ack.ok = true;
+      ack.revision = config_.revision();
+    } catch (const std::invalid_argument& e) {
+      ack.ok = false;
+      ack.revision = config_.revision();
+      ack.error = e.what();
+    }
+    acks_.push_back(std::move(ack));
+    ++processed;
+  }
+  return processed;
+}
+
+}  // namespace hp::freertr

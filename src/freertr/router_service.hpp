@@ -1,0 +1,67 @@
+#pragma once
+// Router reconfiguration service.
+//
+// "A service receives these messages, applies the necessary commands to
+// reconfigure FreeRtr, and then ensures the router operates with the
+// updated configuration" (paper Section V-C1).  ConfigMessages carry
+// command text; the service applies them to the router's RouterConfig
+// and records an ack (applied revision or error) per message.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "freertr/config_model.hpp"
+#include "freertr/message_queue.hpp"
+#include "freertr/parser.hpp"
+
+namespace hp::freertr {
+
+/// A reconfiguration request sent through the message queue.
+struct ConfigMessage {
+  std::uint64_t id = 0;        ///< sender-assigned correlation id
+  std::string commands;        ///< freeRtr command text (see parser.hpp)
+};
+
+/// Result of applying one ConfigMessage.
+struct ConfigAck {
+  std::uint64_t message_id = 0;
+  bool ok = false;
+  std::uint64_t revision = 0;  ///< config revision after applying
+  std::string error;           ///< parse/apply error when !ok
+};
+
+/// Applies queued configuration messages to a router config.
+class RouterConfigService {
+ public:
+  explicit RouterConfigService(std::string router_name)
+      : router_name_(std::move(router_name)) {}
+
+  /// The queue producers push into.
+  [[nodiscard]] MessageQueue<ConfigMessage>& queue() noexcept {
+    return queue_;
+  }
+
+  /// Drain currently queued messages (non-blocking), applying each.
+  /// Returns the number of messages processed.  A message that fails to
+  /// parse leaves the configuration untouched (atomic apply).
+  std::size_t process_pending();
+
+  [[nodiscard]] const RouterConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const std::vector<ConfigAck>& acks() const noexcept {
+    return acks_;
+  }
+  [[nodiscard]] const std::string& router_name() const noexcept {
+    return router_name_;
+  }
+
+ private:
+  std::string router_name_;
+  MessageQueue<ConfigMessage> queue_;
+  RouterConfig config_;
+  std::vector<ConfigAck> acks_;
+};
+
+}  // namespace hp::freertr

@@ -1,0 +1,36 @@
+#include "gf2/crt.hpp"
+
+#include <stdexcept>
+
+namespace hp::gf2 {
+
+Poly crt(std::span<const Congruence> system) {
+  if (system.empty()) throw std::domain_error("crt: empty system");
+  CrtAccumulator acc;
+  for (const Congruence& c : system) acc.add(c);
+  return acc.solution();
+}
+
+Poly crt(const std::vector<Congruence>& system) {
+  return crt(std::span<const Congruence>(system));
+}
+
+void CrtAccumulator::add(const Congruence& c) {
+  if (c.modulus.is_zero()) throw std::domain_error("crt: zero modulus");
+  // Solve x == solution_ (mod modulus_), x == c.residue (mod c.modulus):
+  //   x = solution_ + modulus_ * k, where
+  //   k == (c.residue - solution_) * modulus_^{-1}  (mod c.modulus).
+  const Poly diff = (c.residue + solution_) % c.modulus;
+  Poly inv;
+  try {
+    inv = inverse_mod(modulus_, c.modulus);
+  } catch (const std::domain_error&) {
+    throw std::domain_error("crt: moduli are not pairwise coprime");
+  }
+  const Poly k = (diff * inv) % c.modulus;
+  solution_ = solution_ + modulus_ * k;
+  modulus_ = modulus_ * c.modulus;
+  solution_ = solution_ % modulus_;
+}
+
+}  // namespace hp::gf2

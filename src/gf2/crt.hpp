@@ -1,0 +1,51 @@
+#pragma once
+// Chinese Remainder Theorem over GF(2)[t].
+//
+// This is the heart of PolKA's route encoding: given core nodes with
+// pairwise-coprime nodeIDs m_i and desired output-port polynomials r_i,
+// the routeID is the unique polynomial R with deg R < deg(prod m_i) and
+// R mod m_i == r_i for every hop.
+
+#include <span>
+#include <vector>
+
+#include "gf2/poly.hpp"
+
+namespace hp::gf2 {
+
+/// One congruence R == residue (mod modulus).
+struct Congruence {
+  Poly residue;
+  Poly modulus;
+};
+
+/// Solve a CRT system.  Requirements (checked, throws std::domain_error):
+/// at least one congruence, every modulus nonzero with pairwise GCD 1,
+/// and deg(residue) < deg(modulus) is *not* required (residues are
+/// reduced first).  Returns the unique solution of degree less than the
+/// degree of the product of the moduli.
+[[nodiscard]] Poly crt(std::span<const Congruence> system);
+
+/// Convenience overload.
+[[nodiscard]] Poly crt(const std::vector<Congruence>& system);
+
+/// Incremental CRT combiner: fold congruences in one at a time.  Useful
+/// when building a routeID hop by hop (e.g. extending a tunnel).
+class CrtAccumulator {
+ public:
+  /// Current combined solution (zero before any congruence is added).
+  [[nodiscard]] const Poly& solution() const noexcept { return solution_; }
+
+  /// Product of the moduli folded so far (one initially).
+  [[nodiscard]] const Poly& modulus() const noexcept { return modulus_; }
+
+  /// Fold in one more congruence; the new modulus must be coprime with
+  /// the accumulated product (throws std::domain_error otherwise).
+  void add(const Congruence& c);
+
+ private:
+  Poly solution_{};
+  Poly modulus_{1};
+};
+
+}  // namespace hp::gf2

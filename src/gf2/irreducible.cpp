@@ -1,0 +1,96 @@
+#include "gf2/irreducible.hpp"
+
+#include <stdexcept>
+
+namespace hp::gf2 {
+
+namespace {
+
+std::vector<unsigned> prime_factors(unsigned n) {
+  std::vector<unsigned> out;
+  for (unsigned p = 2; p * p <= n; ++p) {
+    if (n % p == 0) {
+      out.push_back(p);
+      while (n % p == 0) n /= p;
+    }
+  }
+  if (n > 1) out.push_back(n);
+  return out;
+}
+
+}  // namespace
+
+bool is_irreducible(const Poly& f) {
+  const int d = f.degree();
+  if (d < 1) return false;
+  if (d == 1) return true;  // t and t+1 are irreducible.
+  const Poly t = Poly::monomial(1);
+  // t^(2^d) mod f must come back to t.
+  if (frobenius_pow(t, static_cast<unsigned>(d), f) != t % f) return false;
+  for (unsigned p : prime_factors(static_cast<unsigned>(d))) {
+    const unsigned k = static_cast<unsigned>(d) / p;
+    const Poly h = frobenius_pow(t, k, f) + t % f;  // t^(2^k) - t mod f
+    if (!gcd(h, f).is_one()) return false;
+  }
+  return true;
+}
+
+std::vector<Poly> irreducible_of_degree(unsigned degree) {
+  if (degree == 0) return {};
+  if (degree > 24) {
+    throw std::invalid_argument(
+        "irreducible_of_degree: exhaustive scan capped at degree 24");
+  }
+  std::vector<Poly> out;
+  const std::uint64_t lead = std::uint64_t{1} << degree;
+  for (std::uint64_t low = 0; low < lead; ++low) {
+    // Cheap sieves: an irreducible polynomial of degree >= 1 must have a
+    // nonzero constant term (else divisible by t) and an odd number of
+    // terms (else t+1 divides it), except for degree 1 itself.
+    const Poly f(lead | low);
+    if (degree > 1) {
+      if ((low & 1) == 0) continue;
+      if (f.popcount() % 2 == 0) continue;
+    }
+    if (is_irreducible(f)) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<Poly> first_irreducible(std::size_t count, unsigned min_degree) {
+  std::vector<Poly> out;
+  out.reserve(count);
+  for (unsigned d = min_degree == 0 ? 1 : min_degree; out.size() < count; ++d) {
+    for (const Poly& f : irreducible_of_degree(d)) {
+      out.push_back(f);
+      if (out.size() == count) break;
+    }
+  }
+  return out;
+}
+
+std::size_t count_irreducible(unsigned degree) {
+  if (degree == 0) return 0;
+  // (1/n) * sum_{d | n} mu(n/d) 2^d
+  auto moebius = [](unsigned n) -> int {
+    int mu = 1;
+    for (unsigned p = 2; p * p <= n; ++p) {
+      if (n % p == 0) {
+        n /= p;
+        if (n % p == 0) return 0;
+        mu = -mu;
+      }
+    }
+    if (n > 1) mu = -mu;
+    return mu;
+  };
+  long long sum = 0;
+  for (unsigned d = 1; d <= degree; ++d) {
+    if (degree % d == 0) {
+      sum += static_cast<long long>(moebius(degree / d)) * (1LL << d);
+    }
+  }
+  return static_cast<std::size_t>(sum / degree);
+}
+
+}  // namespace hp::gf2

@@ -1,0 +1,37 @@
+#pragma once
+// Irreducibility testing and enumeration of GF(2) polynomials.
+//
+// PolKA assigns every core node a polynomial nodeID.  CRT requires the
+// nodeIDs to be pairwise coprime; choosing *irreducible* polynomials of
+// possibly different degrees makes any set of distinct ones pairwise
+// coprime automatically, which is how the node-ID allocator works.
+
+#include <cstddef>
+#include <vector>
+
+#include "gf2/poly.hpp"
+
+namespace hp::gf2 {
+
+/// Rabin irreducibility test over GF(2).
+///
+/// f of degree d is irreducible iff t^(2^d) == t (mod f) and, for each
+/// prime p dividing d, gcd(t^(2^(d/p)) - t, f) == 1.  Degree-0 and the
+/// zero polynomial are not irreducible by convention.
+[[nodiscard]] bool is_irreducible(const Poly& f);
+
+/// All irreducible polynomials of exactly `degree`, in increasing
+/// bit-value order.  Cost is O(2^degree * test); intended for the small
+/// degrees PolKA uses for node IDs (<= ~20).
+[[nodiscard]] std::vector<Poly> irreducible_of_degree(unsigned degree);
+
+/// The first `count` irreducible polynomials with degree >= `min_degree`,
+/// scanning degrees upward.  Always returns exactly `count` elements.
+[[nodiscard]] std::vector<Poly> first_irreducible(std::size_t count,
+                                                  unsigned min_degree);
+
+/// Number of monic irreducible polynomials of degree n over GF(2),
+/// by the necklace-counting (Moebius) formula.  Useful for tests.
+[[nodiscard]] std::size_t count_irreducible(unsigned degree);
+
+}  // namespace hp::gf2

@@ -1,0 +1,296 @@
+#include "gf2/poly.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp::gf2 {
+
+namespace {
+constexpr unsigned kWordBits = 64;
+}  // namespace
+
+Poly::Poly(std::uint64_t bits) {
+  if (bits != 0) words_.push_back(bits);
+}
+
+Poly Poly::from_exponents(std::initializer_list<unsigned> exponents) {
+  Poly p;
+  for (unsigned e : exponents) p.set_coeff(e, !p.coeff(e));
+  return p;
+}
+
+Poly Poly::from_binary_string(std::string_view bits) {
+  Poly p;
+  const std::size_t n = bits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = bits[i];
+    if (c != '0' && c != '1') {
+      throw std::invalid_argument("Poly::from_binary_string: bad digit");
+    }
+    if (c == '1') p.set_coeff(static_cast<unsigned>(n - 1 - i), true);
+  }
+  return p;
+}
+
+Poly Poly::monomial(unsigned k) {
+  Poly p;
+  p.set_coeff(k, true);
+  return p;
+}
+
+int Poly::degree() const noexcept {
+  if (words_.empty()) return -1;
+  const std::uint64_t top = words_.back();
+  const int top_bit = kWordBits - 1 - std::countl_zero(top);
+  return static_cast<int>((words_.size() - 1) * kWordBits) + top_bit;
+}
+
+bool Poly::coeff(unsigned i) const noexcept {
+  const std::size_t w = i / kWordBits;
+  if (w >= words_.size()) return false;
+  return (words_[w] >> (i % kWordBits)) & 1U;
+}
+
+void Poly::set_coeff(unsigned i, bool value) {
+  const std::size_t w = i / kWordBits;
+  if (value) {
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    words_[w] |= std::uint64_t{1} << (i % kWordBits);
+  } else if (w < words_.size()) {
+    words_[w] &= ~(std::uint64_t{1} << (i % kWordBits));
+    normalize();
+  }
+}
+
+std::size_t Poly::popcount() const noexcept {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+std::uint64_t Poly::to_uint64() const {
+  if (words_.empty()) return 0;
+  if (words_.size() > 1) {
+    throw std::overflow_error("Poly::to_uint64: degree >= 64");
+  }
+  return words_[0];
+}
+
+std::string Poly::to_string() const {
+  if (is_zero()) return "0";
+  std::ostringstream os;
+  bool first = true;
+  for (int i = degree(); i >= 0; --i) {
+    if (!coeff(static_cast<unsigned>(i))) continue;
+    if (!first) os << " + ";
+    first = false;
+    if (i == 0) {
+      os << "1";
+    } else if (i == 1) {
+      os << "t";
+    } else {
+      os << "t^" << i;
+    }
+  }
+  return os.str();
+}
+
+std::string Poly::to_binary_string() const {
+  const int d = degree();
+  if (d < 0) return "0";
+  std::string s;
+  s.reserve(static_cast<std::size_t>(d) + 1);
+  for (int i = d; i >= 0; --i) {
+    s.push_back(coeff(static_cast<unsigned>(i)) ? '1' : '0');
+  }
+  return s;
+}
+
+Poly operator+(const Poly& a, const Poly& b) {
+  Poly r = a;
+  r += b;
+  return r;
+}
+
+Poly& Poly::operator+=(const Poly& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  normalize();
+  return *this;
+}
+
+Poly operator*(const Poly& a, const Poly& b) {
+  if (a.is_zero() || b.is_zero()) return Poly{};
+  // Schoolbook carry-less multiply: accumulate b shifted to every set
+  // bit position of a.  Word-level shifted XOR keeps this O(da*db/64).
+  const int da = a.degree();
+  const int db = b.degree();
+  Poly r;
+  r.words_.assign((static_cast<std::size_t>(da + db) / kWordBits) + 1, 0);
+  for (std::size_t wi = 0; wi < a.words_.size(); ++wi) {
+    std::uint64_t bits = a.words_[wi];
+    while (bits != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(bits));
+      bits &= bits - 1;
+      const unsigned shift = static_cast<unsigned>(wi) * kWordBits + bit;
+      const unsigned word_shift = shift / kWordBits;
+      const unsigned bit_shift = shift % kWordBits;
+      for (std::size_t bj = 0; bj < b.words_.size(); ++bj) {
+        const std::uint64_t w = b.words_[bj];
+        r.words_[bj + word_shift] ^= w << bit_shift;
+        if (bit_shift != 0 && bj + word_shift + 1 < r.words_.size()) {
+          r.words_[bj + word_shift + 1] ^= w >> (kWordBits - bit_shift);
+        }
+      }
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+Poly& Poly::operator*=(const Poly& other) {
+  *this = *this * other;
+  return *this;
+}
+
+Poly Poly::shifted_left(unsigned k) const {
+  if (is_zero() || k == 0) {
+    Poly r = *this;
+    return r;
+  }
+  const unsigned word_shift = k / kWordBits;
+  const unsigned bit_shift = k % kWordBits;
+  Poly r;
+  r.words_.assign(words_.size() + word_shift + 1, 0);
+  for (std::size_t i = 0; i < words_.size(); ++i) {
+    r.words_[i + word_shift] ^= words_[i] << bit_shift;
+    if (bit_shift != 0) {
+      r.words_[i + word_shift + 1] ^= words_[i] >> (kWordBits - bit_shift);
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+DivMod divmod(const Poly& a, const Poly& b) {
+  if (b.is_zero()) throw std::domain_error("Poly::divmod: division by zero");
+  DivMod out;
+  out.remainder = a;
+  const int db = b.degree();
+  int dr = out.remainder.degree();
+  while (dr >= db) {
+    const unsigned shift = static_cast<unsigned>(dr - db);
+    out.remainder += b.shifted_left(shift);
+    out.quotient.set_coeff(shift, true);
+    dr = out.remainder.degree();
+  }
+  return out;
+}
+
+Poly operator/(const Poly& a, const Poly& b) {
+  return divmod(a, b).quotient;
+}
+
+Poly operator%(const Poly& a, const Poly& b) {
+  return divmod(a, b).remainder;
+}
+
+Poly Poly::squared() const {
+  // Squaring in GF(2)[t] interleaves zero bits between coefficients:
+  // (sum c_i t^i)^2 = sum c_i t^(2i), because cross terms appear twice.
+  Poly r;
+  const int d = degree();
+  if (d < 0) return r;
+  r.words_.assign((static_cast<std::size_t>(2 * d) / kWordBits) + 1, 0);
+  for (int i = 0; i <= d; ++i) {
+    if (coeff(static_cast<unsigned>(i))) {
+      const unsigned j = static_cast<unsigned>(2 * i);
+      r.words_[j / kWordBits] |= std::uint64_t{1} << (j % kWordBits);
+    }
+  }
+  r.normalize();
+  return r;
+}
+
+std::strong_ordering operator<=>(const Poly& a, const Poly& b) noexcept {
+  if (a.words_.size() != b.words_.size()) {
+    return a.words_.size() <=> b.words_.size();
+  }
+  for (std::size_t i = a.words_.size(); i-- > 0;) {
+    if (a.words_[i] != b.words_[i]) return a.words_[i] <=> b.words_[i];
+  }
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Poly& p) {
+  return os << p.to_string();
+}
+
+std::size_t Poly::hash() const noexcept {
+  std::size_t h = 1469598103934665603ULL;
+  for (std::uint64_t w : words_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+void Poly::normalize() noexcept {
+  while (!words_.empty() && words_.back() == 0) words_.pop_back();
+}
+
+Poly gcd(Poly a, Poly b) {
+  while (!b.is_zero()) {
+    Poly r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+Egcd extended_gcd(const Poly& a, const Poly& b) {
+  // Iterative extended Euclid maintaining r = u*a + v*b invariants.
+  Poly r0 = a, r1 = b;
+  Poly u0(1), u1;
+  Poly v0, v1(1);
+  while (!r1.is_zero()) {
+    const auto qr = divmod(r0, r1);
+    Poly r2 = qr.remainder;
+    Poly u2 = u0 + qr.quotient * u1;
+    Poly v2 = v0 + qr.quotient * v1;
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    u0 = std::move(u1);
+    u1 = std::move(u2);
+    v0 = std::move(v1);
+    v1 = std::move(v2);
+  }
+  return Egcd{std::move(r0), std::move(u0), std::move(v0)};
+}
+
+Poly inverse_mod(const Poly& a, const Poly& m) {
+  const Egcd e = extended_gcd(a % m, m);
+  if (!e.g.is_one()) {
+    throw std::domain_error("inverse_mod: element not invertible");
+  }
+  return e.u % m;
+}
+
+Poly mulmod(const Poly& a, const Poly& b, const Poly& m) {
+  return (a * b) % m;
+}
+
+Poly frobenius_pow(const Poly& a, unsigned k, const Poly& m) {
+  Poly r = a % m;
+  for (unsigned i = 0; i < k; ++i) r = r.squared() % m;
+  return r;
+}
+
+}  // namespace hp::gf2

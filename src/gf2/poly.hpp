@@ -1,0 +1,153 @@
+#pragma once
+// GF(2) polynomial arithmetic.
+//
+// PolKA encodes a whole network path into a single route identifier using
+// the Chinese Remainder Theorem over the ring GF(2)[t].  Every core node
+// owns a polynomial nodeID; the packet's routeID is the unique polynomial
+// whose remainder modulo each nodeID equals that node's output-port
+// polynomial.  This header provides the ring: addition (XOR), carry-less
+// multiplication, Euclidean division, (extended) GCD and modular inverses.
+//
+// Representation: coefficient bit-vector packed into 64-bit words, little
+// endian (bit i of the vector is the coefficient of t^i).  The value is
+// kept normalized (no trailing zero words), so degree() is O(1) on the
+// top word.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hp::gf2 {
+
+/// A polynomial over GF(2) of arbitrary degree.
+///
+/// Value-semantic and cheap to move.  The zero polynomial has
+/// degree() == -1 by convention.
+class Poly {
+ public:
+  /// Zero polynomial.
+  Poly() = default;
+
+  /// Polynomial from the low 64 coefficient bits (bit i => t^i).
+  /// `Poly(0b111)` is t^2 + t + 1.
+  explicit Poly(std::uint64_t bits);
+
+  /// Polynomial with exactly the coefficients listed in `exponents`
+  /// set (duplicates cancel, as befits characteristic 2).
+  static Poly from_exponents(std::initializer_list<unsigned> exponents);
+
+  /// Parse a binary coefficient string, most-significant coefficient
+  /// first: "10011" is t^4 + t + 1.  Throws std::invalid_argument on
+  /// anything but '0'/'1' (empty string is the zero polynomial).
+  static Poly from_binary_string(std::string_view bits);
+
+  /// The monomial t^k.
+  static Poly monomial(unsigned k);
+
+  /// Degree, or -1 for the zero polynomial.
+  [[nodiscard]] int degree() const noexcept;
+
+  [[nodiscard]] bool is_zero() const noexcept { return words_.empty(); }
+  [[nodiscard]] bool is_one() const noexcept {
+    return words_.size() == 1 && words_[0] == 1;
+  }
+
+  /// Coefficient of t^i (0 or 1); i past the degree reads as 0.
+  [[nodiscard]] bool coeff(unsigned i) const noexcept;
+
+  /// Set/clear the coefficient of t^i.
+  void set_coeff(unsigned i, bool value);
+
+  /// Number of nonzero coefficients.
+  [[nodiscard]] std::size_t popcount() const noexcept;
+
+  /// Value of the low 64 coefficient bits.  Throws std::overflow_error
+  /// if the degree is 64 or higher (information would be lost).
+  [[nodiscard]] std::uint64_t to_uint64() const;
+
+  /// Human-readable algebraic form, e.g. "t^3 + t + 1"; "0" for zero.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Binary coefficient string, most-significant first ("1011").
+  [[nodiscard]] std::string to_binary_string() const;
+
+  // --- ring operations ------------------------------------------------
+
+  /// Addition == subtraction == XOR in characteristic 2.
+  friend Poly operator+(const Poly& a, const Poly& b);
+  Poly& operator+=(const Poly& other);
+
+  /// Carry-less multiplication.
+  friend Poly operator*(const Poly& a, const Poly& b);
+  Poly& operator*=(const Poly& other);
+
+  /// Multiply by t^k (left shift of the coefficient vector).
+  [[nodiscard]] Poly shifted_left(unsigned k) const;
+
+  friend Poly operator/(const Poly& a, const Poly& b);
+  friend Poly operator%(const Poly& a, const Poly& b);
+
+  /// The square of this polynomial (bit-interleave; cheaper than *).
+  [[nodiscard]] Poly squared() const;
+
+  friend bool operator==(const Poly& a, const Poly& b) noexcept = default;
+
+  /// Lexicographic-by-value ordering (interprets the coefficient vector
+  /// as a big integer); gives a total order usable for std::map / sort.
+  friend std::strong_ordering operator<=>(const Poly& a,
+                                          const Poly& b) noexcept;
+
+  friend std::ostream& operator<<(std::ostream& os, const Poly& p);
+
+  /// FNV-style hash of the coefficient words, for unordered containers.
+  [[nodiscard]] std::size_t hash() const noexcept;
+
+ private:
+  void normalize() noexcept;
+
+  std::vector<std::uint64_t> words_;
+};
+
+/// Quotient and remainder of Euclidean division.
+struct DivMod {
+  Poly quotient;
+  Poly remainder;
+};
+
+/// Euclidean division; divisor must be nonzero (throws
+/// std::domain_error otherwise).  deg(remainder) < deg(b).
+[[nodiscard]] DivMod divmod(const Poly& a, const Poly& b);
+
+/// Greatest common divisor (monic by construction in GF(2)).
+[[nodiscard]] Poly gcd(Poly a, Poly b);
+
+/// Extended GCD: returns {g, u, v} with u*a + v*b == g.
+struct Egcd {
+  Poly g;
+  Poly u;
+  Poly v;
+};
+[[nodiscard]] Egcd extended_gcd(const Poly& a, const Poly& b);
+
+/// Inverse of `a` modulo `m`; throws std::domain_error when
+/// gcd(a, m) != 1 (no inverse exists).
+[[nodiscard]] Poly inverse_mod(const Poly& a, const Poly& m);
+
+/// a * b mod m without forming the full product's intermediate growth
+/// beyond one reduction (convenience; semantically (a*b) % m).
+[[nodiscard]] Poly mulmod(const Poly& a, const Poly& b, const Poly& m);
+
+/// a^(2^k) mod m via k repeated squarings (Frobenius iterate).
+[[nodiscard]] Poly frobenius_pow(const Poly& a, unsigned k, const Poly& m);
+
+}  // namespace hp::gf2
+
+template <>
+struct std::hash<hp::gf2::Poly> {
+  std::size_t operator()(const hp::gf2::Poly& p) const noexcept {
+    return p.hash();
+  }
+};

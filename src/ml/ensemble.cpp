@@ -1,0 +1,243 @@
+#include "ml/ensemble.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace hp::ml {
+
+namespace {
+
+/// Draw a bootstrap sample (with replacement) of row indices.
+std::vector<std::size_t> bootstrap_indices(std::size_t n,
+                                           std::mt19937_64& rng) {
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = pick(rng);
+  return idx;
+}
+
+/// Gather y at idx.
+Vector gather(const Vector& y, const std::vector<std::size_t>& idx) {
+  Vector out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) out[i] = y[idx[i]];
+  return out;
+}
+
+/// Weighted sampling with replacement proportional to `weights`
+/// (AdaBoost.R2 trains base learners on reweighted bootstrap samples).
+std::vector<std::size_t> weighted_bootstrap(const Vector& weights,
+                                            std::mt19937_64& rng) {
+  std::discrete_distribution<std::size_t> pick(weights.begin(),
+                                               weights.end());
+  std::vector<std::size_t> idx(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) idx[i] = pick(rng);
+  return idx;
+}
+
+}  // namespace
+
+// --- BaggingRegressor ---------------------------------------------------
+
+void BaggingRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  trees_.clear();
+  trees_.reserve(n_estimators_);
+  std::mt19937_64 rng(seed_);
+  for (unsigned m = 0; m < n_estimators_; ++m) {
+    const auto idx = bootstrap_indices(x.rows(), rng);
+    TreeParams params = base_;
+    params.seed = rng();
+    DecisionTreeRegressor tree(params);
+    tree.fit(x.rows_subset(idx), gather(y, idx));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+Vector BaggingRegressor::predict(const Matrix& x) const {
+  check_is_fitted(!trees_.empty());
+  Vector out(x.rows(), 0.0);
+  for (const auto& tree : trees_) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      out[i] += tree.predict_one(x.row_data(i));
+    }
+  }
+  for (double& v : out) v /= static_cast<double>(trees_.size());
+  return out;
+}
+
+std::unique_ptr<Regressor> BaggingRegressor::clone() const {
+  return std::make_unique<BaggingRegressor>(n_estimators_, seed_, base_);
+}
+
+// --- RandomForestRegressor ----------------------------------------------
+
+void RandomForestRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  trees_.clear();
+  trees_.reserve(n_estimators_);
+  std::mt19937_64 rng(seed_);
+  for (unsigned m = 0; m < n_estimators_; ++m) {
+    const auto idx = bootstrap_indices(x.rows(), rng);
+    TreeParams params;
+    params.max_features = max_features_;
+    params.seed = rng();
+    DecisionTreeRegressor tree(params);
+    tree.fit(x.rows_subset(idx), gather(y, idx));
+    trees_.push_back(std::move(tree));
+  }
+}
+
+Vector RandomForestRegressor::predict(const Matrix& x) const {
+  check_is_fitted(!trees_.empty());
+  Vector out(x.rows(), 0.0);
+  for (const auto& tree : trees_) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      out[i] += tree.predict_one(x.row_data(i));
+    }
+  }
+  for (double& v : out) v /= static_cast<double>(trees_.size());
+  return out;
+}
+
+std::unique_ptr<Regressor> RandomForestRegressor::clone() const {
+  return std::make_unique<RandomForestRegressor>(n_estimators_, max_features_,
+                                                 seed_);
+}
+
+// --- AdaBoostRegressor (AdaBoost.R2) --------------------------------------
+
+void AdaBoostRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  trees_.clear();
+  learner_weights_.clear();
+  const std::size_t n = x.rows();
+  Vector sample_weights(n, 1.0 / static_cast<double>(n));
+  std::mt19937_64 rng(seed_);
+
+  for (unsigned m = 0; m < n_estimators_; ++m) {
+    const auto idx = weighted_bootstrap(sample_weights, rng);
+    TreeParams params;
+    params.max_depth = 3;  // sklearn default base estimator
+    params.seed = rng();
+    DecisionTreeRegressor tree(params);
+    tree.fit(x.rows_subset(idx), gather(y, idx));
+
+    // Linear loss normalized by the max absolute error.
+    Vector err(n);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err[i] = std::abs(tree.predict_one(x.row_data(i)) - y[i]);
+      max_err = std::max(max_err, err[i]);
+    }
+    if (max_err <= 0.0) {  // perfect learner; keep it and stop
+      trees_.push_back(std::move(tree));
+      learner_weights_.push_back(1.0);
+      break;
+    }
+    double avg_loss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      err[i] /= max_err;
+      avg_loss += err[i] * sample_weights[i];
+    }
+    if (avg_loss >= 0.5) {
+      // Worse than chance: discard and stop (Drucker's rule), unless it
+      // is the very first learner (keep something usable).
+      if (trees_.empty()) {
+        trees_.push_back(std::move(tree));
+        learner_weights_.push_back(1e-3);
+      }
+      break;
+    }
+    const double beta = avg_loss / (1.0 - avg_loss);
+    // Reweight: hard examples gain mass.
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sample_weights[i] *= std::pow(beta, learning_rate_ * (1.0 - err[i]));
+      total += sample_weights[i];
+    }
+    for (double& w : sample_weights) w /= total;
+
+    trees_.push_back(std::move(tree));
+    learner_weights_.push_back(learning_rate_ * std::log(1.0 / beta));
+  }
+}
+
+Vector AdaBoostRegressor::predict(const Matrix& x) const {
+  check_is_fitted(!trees_.empty());
+  Vector out(x.rows());
+  // Weighted median of the learners' predictions (AdaBoost.R2 inference).
+  std::vector<std::pair<double, double>> scored(trees_.size());
+  const double half =
+      0.5 * std::accumulate(learner_weights_.begin(), learner_weights_.end(),
+                            0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t m = 0; m < trees_.size(); ++m) {
+      scored[m] = {trees_[m].predict_one(x.row_data(i)),
+                   learner_weights_[m]};
+    }
+    std::sort(scored.begin(), scored.end());
+    double acc = 0.0;
+    double value = scored.back().first;
+    for (const auto& [pred, w] : scored) {
+      acc += w;
+      if (acc >= half) {
+        value = pred;
+        break;
+      }
+    }
+    out[i] = value;
+  }
+  return out;
+}
+
+std::unique_ptr<Regressor> AdaBoostRegressor::clone() const {
+  return std::make_unique<AdaBoostRegressor>(n_estimators_, learning_rate_,
+                                             seed_);
+}
+
+// --- GradientBoostingRegressor --------------------------------------------
+
+void GradientBoostingRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  trees_.clear();
+  trees_.reserve(n_estimators_);
+  init_ = mean(y);
+  Vector residual(y.size());
+  Vector current(y.size(), init_);
+  std::mt19937_64 rng(seed_);
+  for (unsigned m = 0; m < n_estimators_; ++m) {
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      residual[i] = y[i] - current[i];
+    }
+    TreeParams params;
+    params.max_depth = max_depth_;
+    params.seed = rng();
+    DecisionTreeRegressor tree(params);
+    tree.fit(x, residual);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      current[i] += learning_rate_ * tree.predict_one(x.row_data(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+Vector GradientBoostingRegressor::predict(const Matrix& x) const {
+  check_is_fitted(!trees_.empty());
+  Vector out(x.rows(), init_);
+  for (const auto& tree : trees_) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      out[i] += learning_rate_ * tree.predict_one(x.row_data(i));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Regressor> GradientBoostingRegressor::clone() const {
+  return std::make_unique<GradientBoostingRegressor>(
+      n_estimators_, learning_rate_, max_depth_, seed_);
+}
+
+}  // namespace hp::ml

@@ -1,0 +1,133 @@
+#pragma once
+// Tree ensembles (4 of the 18 Hecate models): BaggingRegressor (R3),
+// RandomForestRegressor (R13), AdaBoostRegressor (R1, AdaBoost.R2) and
+// GradientBoostingRegressor (R6).  HistGradientBoosting lives in
+// hist_gbr.hpp.
+//
+// sklearn defaults are kept: Bagging 10 full trees; RandomForest 100
+// full trees on bootstrap samples; AdaBoost.R2 with 50 depth-3 trees and
+// linear loss; GradientBoosting with 100 depth-3 trees at lr 0.1.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/tree.hpp"
+
+namespace hp::ml {
+
+/// Bootstrap-aggregated regression trees (R3:Bagging).
+class BaggingRegressor final : public Regressor {
+ public:
+  explicit BaggingRegressor(unsigned n_estimators = 10,
+                            std::uint64_t seed = 42,
+                            TreeParams base = TreeParams{})
+      : n_estimators_(n_estimators), seed_(seed), base_(base) {}
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override {
+    return "BaggingRegressor";
+  }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+  [[nodiscard]] std::size_t estimator_count() const noexcept {
+    return trees_.size();
+  }
+
+ private:
+  unsigned n_estimators_;
+  std::uint64_t seed_;
+  TreeParams base_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+/// Random forest (R13:RFR): bagging + per-split feature subsampling.
+/// sklearn's regression default max_features=1.0 is kept, so the
+/// decorrelation comes from the bootstrap (matching what the paper ran).
+class RandomForestRegressor final : public Regressor {
+ public:
+  explicit RandomForestRegressor(unsigned n_estimators = 100,
+                                 double max_features = 1.0,
+                                 std::uint64_t seed = 42)
+      : n_estimators_(n_estimators), max_features_(max_features),
+        seed_(seed) {}
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override {
+    return "RandomForestRegressor";
+  }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+  [[nodiscard]] std::size_t estimator_count() const noexcept {
+    return trees_.size();
+  }
+
+ private:
+  unsigned n_estimators_;
+  double max_features_;
+  std::uint64_t seed_;
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+/// AdaBoost.R2 (R1:AdaBoostR) - Drucker's regression boosting with
+/// linear loss; prediction is the weighted *median* of the learners.
+class AdaBoostRegressor final : public Regressor {
+ public:
+  explicit AdaBoostRegressor(unsigned n_estimators = 50,
+                             double learning_rate = 1.0,
+                             std::uint64_t seed = 42)
+      : n_estimators_(n_estimators), learning_rate_(learning_rate),
+        seed_(seed) {}
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override {
+    return "AdaBoostRegressor";
+  }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+  [[nodiscard]] std::size_t estimator_count() const noexcept {
+    return trees_.size();
+  }
+
+ private:
+  unsigned n_estimators_;
+  double learning_rate_;
+  std::uint64_t seed_;
+  std::vector<DecisionTreeRegressor> trees_;
+  Vector learner_weights_;  // ln(1/beta_m)
+};
+
+/// Gradient boosting with squared loss (R6:GBR).
+class GradientBoostingRegressor final : public Regressor {
+ public:
+  explicit GradientBoostingRegressor(unsigned n_estimators = 100,
+                                     double learning_rate = 0.1,
+                                     unsigned max_depth = 3,
+                                     std::uint64_t seed = 42)
+      : n_estimators_(n_estimators), learning_rate_(learning_rate),
+        max_depth_(max_depth), seed_(seed) {}
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override {
+    return "GradientBoostingRegressor";
+  }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+  [[nodiscard]] std::size_t estimator_count() const noexcept {
+    return trees_.size();
+  }
+
+ private:
+  unsigned n_estimators_;
+  double learning_rate_;
+  unsigned max_depth_;
+  std::uint64_t seed_;
+  double init_ = 0.0;  // F_0: the training mean
+  std::vector<DecisionTreeRegressor> trees_;
+};
+
+}  // namespace hp::ml

@@ -1,0 +1,83 @@
+#include "ml/gpr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::ml {
+
+double GaussianProcessRegressor::kernel(const double* a, const double* b,
+                                        std::size_t p) const {
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < p; ++j) {
+    const double d = a[j] - b[j];
+    d2 += d * d;
+  }
+  return std::exp(-0.5 * d2 / (length_scale_ * length_scale_));
+}
+
+void GaussianProcessRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  x_train_ = x;
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(x.row_data(i), x.row_data(j), p);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+    k(i, i) += alpha_;
+  }
+  // A touch more jitter if the Gram matrix is numerically indefinite.
+  for (double jitter = alpha_;; jitter *= 100.0) {
+    try {
+      chol_ = cholesky(k);
+      break;
+    } catch (const std::domain_error&) {
+      if (jitter > 1e-2) throw;
+      for (std::size_t i = 0; i < n; ++i) k(i, i) += jitter * 99.0;
+    }
+  }
+  weights_ = cholesky_solve(chol_, y);
+  fitted_ = true;
+}
+
+Vector GaussianProcessRegressor::predict(const Matrix& x) const {
+  check_is_fitted(fitted_);
+  if (x.cols() != x_train_.cols()) {
+    throw std::invalid_argument("GPR: feature count mismatch");
+  }
+  const std::size_t p = x.cols();
+  Vector out(x.rows(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < x_train_.rows(); ++t) {
+      acc += kernel(x.row_data(i), x_train_.row_data(t), p) * weights_[t];
+    }
+    out[i] = acc;  // zero prior mean, as in sklearn with normalize_y=False
+  }
+  return out;
+}
+
+Vector GaussianProcessRegressor::predict_std(const Matrix& x) const {
+  check_is_fitted(fitted_);
+  const std::size_t p = x.cols();
+  Vector out(x.rows(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    Vector kstar(x_train_.rows());
+    for (std::size_t t = 0; t < x_train_.rows(); ++t) {
+      kstar[t] = kernel(x.row_data(i), x_train_.row_data(t), p);
+    }
+    const Vector v = cholesky_solve(chol_, kstar);
+    double var = kernel(x.row_data(i), x.row_data(i), p) - dot(kstar, v);
+    out[i] = std::sqrt(std::max(var, 0.0));
+  }
+  return out;
+}
+
+std::unique_ptr<Regressor> GaussianProcessRegressor::clone() const {
+  return std::make_unique<GaussianProcessRegressor>(length_scale_, alpha_);
+}
+
+}  // namespace hp::ml

@@ -1,0 +1,246 @@
+#include "ml/hist_gbr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace hp::ml {
+
+namespace {
+
+/// Quantile bin edges for one feature column (at most max_bins bins,
+/// fewer when the column has few distinct values).
+Vector make_bin_edges(Vector values, unsigned max_bins) {
+  std::sort(values.begin(), values.end());
+  values.erase(std::unique(values.begin(), values.end()), values.end());
+  if (values.size() <= max_bins) {
+    // One bin per distinct value: edges at midpoints.
+    Vector edges;
+    edges.reserve(values.size() > 0 ? values.size() - 1 : 0);
+    for (std::size_t i = 0; i + 1 < values.size(); ++i) {
+      edges.push_back(0.5 * (values[i] + values[i + 1]));
+    }
+    return edges;
+  }
+  Vector edges;
+  edges.reserve(max_bins - 1);
+  for (unsigned b = 1; b < max_bins; ++b) {
+    const double q = static_cast<double>(b) / max_bins;
+    const auto pos = static_cast<std::size_t>(
+        q * static_cast<double>(values.size() - 1));
+    edges.push_back(values[pos]);
+  }
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  return edges;
+}
+
+/// Bin index of a raw value (count of edges strictly below it).
+std::uint8_t bin_of(const Vector& edges, double v) {
+  const auto it = std::lower_bound(edges.begin(), edges.end(), v);
+  std::size_t idx = static_cast<std::size_t>(it - edges.begin());
+  // Values equal to an edge fall in the lower bin (edge is inclusive).
+  if (it != edges.end() && v == *it) {
+    // keep idx (v <= edges[idx] -> bin idx)
+  }
+  return static_cast<std::uint8_t>(std::min<std::size_t>(idx, 255));
+}
+
+struct SplitChoice {
+  double gain = -std::numeric_limits<double>::infinity();
+  std::size_t feature = 0;
+  unsigned bin = 0;
+};
+
+}  // namespace
+
+double HistGradientBoostingRegressor::Tree::predict_one(
+    const double* row) const {
+  std::size_t cur = 0;
+  while (nodes[cur].feature != TreeNode::kLeaf) {
+    cur = row[nodes[cur].feature] <= nodes[cur].threshold_value
+              ? nodes[cur].left
+              : nodes[cur].right;
+  }
+  return nodes[cur].value;
+}
+
+HistGradientBoostingRegressor::Tree HistGradientBoostingRegressor::grow_tree(
+    const std::vector<std::vector<std::uint8_t>>& binned,
+    const Vector& gradients) const {
+  const std::size_t n = gradients.size();
+  const double lambda = params_.l2_regularization;
+
+  Tree tree;
+  struct OpenLeaf {
+    std::size_t node;                 // index into tree.nodes
+    std::vector<std::uint32_t> rows;  // samples in this leaf
+    double grad_sum;
+    SplitChoice best;
+  };
+
+  auto leaf_value = [&](double grad_sum, std::size_t count) {
+    return -grad_sum / (static_cast<double>(count) + lambda);
+  };
+
+  auto find_best_split = [&](const OpenLeaf& leaf) {
+    SplitChoice best;
+    const double parent =
+        leaf.grad_sum * leaf.grad_sum /
+        (static_cast<double>(leaf.rows.size()) + lambda);
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      const std::size_t n_bins = bin_edges_[f].size() + 1;
+      if (n_bins < 2) continue;
+      // Per-bin histogram of gradient sums and counts.
+      std::vector<double> hist_grad(n_bins, 0.0);
+      std::vector<std::size_t> hist_count(n_bins, 0);
+      for (const std::uint32_t i : leaf.rows) {
+        const std::uint8_t b = binned[f][i];
+        hist_grad[b] += gradients[i];
+        ++hist_count[b];
+      }
+      double left_grad = 0.0;
+      std::size_t left_count = 0;
+      for (std::size_t b = 0; b + 1 < n_bins; ++b) {
+        left_grad += hist_grad[b];
+        left_count += hist_count[b];
+        const std::size_t right_count = leaf.rows.size() - left_count;
+        if (left_count < params_.min_samples_leaf ||
+            right_count < params_.min_samples_leaf) {
+          continue;
+        }
+        const double right_grad = leaf.grad_sum - left_grad;
+        const double gain =
+            left_grad * left_grad / (static_cast<double>(left_count) + lambda) +
+            right_grad * right_grad /
+                (static_cast<double>(right_count) + lambda) -
+            parent;
+        if (gain > best.gain) {
+          best.gain = gain;
+          best.feature = f;
+          best.bin = static_cast<unsigned>(b);
+        }
+      }
+    }
+    return best;
+  };
+
+  // Root.
+  OpenLeaf root;
+  root.node = 0;
+  root.rows.resize(n);
+  std::iota(root.rows.begin(), root.rows.end(), 0);
+  root.grad_sum = std::accumulate(gradients.begin(), gradients.end(), 0.0);
+  tree.nodes.emplace_back();
+  tree.nodes[0].value = leaf_value(root.grad_sum, n);
+  root.best = find_best_split(root);
+
+  std::vector<OpenLeaf> open;
+  open.push_back(std::move(root));
+  std::size_t leaf_count = 1;
+
+  while (leaf_count < params_.max_leaf_nodes) {
+    // Pick the open leaf with the highest positive gain.
+    std::size_t best_idx = open.size();
+    double best_gain = 1e-12;
+    for (std::size_t i = 0; i < open.size(); ++i) {
+      if (open[i].best.gain > best_gain) {
+        best_gain = open[i].best.gain;
+        best_idx = i;
+      }
+    }
+    if (best_idx == open.size()) break;  // nothing worth splitting
+
+    OpenLeaf leaf = std::move(open[best_idx]);
+    open.erase(open.begin() + static_cast<std::ptrdiff_t>(best_idx));
+
+    const std::size_t f = leaf.best.feature;
+    const unsigned split_bin = leaf.best.bin;
+
+    OpenLeaf left, right;
+    left.grad_sum = right.grad_sum = 0.0;
+    for (const std::uint32_t i : leaf.rows) {
+      if (binned[f][i] <= split_bin) {
+        left.rows.push_back(i);
+        left.grad_sum += gradients[i];
+      } else {
+        right.rows.push_back(i);
+        right.grad_sum += gradients[i];
+      }
+    }
+
+    // Materialize the split.
+    TreeNode& me = tree.nodes[leaf.node];
+    me.feature = f;
+    me.bin_threshold = split_bin;
+    me.threshold_value = bin_edges_[f][split_bin];
+    left.node = tree.nodes.size();
+    tree.nodes.emplace_back();
+    right.node = tree.nodes.size();
+    tree.nodes.emplace_back();
+    tree.nodes[left.node].value = leaf_value(left.grad_sum, left.rows.size());
+    tree.nodes[right.node].value =
+        leaf_value(right.grad_sum, right.rows.size());
+    tree.nodes[leaf.node].left = left.node;
+    tree.nodes[leaf.node].right = right.node;
+
+    left.best = find_best_split(left);
+    right.best = find_best_split(right);
+    open.push_back(std::move(left));
+    open.push_back(std::move(right));
+    ++leaf_count;
+  }
+  return tree;
+}
+
+void HistGradientBoostingRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  n_features_ = x.cols();
+  trees_.clear();
+
+  // Bin features once.
+  bin_edges_.assign(n_features_, {});
+  std::vector<std::vector<std::uint8_t>> binned(
+      n_features_, std::vector<std::uint8_t>(n));
+  for (std::size_t f = 0; f < n_features_; ++f) {
+    bin_edges_[f] = make_bin_edges(x.col(f), params_.max_bins);
+    for (std::size_t i = 0; i < n; ++i) {
+      binned[f][i] = bin_of(bin_edges_[f], x(i, f));
+    }
+  }
+
+  init_ = mean(y);
+  Vector current(n, init_);
+  Vector gradients(n);
+  for (unsigned it = 0; it < params_.max_iter; ++it) {
+    for (std::size_t i = 0; i < n; ++i) gradients[i] = current[i] - y[i];
+    Tree tree = grow_tree(binned, gradients);
+    for (std::size_t i = 0; i < n; ++i) {
+      current[i] += params_.learning_rate * tree.predict_one(x.row_data(i));
+    }
+    trees_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+Vector HistGradientBoostingRegressor::predict(const Matrix& x) const {
+  check_is_fitted(fitted_);
+  if (x.cols() != n_features_) {
+    throw std::invalid_argument("HGBR: feature count mismatch");
+  }
+  Vector out(x.rows(), init_);
+  for (const Tree& tree : trees_) {
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      out[i] += params_.learning_rate * tree.predict_one(x.row_data(i));
+    }
+  }
+  return out;
+}
+
+std::unique_ptr<Regressor> HistGradientBoostingRegressor::clone() const {
+  return std::make_unique<HistGradientBoostingRegressor>(params_);
+}
+
+}  // namespace hp::ml

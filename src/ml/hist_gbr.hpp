@@ -1,0 +1,69 @@
+#pragma once
+// Histogram-based gradient boosting (R8:HGBR), modelled on sklearn's
+// HistGradientBoostingRegressor: features are quantile-binned once (up
+// to 255 bins), trees are grown leaf-wise to at most 31 leaves using
+// per-bin gradient histograms, 100 boosting iterations at lr 0.1,
+// min 20 samples per leaf.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace hp::ml {
+
+class HistGradientBoostingRegressor final : public Regressor {
+ public:
+  struct Params {
+    unsigned max_iter = 100;
+    double learning_rate = 0.1;
+    unsigned max_bins = 255;
+    unsigned max_leaf_nodes = 31;
+    std::size_t min_samples_leaf = 20;
+    double l2_regularization = 0.0;
+  };
+
+  HistGradientBoostingRegressor() = default;
+  explicit HistGradientBoostingRegressor(Params params) : params_(params) {}
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override {
+    return "HistGradientBoostingRegressor";
+  }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+  [[nodiscard]] std::size_t tree_count() const noexcept {
+    return trees_.size();
+  }
+
+ private:
+  /// One grown tree over binned features.
+  struct TreeNode {
+    static constexpr std::size_t kLeaf = static_cast<std::size_t>(-1);
+    std::size_t feature = kLeaf;
+    unsigned bin_threshold = 0;   // go left when bin <= threshold
+    double threshold_value = 0.0; // raw-value threshold for prediction
+    std::size_t left = 0;
+    std::size_t right = 0;
+    double value = 0.0;
+  };
+  struct Tree {
+    std::vector<TreeNode> nodes;
+    [[nodiscard]] double predict_one(const double* row) const;
+  };
+
+  [[nodiscard]] Tree grow_tree(const std::vector<std::vector<std::uint8_t>>& binned,
+                               const Vector& gradients) const;
+
+  Params params_{};
+  double init_ = 0.0;
+  std::size_t n_features_ = 0;
+  // bin_edges_[f][k] = upper edge of bin k (bin index = #edges < value).
+  std::vector<Vector> bin_edges_;
+  std::vector<Tree> trees_;
+  bool fitted_ = false;
+};
+
+}  // namespace hp::ml

@@ -1,0 +1,283 @@
+#include "ml/linalg.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& r : rows) {
+    if (r.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer");
+    }
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Vector Matrix::row(std::size_t i) const {
+  return Vector(data_.begin() + static_cast<std::ptrdiff_t>(i * cols_),
+                data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * cols_));
+}
+
+Vector Matrix::col(std::size_t j) const {
+  Vector out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+Matrix Matrix::rows_subset(const std::vector<std::size_t>& idx) const {
+  Matrix out(idx.size(), cols_);
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    const double* src = row_data(idx[k]);
+    std::copy(src, src + cols_, out.row_data(k));
+  }
+  return out;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  if (a.cols() != x.size()) {
+    throw std::invalid_argument("matvec: dimension mismatch");
+  }
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_data(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += row[j] * x[j];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  if (a.cols() != b.rows()) {
+    throw std::invalid_argument("matmul: dimension mismatch");
+  }
+  Matrix c(a.rows(), b.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c(i, j) += aik * b(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols(), 0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    const double* row = a.row_data(r);
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      for (std::size_t j = i; j < a.cols(); ++j) {
+        g(i, j) += ri * row[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  }
+  return g;
+}
+
+Vector At_y(const Matrix& a, const Vector& y) {
+  if (a.rows() != y.size()) {
+    throw std::invalid_argument("At_y: dimension mismatch");
+  }
+  Vector out(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_data(i);
+    const double yi = y[i];
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += row[j] * yi;
+  }
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("dot: dimension mismatch");
+  }
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+Vector lu_solve(Matrix a, Vector b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("lu_solve: need square system");
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivot.
+    std::size_t piv = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        piv = i;
+      }
+    }
+    if (best < 1e-12) throw std::domain_error("lu_solve: singular matrix");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      std::swap(b[k], b[piv]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = a(i, k) / a(k, k);
+      if (f == 0.0) continue;
+      for (std::size_t j = k; j < n; ++j) a(i, j) -= f * a(k, j);
+      b[i] -= f * b[k];
+    }
+  }
+  Vector x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= a(i, j) * x[j];
+    x[i] = acc / a(i, i);
+  }
+  return x;
+}
+
+Matrix cholesky(Matrix a) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("cholesky: need square");
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a(j, k) * a(j, k);
+    if (d <= 0.0) throw std::domain_error("cholesky: not positive definite");
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a(i, k) * a(j, k);
+      a(i, j) = s / ljj;
+    }
+    for (std::size_t k = j + 1; k < n; ++k) a(j, k) = 0.0;  // zero upper
+  }
+  return a;
+}
+
+Vector cholesky_solve(const Matrix& l, const Vector& b) {
+  const std::size_t n = l.rows();
+  if (b.size() != n) throw std::invalid_argument("cholesky_solve: dim");
+  // Forward substitution L z = b.
+  Vector z(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= l(i, j) * z[j];
+    z[i] = acc / l(i, i);
+  }
+  // Back substitution L^T x = z.
+  Vector x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = z[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= l(j, i) * x[j];
+    x[i] = acc / l(i, i);
+  }
+  return x;
+}
+
+Vector least_squares(const Matrix& x, const Vector& y, double l2,
+                     bool fit_intercept) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  if (y.size() != n) throw std::invalid_argument("least_squares: dim");
+  const std::size_t cols = fit_intercept ? p + 1 : p;
+  // Build the (augmented) design matrix implicitly in the Gram system.
+  Matrix g(cols, cols, 0.0);
+  Vector rhs(cols, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = x.row_data(i);
+    auto feature = [&](std::size_t j) -> double {
+      return j < p ? row[j] : 1.0;
+    };
+    for (std::size_t a = 0; a < cols; ++a) {
+      const double fa = feature(a);
+      if (fa == 0.0) continue;
+      for (std::size_t b = a; b < cols; ++b) g(a, b) += fa * feature(b);
+      rhs[a] += fa * y[i];
+    }
+  }
+  for (std::size_t a = 0; a < cols; ++a) {
+    for (std::size_t b = 0; b < a; ++b) g(a, b) = g(b, a);
+  }
+  // Regularize the weights (not the intercept), plus jitter for rank
+  // deficiency when unregularized.
+  const double jitter = l2 > 0.0 ? l2 : 1e-10;
+  for (std::size_t a = 0; a < p; ++a) g(a, a) += jitter;
+  if (fit_intercept) g(p, p) += 1e-12;
+  return lu_solve(std::move(g), std::move(rhs));
+}
+
+Vector col_means(const Matrix& x) {
+  Vector m(x.cols(), 0.0);
+  if (x.rows() == 0) return m;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.row_data(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) m[j] += row[j];
+  }
+  for (double& v : m) v /= static_cast<double>(x.rows());
+  return m;
+}
+
+Vector col_variances(const Matrix& x) {
+  const Vector m = col_means(x);
+  Vector var(x.cols(), 0.0);
+  if (x.rows() == 0) return var;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double* row = x.row_data(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double d = row[j] - m[j];
+      var[j] += d * d;
+    }
+  }
+  for (double& v : var) v /= static_cast<double>(x.rows());
+  return var;
+}
+
+double mean(const Vector& v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(const Vector& v) {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double median(Vector v) {
+  if (v.empty()) throw std::invalid_argument("median: empty");
+  const std::size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  const double hi = v[mid];
+  if (v.size() % 2 == 1) return hi;
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace hp::ml

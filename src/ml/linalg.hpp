@@ -1,0 +1,115 @@
+#pragma once
+// Dense linear algebra kernels for the ml regressors.
+//
+// Deliberately small: the regression problems in this framework are
+// windowed QoS histories (tens of features, hundreds of rows), so a
+// cache-friendly row-major dense matrix with LU / Cholesky solves covers
+// everything the 18 regressors need.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace hp::ml {
+
+using Vector = std::vector<double>;
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Build from nested braces: Matrix{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) noexcept {
+    return data_[i * cols_ + j];
+  }
+  [[nodiscard]] double operator()(std::size_t i, std::size_t j) const noexcept {
+    return data_[i * cols_ + j];
+  }
+
+  /// Copy of row i as a vector.
+  [[nodiscard]] Vector row(std::size_t i) const;
+
+  /// Pointer to the start of row i (contiguous, cols() doubles).
+  [[nodiscard]] const double* row_data(std::size_t i) const noexcept {
+    return data_.data() + i * cols_;
+  }
+  [[nodiscard]] double* row_data(std::size_t i) noexcept {
+    return data_.data() + i * cols_;
+  }
+
+  /// Copy of column j.
+  [[nodiscard]] Vector col(std::size_t j) const;
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Select a subset of rows (duplicates allowed: bootstrap sampling).
+  [[nodiscard]] Matrix rows_subset(const std::vector<std::size_t>& idx) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// y = A x (dimensions checked, throws std::invalid_argument).
+[[nodiscard]] Vector matvec(const Matrix& a, const Vector& x);
+
+/// C = A B.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// A^T A (the Gram matrix used by normal-equation solvers).
+[[nodiscard]] Matrix gram(const Matrix& a);
+
+/// A^T y.
+[[nodiscard]] Vector At_y(const Matrix& a, const Vector& y);
+
+/// Dot product.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Solve A x = b for square A via LU with partial pivoting.
+/// Throws std::domain_error when A is (numerically) singular.
+[[nodiscard]] Vector lu_solve(Matrix a, Vector b);
+
+/// Cholesky factorization of SPD matrix A (lower triangular L with
+/// A = L L^T), in place.  Throws std::domain_error when not positive
+/// definite.  Returns L in the lower triangle.
+[[nodiscard]] Matrix cholesky(Matrix a);
+
+/// Solve A x = b with A SPD using a precomputed Cholesky factor L.
+[[nodiscard]] Vector cholesky_solve(const Matrix& l, const Vector& b);
+
+/// Ordinary/ridge least squares: argmin ||X w - y||^2 + l2 ||w||^2,
+/// solved via the normal equations with a Cholesky factorization (a tiny
+/// jitter is added when l2 == 0 to survive rank deficiency).
+/// When `fit_intercept` is true the returned vector has size cols+1 with
+/// the intercept last.
+[[nodiscard]] Vector least_squares(const Matrix& x, const Vector& y,
+                                   double l2 = 0.0,
+                                   bool fit_intercept = true);
+
+/// Column means of X.
+[[nodiscard]] Vector col_means(const Matrix& x);
+
+/// Column (population) variances of X.
+[[nodiscard]] Vector col_variances(const Matrix& x);
+
+/// Mean of a vector (0 for empty).
+[[nodiscard]] double mean(const Vector& v);
+
+/// Population variance of a vector.
+[[nodiscard]] double variance(const Vector& v);
+
+/// Median (copies and partially sorts); throws std::invalid_argument on
+/// empty input.
+[[nodiscard]] double median(Vector v);
+
+}  // namespace hp::ml

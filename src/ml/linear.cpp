@@ -1,0 +1,461 @@
+#include "ml/linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace hp::ml {
+
+namespace {
+
+/// Split the augmented least-squares solution into (weights, intercept).
+std::pair<Vector, double> unpack(Vector solution) {
+  const double b = solution.back();
+  solution.pop_back();
+  return {std::move(solution), b};
+}
+
+/// Soft-thresholding operator used by the L1 coordinate-descent solvers.
+double soft_threshold(double rho, double lambda) {
+  if (rho > lambda) return rho - lambda;
+  if (rho < -lambda) return rho + lambda;
+  return 0.0;
+}
+
+/// Shared cyclic coordinate descent for Lasso / ElasticNet, matching
+/// sklearn's objective 1/(2n) ||y - Xw - b||^2 + alpha*l1_ratio*||w||_1
+/// + 0.5*alpha*(1-l1_ratio)*||w||^2.  Features are centred so the
+/// intercept drops out of the subproblem.
+std::pair<Vector, double> coordinate_descent(const Matrix& x, const Vector& y,
+                                             double alpha, double l1_ratio,
+                                             unsigned max_iter, double tol) {
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  const Vector xm = col_means(x);
+  const double ym = mean(y);
+
+  // Centred copies.
+  Matrix xc(n, p);
+  Vector yc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) xc(i, j) = x(i, j) - xm[j];
+    yc[i] = y[i] - ym;
+  }
+  // Per-feature squared norms.
+  Vector z(p, 0.0);
+  for (std::size_t j = 0; j < p; ++j) {
+    for (std::size_t i = 0; i < n; ++i) z[j] += xc(i, j) * xc(i, j);
+  }
+  const double nn = static_cast<double>(n);
+  const double l1 = alpha * l1_ratio * nn;
+  const double l2 = alpha * (1.0 - l1_ratio) * nn;
+
+  Vector w(p, 0.0);
+  Vector residual = yc;  // r = yc - Xc w, with w = 0 initially
+  for (unsigned it = 0; it < max_iter; ++it) {
+    double max_delta = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      if (z[j] == 0.0) continue;
+      // rho = x_j . (r + x_j w_j)
+      double rho = 0.0;
+      for (std::size_t i = 0; i < n; ++i) rho += xc(i, j) * residual[i];
+      rho += z[j] * w[j];
+      const double w_new = soft_threshold(rho, l1) / (z[j] + l2);
+      const double delta = w_new - w[j];
+      if (delta != 0.0) {
+        for (std::size_t i = 0; i < n; ++i) residual[i] -= xc(i, j) * delta;
+        w[j] = w_new;
+        max_delta = std::max(max_delta, std::abs(delta));
+      }
+    }
+    if (max_delta < tol) break;
+  }
+  double b = ym;
+  for (std::size_t j = 0; j < p; ++j) b -= w[j] * xm[j];
+  return {std::move(w), b};
+}
+
+}  // namespace
+
+Vector LinearModelBase::predict(const Matrix& x) const {
+  check_is_fitted(fitted_);
+  if (x.cols() != w_.size()) {
+    throw std::invalid_argument("predict: feature count mismatch");
+  }
+  Vector out = matvec(x, w_);
+  for (double& v : out) v += b_;
+  return out;
+}
+
+void LinearRegression::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  auto [w, b] = unpack(least_squares(x, y, 0.0, true));
+  set_weights(std::move(w), b);
+}
+
+std::unique_ptr<Regressor> LinearRegression::clone() const {
+  return std::make_unique<LinearRegression>();
+}
+
+void Ridge::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  auto [w, b] = unpack(least_squares(x, y, alpha_, true));
+  set_weights(std::move(w), b);
+}
+
+std::unique_ptr<Regressor> Ridge::clone() const {
+  return std::make_unique<Ridge>(alpha_);
+}
+
+void Lasso::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  auto [w, b] = coordinate_descent(x, y, alpha_, 1.0, max_iter_, tol_);
+  set_weights(std::move(w), b);
+}
+
+std::unique_ptr<Regressor> Lasso::clone() const {
+  return std::make_unique<Lasso>(alpha_, max_iter_, tol_);
+}
+
+void ElasticNet::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  auto [w, b] = coordinate_descent(x, y, alpha_, l1_ratio_, max_iter_, tol_);
+  set_weights(std::move(w), b);
+}
+
+std::unique_ptr<Regressor> ElasticNet::clone() const {
+  return std::make_unique<ElasticNet>(alpha_, l1_ratio_, max_iter_, tol_);
+}
+
+void SGDRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  Vector w(p, 0.0);
+  double b = 0.0;
+  std::mt19937_64 rng(seed_);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+
+  double best_loss = std::numeric_limits<double>::infinity();
+  unsigned no_improvement = 0;
+  std::size_t t = 1;
+  for (unsigned epoch = 0; epoch < max_iter_; ++epoch) {
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+    for (std::size_t idx : order) {
+      const double* row = x.row_data(idx);
+      double pred = b;
+      for (std::size_t j = 0; j < p; ++j) pred += w[j] * row[j];
+      const double err = pred - y[idx];
+      epoch_loss += 0.5 * err * err;
+      const double eta =
+          eta0_ / std::pow(static_cast<double>(t), 0.25);  // invscaling
+      for (std::size_t j = 0; j < p; ++j) {
+        w[j] -= eta * (err * row[j] + alpha_ * w[j]);
+      }
+      b -= eta * err;
+      ++t;
+    }
+    epoch_loss /= static_cast<double>(n);
+    // sklearn stopping rule: stop when loss fails to improve by tol for
+    // n_iter_no_change (default 5) consecutive epochs.
+    if (epoch_loss > best_loss - tol_) {
+      if (++no_improvement >= 5) break;
+    } else {
+      no_improvement = 0;
+    }
+    best_loss = std::min(best_loss, epoch_loss);
+  }
+  set_weights(std::move(w), b);
+}
+
+std::unique_ptr<Regressor> SGDRegressor::clone() const {
+  return std::make_unique<SGDRegressor>(alpha_, eta0_, max_iter_, tol_, seed_);
+}
+
+void HuberRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  // IRLS: weighted ridge where samples beyond epsilon*sigma get
+  // down-weighted proportionally to 1/|r|.
+  Vector w(p, 0.0);
+  double b = mean(y);
+  for (unsigned it = 0; it < max_iter_; ++it) {
+    // Residuals and robust scale (MAD-based sigma estimate).
+    Vector r(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = x.row_data(i);
+      double pred = b;
+      for (std::size_t j = 0; j < p; ++j) pred += w[j] * row[j];
+      r[i] = y[i] - pred;
+    }
+    Vector abs_r(n);
+    for (std::size_t i = 0; i < n; ++i) abs_r[i] = std::abs(r[i]);
+    double sigma = median(abs_r) / 0.6745;
+    if (sigma < 1e-9) sigma = 1e-9;
+
+    // Weighted normal equations: weight_i = min(1, eps*sigma/|r_i|).
+    Matrix g(p + 1, p + 1, 0.0);
+    Vector rhs(p + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = x.row_data(i);
+      const double cutoff = epsilon_ * sigma;
+      const double wi =
+          abs_r[i] <= cutoff ? 1.0 : cutoff / abs_r[i];
+      auto feat = [&](std::size_t j) { return j < p ? row[j] : 1.0; };
+      for (std::size_t a = 0; a <= p; ++a) {
+        for (std::size_t c = a; c <= p; ++c) g(a, c) += wi * feat(a) * feat(c);
+        rhs[a] += wi * feat(a) * y[i];
+      }
+    }
+    for (std::size_t a = 0; a <= p; ++a) {
+      for (std::size_t c = 0; c < a; ++c) g(a, c) = g(c, a);
+      if (a < p) g(a, a) += alpha_;
+    }
+    Vector sol = lu_solve(std::move(g), std::move(rhs));
+    double delta = std::abs(sol[p] - b);
+    for (std::size_t j = 0; j < p; ++j) {
+      delta = std::max(delta, std::abs(sol[j] - w[j]));
+    }
+    b = sol[p];
+    for (std::size_t j = 0; j < p; ++j) w[j] = sol[j];
+    if (delta < tol_) break;
+  }
+  set_weights(std::move(w), b);
+}
+
+std::unique_ptr<Regressor> HuberRegressor::clone() const {
+  return std::make_unique<HuberRegressor>(epsilon_, alpha_, max_iter_, tol_);
+}
+
+void RANSACRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  const std::size_t min_samples = std::min(n, p + 1);
+
+  // sklearn default residual threshold: MAD of y.
+  double threshold;
+  if (residual_threshold_) {
+    threshold = *residual_threshold_;
+  } else {
+    const double med = median(y);
+    Vector dev(n);
+    for (std::size_t i = 0; i < n; ++i) dev[i] = std::abs(y[i] - med);
+    threshold = median(dev);
+    if (threshold <= 0.0) threshold = 1e-9;
+  }
+
+  std::mt19937_64 rng(seed_);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+
+  std::size_t best_inliers = 0;
+  Vector best_w;
+  double best_b = 0.0;
+  for (unsigned trial = 0; trial < max_trials_; ++trial) {
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::vector<std::size_t> subset(all.begin(),
+                                          all.begin() + static_cast<std::ptrdiff_t>(min_samples));
+    const Matrix xs = x.rows_subset(subset);
+    Vector ys(min_samples);
+    for (std::size_t k = 0; k < min_samples; ++k) ys[k] = y[subset[k]];
+    Vector sol;
+    try {
+      sol = least_squares(xs, ys, 0.0, true);
+    } catch (const std::domain_error&) {
+      continue;  // degenerate sample
+    }
+    // Count inliers over the full set.
+    std::size_t inliers = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* row = x.row_data(i);
+      double pred = sol[p];
+      for (std::size_t j = 0; j < p; ++j) pred += sol[j] * row[j];
+      if (std::abs(y[i] - pred) <= threshold) ++inliers;
+    }
+    if (inliers > best_inliers) {
+      best_inliers = inliers;
+      best_w.assign(sol.begin(), sol.begin() + static_cast<std::ptrdiff_t>(p));
+      best_b = sol[p];
+    }
+  }
+  if (best_inliers == 0) {
+    // No consensus found: fall back to plain OLS on everything.
+    auto [w, b] = unpack(least_squares(x, y, 0.0, true));
+    set_weights(std::move(w), b);
+    inlier_count_ = n;
+    return;
+  }
+  // Refit on the winning consensus set.
+  std::vector<std::size_t> inlier_idx;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = x.row_data(i);
+    double pred = best_b;
+    for (std::size_t j = 0; j < p; ++j) pred += best_w[j] * row[j];
+    if (std::abs(y[i] - pred) <= threshold) inlier_idx.push_back(i);
+  }
+  const Matrix xi = x.rows_subset(inlier_idx);
+  Vector yi(inlier_idx.size());
+  for (std::size_t k = 0; k < inlier_idx.size(); ++k) yi[k] = y[inlier_idx[k]];
+  auto [w, b] = unpack(least_squares(xi, yi, 0.0, true));
+  inlier_count_ = inlier_idx.size();
+  set_weights(std::move(w), b);
+}
+
+std::unique_ptr<Regressor> RANSACRegressor::clone() const {
+  return std::make_unique<RANSACRegressor>(max_trials_, residual_threshold_,
+                                           seed_);
+}
+
+void TheilSenRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  const std::size_t k = std::min(n, p + 1);
+
+  std::mt19937_64 rng(seed_);
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+
+  std::vector<Vector> solutions;
+  solutions.reserve(n_subsamples_);
+  for (unsigned s = 0; s < n_subsamples_; ++s) {
+    std::shuffle(all.begin(), all.end(), rng);
+    const std::vector<std::size_t> subset(
+        all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k));
+    const Matrix xs = x.rows_subset(subset);
+    Vector ys(k);
+    for (std::size_t i = 0; i < k; ++i) ys[i] = y[subset[i]];
+    try {
+      solutions.push_back(least_squares(xs, ys, 0.0, true));
+    } catch (const std::domain_error&) {
+      // Degenerate subset; skip.
+    }
+  }
+  if (solutions.empty()) {
+    auto [w, b] = unpack(least_squares(x, y, 0.0, true));
+    set_weights(std::move(w), b);
+    return;
+  }
+  // Coordinate-wise median across subset solutions.
+  Vector w(p, 0.0);
+  Vector coord(solutions.size());
+  for (std::size_t j = 0; j <= p; ++j) {
+    for (std::size_t s = 0; s < solutions.size(); ++s) {
+      coord[s] = solutions[s][j];
+    }
+    if (j < p) {
+      w[j] = median(coord);
+    } else {
+      set_weights(std::move(w), median(coord));
+    }
+  }
+}
+
+std::unique_ptr<Regressor> TheilSenRegressor::clone() const {
+  return std::make_unique<TheilSenRegressor>(n_subsamples_, seed_);
+}
+
+void ARDRegression::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  // Centre target and features; the intercept is recovered at the end
+  // (sklearn fits an intercept by centring as well).
+  const Vector xm = col_means(x);
+  const double ym = mean(y);
+  Matrix xc(n, p);
+  Vector yc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < p; ++j) xc(i, j) = x(i, j) - xm[j];
+    yc[i] = y[i] - ym;
+  }
+
+  // Precompute Gram and X^T y.
+  const Matrix g = gram(xc);
+  const Vector xty = At_y(xc, yc);
+
+  double beta = 1.0 / std::max(variance(yc), 1e-12);  // noise precision
+  Vector alpha(p, 1.0);                               // weight precisions
+  Vector w(p, 0.0);
+  std::vector<bool> active(p, true);
+
+  for (unsigned it = 0; it < max_iter_; ++it) {
+    // Posterior: Sigma = (beta * G + diag(alpha))^-1 over active dims.
+    std::vector<std::size_t> idx;
+    for (std::size_t j = 0; j < p; ++j) {
+      if (active[j]) idx.push_back(j);
+    }
+    const std::size_t m = idx.size();
+    if (m == 0) break;
+    Matrix a(m, m, 0.0);
+    Vector rhs(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) a(r, c) = beta * g(idx[r], idx[c]);
+      a(r, r) += alpha[idx[r]];
+      rhs[r] = beta * xty[idx[r]];
+    }
+    Matrix l;
+    try {
+      l = cholesky(a);
+    } catch (const std::domain_error&) {
+      break;  // numerical trouble: keep previous estimates
+    }
+    const Vector mu = cholesky_solve(l, rhs);
+
+    // Diagonal of Sigma via solves against unit vectors (m is small:
+    // windowed histories have ~10 features).
+    Vector sigma_diag(m, 0.0);
+    for (std::size_t r = 0; r < m; ++r) {
+      Vector e(m, 0.0);
+      e[r] = 1.0;
+      sigma_diag[r] = cholesky_solve(l, e)[r];
+    }
+
+    // MacKay updates.
+    Vector w_new(p, 0.0);
+    double gamma_sum = 0.0;
+    for (std::size_t r = 0; r < m; ++r) {
+      const std::size_t j = idx[r];
+      w_new[j] = mu[r];
+      const double gamma = 1.0 - alpha[j] * sigma_diag[r];
+      gamma_sum += gamma;
+      alpha[j] = std::max(gamma, 1e-12) / std::max(mu[r] * mu[r], 1e-12);
+      if (alpha[j] > alpha_threshold_) {
+        active[j] = false;  // prune irrelevant feature
+        w_new[j] = 0.0;
+      }
+    }
+    // Residual-based noise precision update.
+    double rss = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double pred = 0.0;
+      const double* row = xc.row_data(i);
+      for (std::size_t j = 0; j < p; ++j) pred += w_new[j] * row[j];
+      rss += (yc[i] - pred) * (yc[i] - pred);
+    }
+    beta = (static_cast<double>(n) - gamma_sum) / std::max(rss, 1e-12);
+
+    double delta = 0.0;
+    for (std::size_t j = 0; j < p; ++j) {
+      delta = std::max(delta, std::abs(w_new[j] - w[j]));
+    }
+    w = std::move(w_new);
+    if (delta < tol_) break;
+  }
+
+  double b = ym;
+  for (std::size_t j = 0; j < p; ++j) b -= w[j] * xm[j];
+  set_weights(std::move(w), b);
+}
+
+std::unique_ptr<Regressor> ARDRegression::clone() const {
+  return std::make_unique<ARDRegression>(max_iter_, tol_, alpha_threshold_);
+}
+
+}  // namespace hp::ml

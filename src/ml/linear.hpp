@@ -1,0 +1,201 @@
+#pragma once
+// Linear-family regressors (9 of the 18 Hecate models):
+// LinearRegression, Ridge, Lasso, ElasticNet, SGDRegressor,
+// HuberRegressor, RANSACRegressor, TheilSenRegressor, ARDRegression.
+//
+// Hyperparameter defaults follow scikit-learn so the Fig 6 ranking is
+// comparable; each class documents the solver it uses.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "ml/regressor.hpp"
+
+namespace hp::ml {
+
+/// Shared linear predictor: y = x . w + b.
+class LinearModelBase : public Regressor {
+ public:
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] const Vector& coefficients() const noexcept { return w_; }
+  [[nodiscard]] double intercept() const noexcept { return b_; }
+
+ protected:
+  void set_weights(Vector w, double b) {
+    w_ = std::move(w);
+    b_ = b;
+    fitted_ = true;
+  }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+ private:
+  Vector w_;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Ordinary least squares via normal equations (R11:LR).
+class LinearRegression final : public LinearModelBase {
+ public:
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] std::string name() const override {
+    return "LinearRegression";
+  }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+};
+
+/// L2-regularized least squares (R14:Ridge); sklearn default alpha=1.
+class Ridge final : public LinearModelBase {
+ public:
+  explicit Ridge(double alpha = 1.0) : alpha_(alpha) {}
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] std::string name() const override { return "Ridge"; }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+ private:
+  double alpha_;
+};
+
+/// L1-regularized least squares via cyclic coordinate descent
+/// (R10:Lasso); sklearn defaults alpha=1, tol=1e-4, max_iter=1000.
+class Lasso final : public LinearModelBase {
+ public:
+  explicit Lasso(double alpha = 1.0, unsigned max_iter = 1000,
+                 double tol = 1e-4)
+      : alpha_(alpha), max_iter_(max_iter), tol_(tol) {}
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] std::string name() const override { return "Lasso"; }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+ private:
+  double alpha_;
+  unsigned max_iter_;
+  double tol_;
+};
+
+/// Combined L1/L2 penalty via coordinate descent (R5:ElasticNet);
+/// sklearn defaults alpha=1, l1_ratio=0.5.
+class ElasticNet final : public LinearModelBase {
+ public:
+  explicit ElasticNet(double alpha = 1.0, double l1_ratio = 0.5,
+                      unsigned max_iter = 1000, double tol = 1e-4)
+      : alpha_(alpha), l1_ratio_(l1_ratio), max_iter_(max_iter), tol_(tol) {}
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] std::string name() const override { return "ElasticNet"; }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+ private:
+  double alpha_;
+  double l1_ratio_;
+  unsigned max_iter_;
+  double tol_;
+};
+
+/// Stochastic gradient descent on squared loss with L2 penalty
+/// (R15:SGDR); sklearn defaults: alpha=1e-4, eta0=0.01, inverse-scaling
+/// learning rate eta = eta0 / t^0.25, max_iter=1000, tol=1e-3.
+class SGDRegressor final : public LinearModelBase {
+ public:
+  explicit SGDRegressor(double alpha = 1e-4, double eta0 = 0.01,
+                        unsigned max_iter = 1000, double tol = 1e-3,
+                        std::uint64_t seed = 42)
+      : alpha_(alpha), eta0_(eta0), max_iter_(max_iter), tol_(tol),
+        seed_(seed) {}
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] std::string name() const override { return "SGDRegressor"; }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+ private:
+  double alpha_;
+  double eta0_;
+  unsigned max_iter_;
+  double tol_;
+  std::uint64_t seed_;
+};
+
+/// Huber-loss robust regression via iteratively reweighted least
+/// squares (R9:HuberR); sklearn defaults epsilon=1.35, alpha=1e-4.
+class HuberRegressor final : public LinearModelBase {
+ public:
+  explicit HuberRegressor(double epsilon = 1.35, double alpha = 1e-4,
+                          unsigned max_iter = 100, double tol = 1e-5)
+      : epsilon_(epsilon), alpha_(alpha), max_iter_(max_iter), tol_(tol) {}
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] std::string name() const override { return "HuberRegressor"; }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+ private:
+  double epsilon_;
+  double alpha_;
+  unsigned max_iter_;
+  double tol_;
+};
+
+/// RANdom SAmple Consensus around an OLS base model (R12:RANSACR);
+/// sklearn defaults: min_samples = n_features + 1, residual threshold =
+/// MAD of y, max_trials = 100.
+class RANSACRegressor final : public LinearModelBase {
+ public:
+  explicit RANSACRegressor(unsigned max_trials = 100,
+                           std::optional<double> residual_threshold = {},
+                           std::uint64_t seed = 42)
+      : max_trials_(max_trials), residual_threshold_(residual_threshold),
+        seed_(seed) {}
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] std::string name() const override {
+    return "RANSACRegressor";
+  }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+  /// Number of inliers selected by the winning trial (post-fit).
+  [[nodiscard]] std::size_t inlier_count() const noexcept {
+    return inlier_count_;
+  }
+
+ private:
+  unsigned max_trials_;
+  std::optional<double> residual_threshold_;
+  std::uint64_t seed_;
+  std::size_t inlier_count_ = 0;
+};
+
+/// Theil-Sen estimator (R18:TheilSenR): coordinate-wise median of OLS
+/// solutions over random minimal subsets (sklearn approximates the
+/// spatial median; the coordinate median preserves the robustness
+/// behaviour for our feature counts).
+class TheilSenRegressor final : public LinearModelBase {
+ public:
+  explicit TheilSenRegressor(unsigned n_subsamples = 300,
+                             std::uint64_t seed = 42)
+      : n_subsamples_(n_subsamples), seed_(seed) {}
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] std::string name() const override {
+    return "TheilSenRegressor";
+  }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+ private:
+  unsigned n_subsamples_;
+  std::uint64_t seed_;
+};
+
+/// Automatic Relevance Determination Bayesian regression (R2:ARDR):
+/// evidence maximization with one precision per weight (MacKay updates);
+/// sklearn defaults max_iter=300, tol=1e-3, prune threshold 1e4.
+class ARDRegression final : public LinearModelBase {
+ public:
+  explicit ARDRegression(unsigned max_iter = 300, double tol = 1e-3,
+                         double alpha_threshold = 1e4)
+      : max_iter_(max_iter), tol_(tol), alpha_threshold_(alpha_threshold) {}
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] std::string name() const override { return "ARDRegression"; }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+ private:
+  unsigned max_iter_;
+  double tol_;
+  double alpha_threshold_;
+};
+
+}  // namespace hp::ml

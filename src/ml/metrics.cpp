@@ -1,0 +1,49 @@
+#include "ml/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::ml {
+
+namespace {
+void check(const Vector& a, const Vector& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("metric: length mismatch");
+  }
+  if (a.empty()) throw std::invalid_argument("metric: empty input");
+}
+}  // namespace
+
+double rmse(const Vector& truth, const Vector& predicted) {
+  check(truth, predicted);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(truth.size()));
+}
+
+double mae(const Vector& truth, const Vector& predicted) {
+  check(truth, predicted);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+double r2(const Vector& truth, const Vector& predicted) {
+  check(truth, predicted);
+  const double m = mean(truth);
+  double ss_res = 0.0;
+  double ss_tot = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    ss_res += (truth[i] - predicted[i]) * (truth[i] - predicted[i]);
+    ss_tot += (truth[i] - m) * (truth[i] - m);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+}  // namespace hp::ml

@@ -1,0 +1,21 @@
+#pragma once
+// Regression quality metrics (the paper evaluates with RMSE; MAE and R^2
+// are provided for the extended analyses).
+
+#include "ml/linalg.hpp"
+
+namespace hp::ml {
+
+/// Root mean squared error.  Throws std::invalid_argument on length
+/// mismatch or empty input.
+[[nodiscard]] double rmse(const Vector& truth, const Vector& predicted);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(const Vector& truth, const Vector& predicted);
+
+/// Coefficient of determination; 1 is perfect, 0 matches predicting the
+/// mean, negative is worse than the mean.  A constant truth vector with
+/// perfect predictions scores 1, otherwise 0 (sklearn convention).
+[[nodiscard]] double r2(const Vector& truth, const Vector& predicted);
+
+}  // namespace hp::ml

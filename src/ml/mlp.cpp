@@ -1,0 +1,211 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+namespace hp::ml {
+
+namespace {
+double relu(double v) { return v > 0.0 ? v : 0.0; }
+}  // namespace
+
+void MLPRegressor::forward(const double* row,
+                           std::vector<Vector>& activations) const {
+  activations[0].assign(row, row + n_features_);
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    const Layer& layer = layers_[li];
+    const Vector& in = activations[li];
+    Vector& out = activations[li + 1];
+    out.assign(layer.bias.begin(), layer.bias.end());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      const double v = in[i];
+      if (v == 0.0) continue;
+      for (std::size_t j = 0; j < out.size(); ++j) {
+        out[j] += v * layer.weights(i, j);
+      }
+    }
+    if (li + 1 < layers_.size()) {  // hidden layers are ReLU; output linear
+      for (double& v : out) v = relu(v);
+    }
+  }
+}
+
+void MLPRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  n_features_ = x.cols();
+
+  // Layer sizes: input -> hidden... -> 1.
+  std::vector<std::size_t> sizes{n_features_};
+  sizes.insert(sizes.end(), params_.hidden_layers.begin(),
+               params_.hidden_layers.end());
+  sizes.push_back(1);
+
+  std::mt19937_64 rng(params_.seed);
+  layers_.clear();
+  for (std::size_t li = 0; li + 1 < sizes.size(); ++li) {
+    Layer layer;
+    layer.weights = Matrix(sizes[li], sizes[li + 1]);
+    layer.bias.assign(sizes[li + 1], 0.0);
+    // Glorot-uniform initialization, as sklearn uses.
+    const double bound =
+        std::sqrt(6.0 / static_cast<double>(sizes[li] + sizes[li + 1]));
+    std::uniform_real_distribution<double> init(-bound, bound);
+    for (std::size_t i = 0; i < sizes[li]; ++i) {
+      for (std::size_t j = 0; j < sizes[li + 1]; ++j) {
+        layer.weights(i, j) = init(rng);
+      }
+    }
+    layers_.push_back(std::move(layer));
+  }
+
+  // Adam state mirrors the parameter shapes.
+  struct AdamState {
+    Matrix mw, vw;
+    Vector mb, vb;
+  };
+  std::vector<AdamState> adam(layers_.size());
+  for (std::size_t li = 0; li < layers_.size(); ++li) {
+    adam[li].mw = Matrix(layers_[li].weights.rows(),
+                         layers_[li].weights.cols());
+    adam[li].vw = Matrix(layers_[li].weights.rows(),
+                         layers_[li].weights.cols());
+    adam[li].mb.assign(layers_[li].bias.size(), 0.0);
+    adam[li].vb.assign(layers_[li].bias.size(), 0.0);
+  }
+  constexpr double kBeta1 = 0.9;
+  constexpr double kBeta2 = 0.999;
+  constexpr double kEps = 1e-8;
+
+  const std::size_t batch = std::min(params_.batch_size, n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<Vector> activations(layers_.size() + 1);
+  std::vector<Vector> deltas(layers_.size());
+
+  // Gradient accumulators per batch.
+  std::vector<Layer> grads;
+  for (const Layer& layer : layers_) {
+    Layer g;
+    g.weights = Matrix(layer.weights.rows(), layer.weights.cols());
+    g.bias.assign(layer.bias.size(), 0.0);
+    grads.push_back(std::move(g));
+  }
+
+  double best_loss = std::numeric_limits<double>::infinity();
+  unsigned no_improvement = 0;
+  std::size_t adam_t = 0;
+  epochs_run_ = 0;
+
+  for (unsigned epoch = 0; epoch < params_.max_iter; ++epoch) {
+    ++epochs_run_;
+    std::shuffle(order.begin(), order.end(), rng);
+    double epoch_loss = 0.0;
+
+    for (std::size_t start = 0; start < n; start += batch) {
+      const std::size_t end = std::min(start + batch, n);
+      const double inv = 1.0 / static_cast<double>(end - start);
+      for (Layer& g : grads) {
+        std::fill(g.bias.begin(), g.bias.end(), 0.0);
+        g.weights = Matrix(g.weights.rows(), g.weights.cols());
+      }
+
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t idx = order[k];
+        forward(x.row_data(idx), activations);
+        const double err = activations.back()[0] - y[idx];
+        epoch_loss += 0.5 * err * err;
+
+        // Backprop.
+        deltas.back().assign(1, err);
+        for (std::size_t li = layers_.size() - 1; li-- > 0;) {
+          const Layer& next = layers_[li + 1];
+          Vector& delta = deltas[li];
+          delta.assign(next.weights.rows(), 0.0);
+          const Vector& next_delta = deltas[li + 1];
+          for (std::size_t i = 0; i < next.weights.rows(); ++i) {
+            double acc = 0.0;
+            for (std::size_t j = 0; j < next.weights.cols(); ++j) {
+              acc += next.weights(i, j) * next_delta[j];
+            }
+            // ReLU derivative on the hidden activation.
+            delta[i] = activations[li + 1][i] > 0.0 ? acc : 0.0;
+          }
+        }
+        for (std::size_t li = 0; li < layers_.size(); ++li) {
+          const Vector& in = activations[li];
+          const Vector& delta = deltas[li];
+          for (std::size_t i = 0; i < in.size(); ++i) {
+            if (in[i] == 0.0) continue;
+            for (std::size_t j = 0; j < delta.size(); ++j) {
+              grads[li].weights(i, j) += in[i] * delta[j];
+            }
+          }
+          for (std::size_t j = 0; j < delta.size(); ++j) {
+            grads[li].bias[j] += delta[j];
+          }
+        }
+      }
+
+      // Adam step with L2 on weights (not biases), sklearn-style.
+      ++adam_t;
+      const double correction =
+          std::sqrt(1.0 - std::pow(kBeta2, adam_t)) /
+          (1.0 - std::pow(kBeta1, adam_t));
+      for (std::size_t li = 0; li < layers_.size(); ++li) {
+        Layer& layer = layers_[li];
+        AdamState& state = adam[li];
+        for (std::size_t i = 0; i < layer.weights.rows(); ++i) {
+          for (std::size_t j = 0; j < layer.weights.cols(); ++j) {
+            const double g = grads[li].weights(i, j) * inv +
+                             params_.alpha * layer.weights(i, j);
+            state.mw(i, j) = kBeta1 * state.mw(i, j) + (1 - kBeta1) * g;
+            state.vw(i, j) = kBeta2 * state.vw(i, j) + (1 - kBeta2) * g * g;
+            layer.weights(i, j) -= params_.learning_rate * correction *
+                                   state.mw(i, j) /
+                                   (std::sqrt(state.vw(i, j)) + kEps);
+          }
+        }
+        for (std::size_t j = 0; j < layer.bias.size(); ++j) {
+          const double g = grads[li].bias[j] * inv;
+          state.mb[j] = kBeta1 * state.mb[j] + (1 - kBeta1) * g;
+          state.vb[j] = kBeta2 * state.vb[j] + (1 - kBeta2) * g * g;
+          layer.bias[j] -= params_.learning_rate * correction * state.mb[j] /
+                           (std::sqrt(state.vb[j]) + kEps);
+        }
+      }
+    }
+
+    epoch_loss /= static_cast<double>(n);
+    if (epoch_loss > best_loss - params_.tol) {
+      if (++no_improvement >= params_.n_iter_no_change) break;
+    } else {
+      no_improvement = 0;
+    }
+    best_loss = std::min(best_loss, epoch_loss);
+  }
+  fitted_ = true;
+}
+
+Vector MLPRegressor::predict(const Matrix& x) const {
+  check_is_fitted(fitted_);
+  if (x.cols() != n_features_) {
+    throw std::invalid_argument("MLPRegressor: feature count mismatch");
+  }
+  std::vector<Vector> activations(layers_.size() + 1);
+  Vector out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    forward(x.row_data(i), activations);
+    out[i] = activations.back()[0];
+  }
+  return out;
+}
+
+std::unique_ptr<Regressor> MLPRegressor::clone() const {
+  return std::make_unique<MLPRegressor>(params_);
+}
+
+}  // namespace hp::ml

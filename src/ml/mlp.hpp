@@ -1,0 +1,60 @@
+#pragma once
+// Multi-layer perceptron regressor -- the paper's Section VII next step
+// ("we will be building upon this work and experimenting with more
+// machine learning models such as neural networks").
+//
+// Architecture and defaults mirror sklearn.neural_network.MLPRegressor:
+// one hidden layer of 100 ReLU units, Adam (lr 1e-3, beta1 0.9,
+// beta2 0.999), squared loss, minibatch 200 (or n), L2 alpha 1e-4,
+// max_iter 200 with early stopping on training-loss plateau.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace hp::ml {
+
+class MLPRegressor final : public Regressor {
+ public:
+  struct Params {
+    std::vector<std::size_t> hidden_layers{100};
+    double learning_rate = 1e-3;
+    double alpha = 1e-4;  ///< L2 penalty
+    unsigned max_iter = 200;
+    std::size_t batch_size = 200;
+    double tol = 1e-4;
+    unsigned n_iter_no_change = 10;
+    std::uint64_t seed = 42;
+  };
+
+  MLPRegressor() = default;
+  explicit MLPRegressor(Params params) : params_(std::move(params)) {}
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override { return "MLPRegressor"; }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+  /// Epochs actually run before convergence/early stop (post-fit).
+  [[nodiscard]] unsigned epochs_run() const noexcept { return epochs_run_; }
+
+ private:
+  struct Layer {
+    Matrix weights;  // (in, out)
+    Vector bias;     // (out)
+  };
+
+  /// Forward pass for one sample; fills per-layer activations
+  /// (activations[0] is the input, back() is the scalar output).
+  void forward(const double* row, std::vector<Vector>& activations) const;
+
+  Params params_{};
+  std::vector<Layer> layers_;
+  std::size_t n_features_ = 0;
+  unsigned epochs_run_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace hp::ml

@@ -1,0 +1,107 @@
+#include "ml/preprocessing.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hp::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument("StandardScaler: empty fit");
+  mean_ = col_means(x);
+  scale_ = col_variances(x);
+  for (double& s : scale_) {
+    s = std::sqrt(s);
+    if (s == 0.0) s = 1.0;  // constant column: shift only
+  }
+  fitted_ = true;
+}
+
+void StandardScaler::check(std::size_t cols) const {
+  if (!fitted_) throw std::logic_error("StandardScaler: not fitted");
+  if (cols != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: column count mismatch");
+  }
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  check(x.cols());
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      out(i, j) = (x(i, j) - mean_[j]) / scale_[j];
+    }
+  }
+  return out;
+}
+
+Matrix StandardScaler::fit_transform(const Matrix& x) {
+  fit(x);
+  return transform(x);
+}
+
+Matrix StandardScaler::inverse_transform(const Matrix& x) const {
+  check(x.cols());
+  Matrix out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      out(i, j) = x(i, j) * scale_[j] + mean_[j];
+    }
+  }
+  return out;
+}
+
+void StandardScaler::fit(const Vector& y) {
+  Matrix m(y.size(), 1);
+  for (std::size_t i = 0; i < y.size(); ++i) m(i, 0) = y[i];
+  fit(m);
+}
+
+Vector StandardScaler::transform(const Vector& y) const {
+  check(1);
+  Vector out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    out[i] = (y[i] - mean_[0]) / scale_[0];
+  }
+  return out;
+}
+
+Vector StandardScaler::inverse_transform(const Vector& y) const {
+  check(1);
+  Vector out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    out[i] = y[i] * scale_[0] + mean_[0];
+  }
+  return out;
+}
+
+Split chronological_split(const Matrix& x, const Vector& y,
+                          double train_fraction) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument("chronological_split: fraction in (0,1)");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("chronological_split: dimension mismatch");
+  }
+  const auto n_train = static_cast<std::size_t>(
+      std::floor(train_fraction * static_cast<double>(x.rows())));
+  if (n_train == 0 || n_train == x.rows()) {
+    throw std::invalid_argument("chronological_split: degenerate split");
+  }
+  Split s;
+  s.x_train = Matrix(n_train, x.cols());
+  s.x_test = Matrix(x.rows() - n_train, x.cols());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      if (i < n_train) {
+        s.x_train(i, j) = x(i, j);
+      } else {
+        s.x_test(i - n_train, j) = x(i, j);
+      }
+    }
+  }
+  s.y_train.assign(y.begin(), y.begin() + static_cast<std::ptrdiff_t>(n_train));
+  s.y_test.assign(y.begin() + static_cast<std::ptrdiff_t>(n_train), y.end());
+  return s;
+}
+
+}  // namespace hp::ml

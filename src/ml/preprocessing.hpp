@@ -1,0 +1,57 @@
+#pragma once
+// Feature scaling, mirroring sklearn.preprocessing.StandardScaler.
+//
+// The paper's pipeline fits the scaler on the training split, transforms
+// both splits, and inverse-transforms model outputs back to Mbps.
+
+#include "ml/linalg.hpp"
+
+namespace hp::ml {
+
+/// Per-column standardization to zero mean / unit variance.
+class StandardScaler {
+ public:
+  /// Learn column means and standard deviations.  Constant columns get
+  /// scale 1 (sklearn behaviour) so transform is a no-op shift.
+  void fit(const Matrix& x);
+
+  /// (x - mean) / std per column; throws std::logic_error before fit()
+  /// and std::invalid_argument on column-count mismatch.
+  [[nodiscard]] Matrix transform(const Matrix& x) const;
+
+  /// fit() then transform().
+  [[nodiscard]] Matrix fit_transform(const Matrix& x);
+
+  /// Undo transform().
+  [[nodiscard]] Matrix inverse_transform(const Matrix& x) const;
+
+  /// Scalar-column helpers for univariate targets.
+  void fit(const Vector& y);
+  [[nodiscard]] Vector transform(const Vector& y) const;
+  [[nodiscard]] Vector inverse_transform(const Vector& y) const;
+
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+  [[nodiscard]] const Vector& means() const noexcept { return mean_; }
+  [[nodiscard]] const Vector& scales() const noexcept { return scale_; }
+
+ private:
+  void check(std::size_t cols) const;
+
+  Vector mean_;
+  Vector scale_;
+  bool fitted_ = false;
+};
+
+/// Chronological train/test split (the paper splits the UQ trace 75/25).
+struct Split {
+  Matrix x_train;
+  Vector y_train;
+  Matrix x_test;
+  Vector y_test;
+};
+
+/// Split rows at floor(train_fraction * n); fraction must be in (0, 1).
+[[nodiscard]] Split chronological_split(const Matrix& x, const Vector& y,
+                                        double train_fraction);
+
+}  // namespace hp::ml

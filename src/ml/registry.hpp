@@ -1,0 +1,32 @@
+#pragma once
+// The 18-regressor zoo of the paper's Section V-A2, with the paper's
+// labels (R1..R18) attached, in the paper's alphabetical order.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ml/regressor.hpp"
+
+namespace hp::ml {
+
+/// One catalogue entry: the paper's short label ("R13:RFR") plus a
+/// freshly constructed model with sklearn-default hyperparameters.
+struct CatalogEntry {
+  std::string label;       ///< e.g. "R13:RFR"
+  std::string short_name;  ///< e.g. "RFR"
+  std::unique_ptr<Regressor> model;
+};
+
+/// Instantiate all eighteen regressors (R1..R18).
+[[nodiscard]] std::vector<CatalogEntry> make_regressor_catalog();
+
+/// Instantiate one regressor by its paper short name (e.g. "RFR",
+/// "GPR", "SVM_Linear"); throws std::invalid_argument on unknown names.
+[[nodiscard]] std::unique_ptr<Regressor> make_regressor(
+    const std::string& short_name);
+
+/// All known short names, in catalogue order.
+[[nodiscard]] std::vector<std::string> regressor_short_names();
+
+}  // namespace hp::ml

@@ -1,0 +1,20 @@
+#include "ml/regressor.hpp"
+
+#include <stdexcept>
+
+namespace hp::ml {
+
+void Regressor::check_fit_args(const Matrix& x, const Vector& y) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    throw std::invalid_argument("fit: empty training matrix");
+  }
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument("fit: X rows and y length differ");
+  }
+}
+
+void Regressor::check_is_fitted(bool fitted) {
+  if (!fitted) throw std::logic_error("predict: model is not fitted");
+}
+
+}  // namespace hp::ml

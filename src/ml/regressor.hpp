@@ -1,0 +1,46 @@
+#pragma once
+// Common interface for the 18 Hecate regression models.
+//
+// Mirrors the scikit-learn estimator contract the paper relies on:
+// fit(X, y) then predict(X).  Implementations use scikit-learn-default
+// hyperparameters (documented per class) so the Fig 6 model ranking is
+// comparable in shape.
+
+#include <memory>
+#include <string>
+
+#include "ml/linalg.hpp"
+
+namespace hp::ml {
+
+/// Abstract regression model.
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+
+  /// Train on rows of `x` with targets `y` (same length; implementations
+  /// throw std::invalid_argument otherwise, and on empty input).
+  virtual void fit(const Matrix& x, const Vector& y) = 0;
+
+  /// Predict one value per row of `x`.  Must be called after fit()
+  /// (throws std::logic_error otherwise).
+  [[nodiscard]] virtual Vector predict(const Matrix& x) const = 0;
+
+  /// Stable identifier, e.g. "RandomForestRegressor".
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fresh untrained copy with identical hyperparameters (used by the
+  /// ensemble meta-estimators and by model selection).
+  [[nodiscard]] virtual std::unique_ptr<Regressor> clone() const = 0;
+
+ protected:
+  /// Shared argument validation for fit() implementations.
+  static void check_fit_args(const Matrix& x, const Vector& y);
+  /// Shared state validation for predict() implementations.
+  static void check_is_fitted(bool fitted);
+};
+
+/// Factory signature used by ensembles to mint base estimators.
+using RegressorFactory = std::unique_ptr<Regressor> (*)();
+
+}  // namespace hp::ml

@@ -1,0 +1,185 @@
+#include "ml/svr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace hp::ml {
+
+double SVR::kernel(const double* a, const double* b, std::size_t p) const {
+  if (params_.kernel == SvrKernel::kLinear) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < p; ++j) acc += a[j] * b[j];
+    return acc;
+  }
+  double d2 = 0.0;
+  for (std::size_t j = 0; j < p; ++j) {
+    const double d = a[j] - b[j];
+    d2 += d * d;
+  }
+  return std::exp(-gamma_eff_ * d2);
+}
+
+void SVR::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  const std::size_t n = x.rows();
+  const std::size_t p = x.cols();
+  x_train_ = x;
+
+  if (params_.gamma > 0.0) {
+    gamma_eff_ = params_.gamma;
+  } else {
+    // sklearn "scale": 1 / (p * Var(all entries of X)).
+    double total_var = 0.0;
+    {
+      Vector flat;
+      flat.reserve(n * p);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* row = x.row_data(i);
+        flat.insert(flat.end(), row, row + p);
+      }
+      total_var = variance(flat);
+    }
+    gamma_eff_ = 1.0 / (static_cast<double>(p) * std::max(total_var, 1e-12));
+  }
+
+  // Precompute the kernel matrix (training sets here are hundreds of
+  // rows; O(n^2) memory is the right trade against repeated kernel
+  // evaluations inside the pair loop).
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = kernel(x.row_data(i), x.row_data(j), p);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+
+  beta_.assign(n, 0.0);
+  Vector f(n, 0.0);  // f_i = (K beta)_i
+  const double c = params_.c;
+  const double eps = params_.epsilon;
+
+  std::mt19937_64 rng(params_.seed);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+
+  // Dual objective restricted to the pair (i, j) moving beta_i += d,
+  // beta_j -= d:
+  //   g(d) = -0.5*eta*d^2 + (grad_i - grad_j)*d
+  //          - eps*(|beta_i + d| - |beta_i| + |beta_j - d| - |beta_j|)
+  // with eta = K_ii + K_jj - 2 K_ij and grad_i = y_i - f_i.
+  auto optimize_pair = [&](std::size_t i, std::size_t j) -> double {
+    const double eta = k(i, i) + k(j, j) - 2.0 * k(i, j);
+    if (eta <= 1e-12) return 0.0;
+    const double gi = y[i] - f[i];
+    const double gj = y[j] - f[j];
+    const double bi = beta_[i];
+    const double bj = beta_[j];
+    // Feasible interval for d from the box constraints.
+    const double lo = std::max(-c - bi, bj - c);
+    const double hi = std::min(c - bi, bj + c);
+    if (lo >= hi) return 0.0;
+
+    // Candidate breakpoints: where beta_i + d or beta_j - d cross zero.
+    double candidates[4] = {lo, hi, -bi, bj};
+    std::sort(std::begin(candidates), std::end(candidates));
+    double best_d = 0.0;
+    double best_val = 0.0;  // g(0) == 0 by construction
+    auto value_at = [&](double d) {
+      return -0.5 * eta * d * d + (gi - gj) * d -
+             eps * (std::abs(bi + d) - std::abs(bi) + std::abs(bj - d) -
+                    std::abs(bj));
+    };
+    // Optimize on each sign region.
+    for (int seg = 0; seg < 3; ++seg) {
+      double a = std::max(lo, candidates[seg]);
+      double b = std::min(hi, candidates[seg + 1]);
+      if (a >= b) continue;
+      const double mid = 0.5 * (a + b);
+      const double si = (bi + mid) >= 0.0 ? 1.0 : -1.0;
+      const double sj = (bj - mid) >= 0.0 ? 1.0 : -1.0;
+      // d/dd g = -eta*d + (gi - gj) - eps*(si + (-1)*sj*(-1)) ...
+      // |bi+d|' = si ; |bj-d|' = -sj.  So slope = -eta d + (gi-gj)
+      //   - eps*(si - sj).
+      double d_star = ((gi - gj) - eps * (si - sj)) / eta;
+      d_star = std::clamp(d_star, a, b);
+      for (double cand : {d_star, a, b}) {
+        const double v = value_at(cand);
+        if (v > best_val + 1e-15) {
+          best_val = v;
+          best_d = cand;
+        }
+      }
+    }
+    if (best_d == 0.0) return 0.0;
+    beta_[i] += best_d;
+    beta_[j] -= best_d;
+    for (std::size_t t = 0; t < n; ++t) {
+      f[t] += best_d * (k(i, t) - k(j, t));
+    }
+    return std::abs(best_d);
+  };
+
+  for (unsigned pass = 0; pass < params_.max_passes; ++pass) {
+    double moved = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t j = pick(rng);
+      if (j == i) j = (j + 1) % n;
+      moved += optimize_pair(i, j);
+    }
+    if (moved < params_.tol) break;
+  }
+
+  // Bias from unbounded support vectors: y_i - f_i - eps*sign(beta_i).
+  double bias_acc = 0.0;
+  std::size_t bias_count = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double abs_b = std::abs(beta_[i]);
+    if (abs_b > 1e-8 && abs_b < c - 1e-8) {
+      bias_acc += y[i] - f[i] - eps * (beta_[i] > 0 ? 1.0 : -1.0);
+      ++bias_count;
+    }
+  }
+  if (bias_count > 0) {
+    bias_ = bias_acc / static_cast<double>(bias_count);
+  } else {
+    // Fallback: average residual.
+    double acc = 0.0;
+    for (std::size_t i = 0; i < n; ++i) acc += y[i] - f[i];
+    bias_ = acc / static_cast<double>(n);
+  }
+  fitted_ = true;
+}
+
+Vector SVR::predict(const Matrix& x) const {
+  check_is_fitted(fitted_);
+  if (x.cols() != x_train_.cols()) {
+    throw std::invalid_argument("SVR: feature count mismatch");
+  }
+  const std::size_t p = x.cols();
+  Vector out(x.rows(), bias_);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < x_train_.rows(); ++t) {
+      if (beta_[t] == 0.0) continue;
+      acc += beta_[t] * kernel(x.row_data(i), x_train_.row_data(t), p);
+    }
+    out[i] += acc;
+  }
+  return out;
+}
+
+std::size_t SVR::support_vector_count() const {
+  std::size_t count = 0;
+  for (double b : beta_) {
+    if (std::abs(b) > 1e-8) ++count;
+  }
+  return count;
+}
+
+std::unique_ptr<Regressor> SVR::clone() const {
+  return std::make_unique<SVR>(params_);
+}
+
+}  // namespace hp::ml

@@ -1,0 +1,59 @@
+#pragma once
+// Epsilon-insensitive Support Vector Regression (R16:SVM-Linear and
+// R17:SVM-RBF), solved in the dual with a pairwise (SMO-style)
+// coordinate optimizer.
+//
+// sklearn defaults are kept: C=1, epsilon=0.1; RBF gamma="scale"
+// (1 / (n_features * Var(X))).  The dual variable per sample is
+// beta_i = alpha_i - alpha_i^* in [-C, C] with sum(beta) = 0; pair
+// updates move (beta_i, beta_j) along the constraint manifold and
+// maximize the piecewise-quadratic dual exactly on each sign region.
+
+#include <cstdint>
+#include <memory>
+
+#include "ml/regressor.hpp"
+
+namespace hp::ml {
+
+enum class SvrKernel { kLinear, kRbf };
+
+class SVR final : public Regressor {
+ public:
+  struct Params {
+    SvrKernel kernel = SvrKernel::kRbf;
+    double c = 1.0;
+    double epsilon = 0.1;
+    /// Negative means "scale": 1 / (n_features * Var(X)).
+    double gamma = -1.0;
+    unsigned max_passes = 200;
+    double tol = 1e-3;
+    std::uint64_t seed = 42;
+  };
+
+  SVR() = default;
+  explicit SVR(Params params) : params_(params) {}
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override {
+    return params_.kernel == SvrKernel::kLinear ? "SVR-Linear" : "SVR-RBF";
+  }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+  /// Number of samples with nonzero dual coefficient (post-fit).
+  [[nodiscard]] std::size_t support_vector_count() const;
+
+ private:
+  [[nodiscard]] double kernel(const double* a, const double* b,
+                              std::size_t p) const;
+
+  Params params_{};
+  double gamma_eff_ = 1.0;
+  Matrix x_train_;
+  Vector beta_;  // dual coefficients alpha - alpha*
+  double bias_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace hp::ml

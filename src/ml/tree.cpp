@@ -1,0 +1,165 @@
+#include "ml/tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace hp::ml {
+
+namespace {
+
+/// xorshift64*: cheap deterministic generator for feature subsampling
+/// (quality requirements are modest and allocation-free matters here).
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace
+
+void DecisionTreeRegressor::fit(const Matrix& x, const Vector& y) {
+  check_fit_args(x, y);
+  if (params_.max_features <= 0.0 || params_.max_features > 1.0) {
+    throw std::invalid_argument("DecisionTree: max_features in (0,1]");
+  }
+  nodes_.clear();
+  depth_ = 0;
+  n_features_ = x.cols();
+  std::vector<std::size_t> idx(x.rows());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::uint64_t rng_state = params_.seed | 1;
+  (void)build(x, y, idx, 0, idx.size(), 0, rng_state);
+  fitted_ = true;
+}
+
+std::size_t DecisionTreeRegressor::build(const Matrix& x, const Vector& y,
+                                         std::vector<std::size_t>& idx,
+                                         std::size_t lo, std::size_t hi,
+                                         unsigned depth,
+                                         std::uint64_t& rng_state) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = hi - lo;
+  double sum = 0.0;
+  for (std::size_t i = lo; i < hi; ++i) sum += y[idx[i]];
+  const double node_mean = sum / static_cast<double>(n);
+
+  auto make_leaf = [&]() {
+    Node leaf;
+    leaf.value = node_mean;
+    nodes_.push_back(leaf);
+    return nodes_.size() - 1;
+  };
+
+  if (n < params_.min_samples_split ||
+      (params_.max_depth && depth >= *params_.max_depth)) {
+    return make_leaf();
+  }
+
+  // Candidate features (all, or a random subset for forests).
+  std::vector<std::size_t> features(n_features_);
+  std::iota(features.begin(), features.end(), 0);
+  std::size_t n_candidates = n_features_;
+  if (params_.max_features < 1.0) {
+    n_candidates = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::round(
+               params_.max_features * static_cast<double>(n_features_))));
+    // Partial Fisher-Yates.
+    for (std::size_t i = 0; i < n_candidates; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(next_rand(rng_state) %
+                                       (n_features_ - i));
+      std::swap(features[i], features[j]);
+    }
+  }
+
+  // Best split search: sort indices per feature and scan with prefix
+  // sums; proxy objective is maximizing sum_L^2/n_L + sum_R^2/n_R.
+  double best_score = -std::numeric_limits<double>::infinity();
+  std::size_t best_feature = Node::kLeaf;
+  double best_threshold = 0.0;
+
+  std::vector<std::size_t> sorted(idx.begin() + static_cast<std::ptrdiff_t>(lo),
+                                  idx.begin() + static_cast<std::ptrdiff_t>(hi));
+  const double parent_score = sum * sum / static_cast<double>(n);
+  for (std::size_t fi = 0; fi < n_candidates; ++fi) {
+    const std::size_t f = features[fi];
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) { return x(a, f) < x(b, f); });
+    double left_sum = 0.0;
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      left_sum += y[sorted[k]];
+      const std::size_t n_left = k + 1;
+      const std::size_t n_right = n - n_left;
+      if (n_left < params_.min_samples_leaf ||
+          n_right < params_.min_samples_leaf) {
+        continue;
+      }
+      const double v = x(sorted[k], f);
+      const double v_next = x(sorted[k + 1], f);
+      if (v == v_next) continue;  // cannot split between equal values
+      const double right_sum = sum - left_sum;
+      const double score =
+          left_sum * left_sum / static_cast<double>(n_left) +
+          right_sum * right_sum / static_cast<double>(n_right);
+      if (score > best_score) {
+        best_score = score;
+        best_feature = f;
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_feature == Node::kLeaf || best_score <= parent_score + 1e-12) {
+    return make_leaf();
+  }
+
+  // Partition idx[lo,hi) by the chosen split.
+  const auto mid_it = std::partition(
+      idx.begin() + static_cast<std::ptrdiff_t>(lo),
+      idx.begin() + static_cast<std::ptrdiff_t>(hi),
+      [&](std::size_t i) { return x(i, best_feature) <= best_threshold; });
+  const std::size_t mid =
+      static_cast<std::size_t>(mid_it - idx.begin());
+  if (mid == lo || mid == hi) return make_leaf();  // numeric ties
+
+  const std::size_t me = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[me].feature = best_feature;
+  nodes_[me].threshold = best_threshold;
+  const std::size_t left = build(x, y, idx, lo, mid, depth + 1, rng_state);
+  const std::size_t right = build(x, y, idx, mid, hi, depth + 1, rng_state);
+  nodes_[me].left = left;
+  nodes_[me].right = right;
+  return me;
+}
+
+double DecisionTreeRegressor::predict_one(const double* row) const {
+  std::size_t cur = 0;
+  while (nodes_[cur].feature != Node::kLeaf) {
+    cur = row[nodes_[cur].feature] <= nodes_[cur].threshold
+              ? nodes_[cur].left
+              : nodes_[cur].right;
+  }
+  return nodes_[cur].value;
+}
+
+Vector DecisionTreeRegressor::predict(const Matrix& x) const {
+  check_is_fitted(fitted_);
+  if (x.cols() != n_features_) {
+    throw std::invalid_argument("DecisionTree: feature count mismatch");
+  }
+  Vector out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    out[i] = predict_one(x.row_data(i));
+  }
+  return out;
+}
+
+std::unique_ptr<Regressor> DecisionTreeRegressor::clone() const {
+  return std::make_unique<DecisionTreeRegressor>(params_);
+}
+
+}  // namespace hp::ml

@@ -1,0 +1,73 @@
+#pragma once
+// CART regression tree (R4:DTR) - also the base learner for the
+// Bagging / RandomForest / AdaBoost / GradientBoosting ensembles.
+//
+// Splits minimize child SSE (equivalently maximize variance reduction),
+// scanning sorted feature values with prefix sums, as in sklearn's
+// exact splitter.  Defaults: unlimited depth, min_samples_split=2,
+// min_samples_leaf=1, all features considered.
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+
+#include "ml/regressor.hpp"
+
+namespace hp::ml {
+
+/// Hyperparameters for DecisionTreeRegressor.
+struct TreeParams {
+  std::optional<unsigned> max_depth{};    ///< unlimited when unset
+  std::size_t min_samples_split = 2;
+  std::size_t min_samples_leaf = 1;
+  /// Fraction of features examined per split in (0,1]; 1.0 = all.
+  double max_features = 1.0;
+  std::uint64_t seed = 42;  ///< used only when max_features < 1
+};
+
+/// CART regression tree with MSE splitting.
+class DecisionTreeRegressor final : public Regressor {
+ public:
+  DecisionTreeRegressor() = default;
+  explicit DecisionTreeRegressor(TreeParams params) : params_(params) {}
+
+  void fit(const Matrix& x, const Vector& y) override;
+  [[nodiscard]] Vector predict(const Matrix& x) const override;
+  [[nodiscard]] std::string name() const override {
+    return "DecisionTreeRegressor";
+  }
+  [[nodiscard]] std::unique_ptr<Regressor> clone() const override;
+
+  /// Single-row prediction (used heavily by the ensembles).
+  [[nodiscard]] double predict_one(const double* row) const;
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] unsigned depth() const noexcept { return depth_; }
+  [[nodiscard]] const TreeParams& params() const noexcept { return params_; }
+
+ private:
+  struct Node {
+    // Internal node when feature != kLeaf; leaf stores `value` only.
+    static constexpr std::size_t kLeaf = std::numeric_limits<std::size_t>::max();
+    std::size_t feature = kLeaf;
+    double threshold = 0.0;
+    std::size_t left = 0;
+    std::size_t right = 0;
+    double value = 0.0;
+  };
+
+  std::size_t build(const Matrix& x, const Vector& y,
+                    std::vector<std::size_t>& idx, std::size_t lo,
+                    std::size_t hi, unsigned depth, std::uint64_t& rng_state);
+
+  TreeParams params_{};
+  std::vector<Node> nodes_;
+  std::size_t n_features_ = 0;
+  unsigned depth_ = 0;
+  bool fitted_ = false;
+};
+
+}  // namespace hp::ml

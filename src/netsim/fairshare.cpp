@@ -1,0 +1,113 @@
+#include "netsim/fairshare.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hp::netsim {
+
+std::vector<double> max_min_fair_rates(
+    const Topology& topo, const std::vector<FairShareFlow>& flows) {
+  const std::size_t n_flows = flows.size();
+  const std::size_t n_links = topo.link_count();
+  std::vector<double> rates(n_flows, 0.0);
+  std::vector<bool> frozen(n_flows, false);
+
+  for (std::size_t f = 0; f < n_flows; ++f) {
+    if (flows[f].demand_mbps < 0.0) {
+      throw std::invalid_argument("max_min_fair_rates: negative demand");
+    }
+    for (const LinkIndex l : flows[f].path) {
+      if (l >= n_links) {
+        throw std::out_of_range("max_min_fair_rates: bad link index");
+      }
+    }
+    if (flows[f].path.empty()) {
+      // No shared resource: the flow gets its demand outright.
+      rates[f] = flows[f].demand_mbps;
+      frozen[f] = true;
+    }
+  }
+
+  // Progressive filling: raise all unfrozen flows' rates together; a
+  // flow freezes when it reaches its demand or when a link it crosses
+  // saturates.
+  constexpr double kEps = 1e-9;
+  while (true) {
+    // Per-link remaining capacity and unfrozen-flow count.
+    std::vector<double> remaining(n_links);
+    std::vector<std::size_t> unfrozen_count(n_links, 0);
+    for (std::size_t l = 0; l < n_links; ++l) {
+      remaining[l] = topo.link(l).capacity_mbps;
+    }
+    for (std::size_t f = 0; f < n_flows; ++f) {
+      for (const LinkIndex l : flows[f].path) {
+        if (frozen[f]) {
+          remaining[l] -= rates[f];
+        } else {
+          ++unfrozen_count[l];
+        }
+      }
+    }
+
+    // The uniform increment level every unfrozen flow could rise to.
+    double level = std::numeric_limits<double>::infinity();
+    for (std::size_t l = 0; l < n_links; ++l) {
+      if (unfrozen_count[l] > 0) {
+        level = std::min(level, std::max(remaining[l], 0.0) /
+                                    static_cast<double>(unfrozen_count[l]));
+      }
+    }
+    bool any_unfrozen = false;
+    for (std::size_t f = 0; f < n_flows; ++f) {
+      if (!frozen[f]) {
+        any_unfrozen = true;
+        level = std::min(level, flows[f].demand_mbps);
+      }
+    }
+    if (!any_unfrozen) break;
+
+    // Freeze demand-limited flows at their demand...
+    bool froze_any = false;
+    for (std::size_t f = 0; f < n_flows; ++f) {
+      if (!frozen[f] && flows[f].demand_mbps <= level + kEps) {
+        rates[f] = flows[f].demand_mbps;
+        frozen[f] = true;
+        froze_any = true;
+      }
+    }
+    if (froze_any) continue;  // recompute shares with them accounted
+
+    // ...otherwise freeze every flow crossing a bottleneck link.
+    for (std::size_t l = 0; l < n_links; ++l) {
+      if (unfrozen_count[l] == 0) continue;
+      const double share = std::max(remaining[l], 0.0) /
+                           static_cast<double>(unfrozen_count[l]);
+      if (share <= level + kEps) {
+        for (std::size_t f = 0; f < n_flows; ++f) {
+          if (frozen[f]) continue;
+          for (const LinkIndex pl : flows[f].path) {
+            if (pl == l) {
+              rates[f] = level;
+              frozen[f] = true;
+              froze_any = true;
+              break;
+            }
+          }
+        }
+      }
+    }
+    if (!froze_any) {
+      // Numerical guard: freeze everything at the level to terminate.
+      for (std::size_t f = 0; f < n_flows; ++f) {
+        if (!frozen[f]) {
+          rates[f] = level;
+          frozen[f] = true;
+        }
+      }
+    }
+  }
+  return rates;
+}
+
+}  // namespace hp::netsim

@@ -1,0 +1,33 @@
+#pragma once
+// Max-min fair bandwidth allocation (progressive filling).
+//
+// The fluid-flow model of the emulated testbed: steady-state TCP flows
+// sharing links converge to the max-min fair allocation, which is what
+// the paper's iperf3 measurements report per flow.  Rates are
+// recomputed from scratch whenever flow membership or paths change;
+// topologies here are small (tens of links), so exactness beats
+// incrementality.
+
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace hp::netsim {
+
+/// One flow competing for bandwidth.
+struct FairShareFlow {
+  Path path;           ///< directed links the flow crosses
+  double demand_mbps;  ///< cap; use infinity for greedy TCP
+};
+
+/// Max-min fair rates for `flows` over `topo`'s link capacities.
+/// Invariants guaranteed (and asserted by the test suite):
+///  * no link carries more than its capacity,
+///  * no flow exceeds its demand,
+///  * every flow is bottlenecked: it either meets its demand or crosses
+///    a saturated link where it has a maximal rate.
+/// Flows with empty paths get their full demand (no shared resource).
+[[nodiscard]] std::vector<double> max_min_fair_rates(
+    const Topology& topo, const std::vector<FairShareFlow>& flows);
+
+}  // namespace hp::netsim

@@ -1,0 +1,155 @@
+#include "netsim/paths.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace hp::netsim {
+
+double link_weight(const Link& link, PathMetric metric) {
+  switch (metric) {
+    case PathMetric::kDelay:
+      return link.delay_ms;
+    case PathMetric::kHopCount:
+      return 1.0;
+    case PathMetric::kInverseCapacity:
+      return 1.0 / link.capacity_mbps;
+  }
+  throw std::logic_error("link_weight: unknown metric");
+}
+
+namespace {
+
+/// Dijkstra with per-call banned nodes/links (the Yen spur machinery).
+std::optional<Path> dijkstra(const Topology& topo, NodeIndex src,
+                             NodeIndex dst, PathMetric metric,
+                             const std::set<NodeIndex>& banned_nodes,
+                             const std::set<LinkIndex>& banned_links) {
+  const std::size_t n = topo.node_count();
+  std::vector<double> dist(n, std::numeric_limits<double>::infinity());
+  std::vector<LinkIndex> via(n, kInvalidIndex);
+  using QueueEntry = std::pair<double, NodeIndex>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      frontier;
+  dist[src] = 0.0;
+  frontier.emplace(0.0, src);
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    // Hosts do not forward: they may start a path but not extend one.
+    if (u != src && topo.node(u).kind == NodeKind::kHost) continue;
+    for (const LinkIndex l : topo.outgoing(u)) {
+      if (banned_links.contains(l)) continue;
+      const Link& link = topo.link(l);
+      if (banned_nodes.contains(link.to)) continue;
+      const double nd = d + link_weight(link, metric);
+      if (nd < dist[link.to]) {
+        dist[link.to] = nd;
+        via[link.to] = l;
+        frontier.emplace(nd, link.to);
+      }
+    }
+  }
+  if (via[dst] == kInvalidIndex && src != dst) {
+    if (!std::isfinite(dist[dst])) return std::nullopt;
+  }
+  Path path;
+  for (NodeIndex cur = dst; cur != src;) {
+    const LinkIndex l = via[cur];
+    if (l == kInvalidIndex) return std::nullopt;
+    path.push_back(l);
+    cur = topo.link(l).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::optional<Path> shortest_path(const Topology& topo, NodeIndex src,
+                                  NodeIndex dst, PathMetric metric) {
+  if (src >= topo.node_count() || dst >= topo.node_count()) {
+    throw std::out_of_range("shortest_path: bad node index");
+  }
+  if (src == dst) return Path{};
+  return dijkstra(topo, src, dst, metric, {}, {});
+}
+
+double path_weight(const Topology& topo, const Path& path,
+                   PathMetric metric) {
+  double total = 0.0;
+  for (const LinkIndex l : path) total += link_weight(topo.link(l), metric);
+  return total;
+}
+
+std::vector<NodeIndex> path_nodes(const Topology& topo, const Path& path) {
+  std::vector<NodeIndex> nodes;
+  if (path.empty()) return nodes;
+  nodes.push_back(topo.link(path.front()).from);
+  for (const LinkIndex l : path) nodes.push_back(topo.link(l).to);
+  return nodes;
+}
+
+std::vector<Path> k_shortest_paths(const Topology& topo, NodeIndex src,
+                                   NodeIndex dst, std::size_t k,
+                                   PathMetric metric) {
+  std::vector<Path> result;
+  if (k == 0) return result;
+  const auto first = shortest_path(topo, src, dst, metric);
+  if (!first) return result;
+  result.push_back(*first);
+
+  // Candidate pool ordered by weight (then lexicographic for
+  // determinism).
+  auto cmp = [&](const Path& a, const Path& b) {
+    const double wa = path_weight(topo, a, metric);
+    const double wb = path_weight(topo, b, metric);
+    if (wa != wb) return wa < wb;
+    return a < b;
+  };
+  std::set<Path, decltype(cmp)> candidates(cmp);
+
+  while (result.size() < k) {
+    const Path& previous = result.back();
+    const auto prev_nodes = path_nodes(topo, previous);
+    // Spur from every node of the previous path (except the last).
+    for (std::size_t i = 0; i + 1 < prev_nodes.size(); ++i) {
+      const NodeIndex spur = prev_nodes[i];
+      const Path root(previous.begin(),
+                      previous.begin() + static_cast<std::ptrdiff_t>(i));
+
+      // Ban links that would recreate an already-found path with this
+      // root, and ban root nodes to keep paths loopless.
+      std::set<LinkIndex> banned_links;
+      for (const Path& found : result) {
+        if (found.size() > i &&
+            std::equal(root.begin(), root.end(), found.begin())) {
+          banned_links.insert(found[i]);
+        }
+      }
+      std::set<NodeIndex> banned_nodes(prev_nodes.begin(),
+                                       prev_nodes.begin() +
+                                           static_cast<std::ptrdiff_t>(i));
+
+      const auto spur_path =
+          dijkstra(topo, spur, dst, metric, banned_nodes, banned_links);
+      if (!spur_path) continue;
+      Path total = root;
+      total.insert(total.end(), spur_path->begin(), spur_path->end());
+      if (std::find(result.begin(), result.end(), total) == result.end()) {
+        candidates.insert(std::move(total));
+      }
+    }
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace hp::netsim

@@ -1,0 +1,49 @@
+#pragma once
+// Path computation over the topology: Dijkstra shortest path and Yen's
+// k-shortest loopless paths.
+//
+// The paper hand-plans its three tunnels; a Path Computation Element
+// (Section I) must derive candidate paths itself, and Section II-A
+// worries about topologies growing "from 10s to 100s of routers".
+// These routines give the Controller automatic tunnel planning and the
+// scale-sweep bench its machinery.
+
+#include <optional>
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace hp::netsim {
+
+/// Edge weight used for path computation.
+enum class PathMetric {
+  kDelay,     ///< sum of link delay_ms (latency-optimal)
+  kHopCount,  ///< number of links
+  kInverseCapacity,  ///< sum of 1/capacity (prefers fat links)
+};
+
+/// Weight of one link under a metric.
+[[nodiscard]] double link_weight(const Link& link, PathMetric metric);
+
+/// Shortest path from `src` to `dst` (Dijkstra).  Host nodes are only
+/// allowed as endpoints, never as transit (they do not forward).
+/// Returns nullopt when unreachable.
+[[nodiscard]] std::optional<Path> shortest_path(
+    const Topology& topo, NodeIndex src, NodeIndex dst,
+    PathMetric metric = PathMetric::kDelay);
+
+/// Yen's algorithm: up to `k` loopless shortest paths, best first.
+/// Returns fewer when the graph has fewer distinct simple paths.
+[[nodiscard]] std::vector<Path> k_shortest_paths(
+    const Topology& topo, NodeIndex src, NodeIndex dst, std::size_t k,
+    PathMetric metric = PathMetric::kDelay);
+
+/// Total weight of a path under a metric.
+[[nodiscard]] double path_weight(const Topology& topo, const Path& path,
+                                 PathMetric metric);
+
+/// The node sequence a path visits (src first).
+[[nodiscard]] std::vector<NodeIndex> path_nodes(const Topology& topo,
+                                                const Path& path);
+
+}  // namespace hp::netsim

@@ -1,0 +1,337 @@
+#include "netsim/simulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+namespace hp::netsim {
+
+Simulator::Simulator(Topology topo, QueueModel queue_model)
+    : topo_(std::move(topo)), queue_model_(queue_model),
+      saved_capacity_(topo_.link_count(), 0.0),
+      link_load_mbps_(topo_.link_count(), 0.0),
+      link_util_series_(topo_.link_count()) {}
+
+void Simulator::push_event(double at_s, std::function<void(Simulator&)> action) {
+  if (at_s < now_s_ - 1e-12) {
+    throw std::invalid_argument("Simulator: event scheduled in the past");
+  }
+  events_.push(Event{at_s, next_seq_++, std::move(action)});
+}
+
+FlowId Simulator::add_flow(double at_s, FlowSpec spec) {
+  if (!spec.path.empty() && !topo_.is_connected_path(spec.path)) {
+    throw std::invalid_argument("add_flow: disconnected path for flow " +
+                                spec.name);
+  }
+  const FlowId id = flows_.size();
+  FlowState state;
+  state.spec = std::move(spec);
+  flows_.push_back(std::move(state));
+  push_event(at_s, [id](Simulator& sim) {
+    FlowState& f = sim.flows_[id];
+    f.active = true;
+    f.ever_started = true;
+    f.start_s = sim.now_s_;
+    f.goodput_factor = 1.0;
+    for (const LinkIndex l : f.spec.path) {
+      f.goodput_factor *= 1.0 - sim.topo_.link(l).loss_rate;
+    }
+    sim.reallocate();
+  });
+  return id;
+}
+
+void Simulator::stop_flow(double at_s, FlowId id) {
+  if (id >= flows_.size()) throw std::out_of_range("stop_flow: bad id");
+  push_event(at_s, [id](Simulator& sim) {
+    FlowState& f = sim.flows_[id];
+    f.active = false;
+    f.rate_mbps = 0.0;
+    if (f.ever_started) {
+      // Close the rate series so byte accounting can integrate it.
+      f.rate_series.push_back(Sample{sim.now_s_, 0.0});
+    }
+    sim.reallocate();
+  });
+}
+
+void Simulator::migrate_flow(double at_s, FlowId id, Path new_path) {
+  if (id >= flows_.size()) throw std::out_of_range("migrate_flow: bad id");
+  if (!new_path.empty() && !topo_.is_connected_path(new_path)) {
+    throw std::invalid_argument("migrate_flow: disconnected path");
+  }
+  push_event(at_s, [id, path = std::move(new_path)](Simulator& sim) {
+    FlowState& f = sim.flows_[id];
+    f.spec.path = path;
+    f.goodput_factor = 1.0;
+    for (const LinkIndex l : path) {
+      f.goodput_factor *= 1.0 - sim.topo_.link(l).loss_rate;
+    }
+    sim.reallocate();
+  });
+}
+
+void Simulator::schedule_probes(const std::string& name, Path forward,
+                                double start_s, double interval_s) {
+  if (interval_s <= 0.0) {
+    throw std::invalid_argument("schedule_probes: interval must be > 0");
+  }
+  if (!topo_.is_connected_path(forward)) {
+    throw std::invalid_argument("schedule_probes: disconnected path");
+  }
+  probe_series_[name];  // materialize the series
+  // Self-rescheduling probe event: continues while within the horizon.
+  auto fire = std::make_shared<std::function<void(Simulator&, double)>>();
+  *fire = [name, path = std::move(forward), interval_s, fire](
+              Simulator& sim, double t) {
+    sim.record_probe(name, path);
+    // Reschedule unconditionally: events beyond the current horizon stay
+    // queued and fire if a later run_until extends it.
+    const double next = t + interval_s;
+    sim.push_event(next, [fire, next](Simulator& s) { (*fire)(s, next); });
+  };
+  push_event(start_s,
+             [fire, start_s](Simulator& s) { (*fire)(s, start_s); });
+}
+
+void Simulator::set_sample_interval(double interval_s) {
+  if (interval_s <= 0.0) {
+    throw std::invalid_argument("set_sample_interval: must be > 0");
+  }
+  sample_interval_s_ = interval_s;
+  if (sampler_scheduled_) return;
+  sampler_scheduled_ = true;
+  auto fire = std::make_shared<std::function<void(Simulator&, double)>>();
+  *fire = [fire](Simulator& sim, double t) {
+    // Record flows and link utilizations at the tick.
+    for (FlowState& f : sim.flows_) {
+      if (f.ever_started) {
+        f.rate_series.push_back(Sample{t, f.active ? f.rate_mbps : 0.0});
+      }
+    }
+    for (LinkIndex l = 0; l < sim.topo_.link_count(); ++l) {
+      sim.link_util_series_[l].push_back(
+          Sample{t, sim.link_utilization(l)});
+    }
+    const double next = t + sim.sample_interval_s_;
+    sim.push_event(next, [fire, next](Simulator& s) { (*fire)(s, next); });
+  };
+  const double first = now_s_ + interval_s;
+  push_event(first, [fire, first](Simulator& s) { (*fire)(s, first); });
+}
+
+void Simulator::schedule_callback(double at_s,
+                                  std::function<void(Simulator&)> fn) {
+  push_event(at_s, std::move(fn));
+}
+
+void Simulator::fail_link(double at_s, LinkIndex link) {
+  if (link >= topo_.link_count()) {
+    throw std::out_of_range("fail_link: bad link index");
+  }
+  // Duplex partners are adjacent (add_duplex_link invariant).
+  const LinkIndex partner = (link % 2 == 0) ? link + 1 : link - 1;
+  push_event(at_s, [link, partner](Simulator& sim) {
+    for (const LinkIndex l : {link, partner}) {
+      if (sim.saved_capacity_[l] != 0.0) continue;  // already down
+      sim.saved_capacity_[l] = sim.topo_.link(l).capacity_mbps;
+      sim.topo_.mutable_link(l).capacity_mbps = kDownCapacityMbps;
+    }
+    sim.reallocate();
+  });
+}
+
+void Simulator::restore_link(double at_s, LinkIndex link) {
+  if (link >= topo_.link_count()) {
+    throw std::out_of_range("restore_link: bad link index");
+  }
+  const LinkIndex partner = (link % 2 == 0) ? link + 1 : link - 1;
+  push_event(at_s, [link, partner](Simulator& sim) {
+    for (const LinkIndex l : {link, partner}) {
+      if (sim.saved_capacity_[l] == 0.0) continue;  // already up
+      sim.topo_.mutable_link(l).capacity_mbps = sim.saved_capacity_[l];
+      sim.saved_capacity_[l] = 0.0;
+    }
+    sim.reallocate();
+  });
+}
+
+bool Simulator::is_link_up(LinkIndex link) const {
+  return saved_capacity_.at(link) == 0.0;
+}
+
+void Simulator::run_until(double t_end_s) {
+  if (t_end_s < now_s_) {
+    throw std::invalid_argument("run_until: time goes backwards");
+  }
+  horizon_s_ = t_end_s;
+  while (!events_.empty() && events_.top().t <= t_end_s + 1e-12) {
+    Event ev = events_.top();
+    events_.pop();
+    advance_to(std::max(ev.t, now_s_));
+    ev.action(*this);
+  }
+  advance_to(t_end_s);
+}
+
+void Simulator::advance_to(double t_s) {
+  const double dt = t_s - now_s_;
+  if (dt <= 0.0) {
+    now_s_ = std::max(now_s_, t_s);
+    return;
+  }
+  for (FlowState& f : flows_) {
+    if (f.active) {
+      // Mbps * s = Mbit; /8 = MB, discounted by loss along the path.
+      f.transferred_mb += f.rate_mbps * f.goodput_factor * dt / 8.0;
+    }
+  }
+  now_s_ = t_s;
+}
+
+void Simulator::reallocate() {
+  std::vector<FairShareFlow> shares;
+  std::vector<FlowId> ids;
+  for (FlowId id = 0; id < flows_.size(); ++id) {
+    if (!flows_[id].active) continue;
+    shares.push_back(FairShareFlow{flows_[id].spec.path,
+                                   flows_[id].spec.demand_mbps});
+    ids.push_back(id);
+  }
+  const std::vector<double> rates = max_min_fair_rates(topo_, shares);
+  std::fill(link_load_mbps_.begin(), link_load_mbps_.end(), 0.0);
+  for (std::size_t k = 0; k < ids.size(); ++k) {
+    FlowState& f = flows_[ids[k]];
+    f.rate_mbps = rates[k];
+    f.rate_series.push_back(Sample{now_s_, rates[k]});
+    for (const LinkIndex l : f.spec.path) link_load_mbps_[l] += rates[k];
+  }
+  ++allocation_generation_;
+  schedule_next_completion();
+}
+
+void Simulator::schedule_next_completion() {
+  // Earliest completion among active sized flows at current rates.
+  double best_t = std::numeric_limits<double>::infinity();
+  FlowId best_id = 0;
+  for (FlowId id = 0; id < flows_.size(); ++id) {
+    const FlowState& f = flows_[id];
+    if (!f.active || !std::isfinite(f.spec.size_mb)) continue;
+    const double remaining = f.spec.size_mb - f.transferred_mb;
+    if (remaining <= 1e-12) {
+      best_t = now_s_;
+      best_id = id;
+      break;
+    }
+    const double goodput = f.rate_mbps * f.goodput_factor / 8.0;  // MB/s
+    if (goodput <= 0.0) continue;  // starved: cannot complete for now
+    const double eta = now_s_ + remaining / goodput;
+    if (eta < best_t) {
+      best_t = eta;
+      best_id = id;
+    }
+  }
+  if (!std::isfinite(best_t)) return;
+  const std::uint64_t generation = allocation_generation_;
+  push_event(best_t, [generation, best_id](Simulator& sim) {
+    // Rates changed since this was scheduled: a fresher completion
+    // event has already been queued by the reallocation.
+    if (generation != sim.allocation_generation_) return;
+    sim.complete_flow(best_id);
+  });
+}
+
+void Simulator::complete_flow(FlowId id) {
+  FlowState& f = flows_[id];
+  if (!f.active) return;
+  f.active = false;
+  f.rate_mbps = 0.0;
+  f.completed_s = now_s_;
+  f.transferred_mb = f.spec.size_mb;  // absorb rounding in the ETA
+  f.rate_series.push_back(Sample{now_s_, 0.0});
+  reallocate();
+}
+
+double Simulator::queue_delay_ms(LinkIndex l) const {
+  const double util = link_utilization(l);
+  if (util <= 0.0) return 0.0;
+  const double bounded = std::min(util, 0.995);
+  const double q = queue_model_.serialization_ms * bounded / (1.0 - bounded);
+  return std::min(q, queue_model_.max_queue_ms);
+}
+
+Path Simulator::reverse_path(const Path& forward) {
+  Path rev(forward.rbegin(), forward.rend());
+  for (LinkIndex& l : rev) {
+    // Duplex partners are allocated adjacently by add_duplex_link.
+    l = (l % 2 == 0) ? l + 1 : l - 1;
+  }
+  return rev;
+}
+
+void Simulator::record_probe(const std::string& name, const Path& forward) {
+  probe_series_[name].push_back(Sample{now_s_, path_rtt_ms(forward)});
+}
+
+double Simulator::path_rtt_ms(const Path& forward) const {
+  double rtt = 0.0;
+  for (const LinkIndex l : forward) {
+    rtt += topo_.link(l).delay_ms + queue_delay_ms(l);
+  }
+  for (const LinkIndex l : reverse_path(forward)) {
+    rtt += topo_.link(l).delay_ms + queue_delay_ms(l);
+  }
+  return rtt;
+}
+
+double Simulator::link_utilization(LinkIndex l) const {
+  const Link& link = topo_.link(l);
+  return link_load_mbps_.at(l) / link.capacity_mbps;
+}
+
+const std::vector<Sample>& Simulator::flow_rate_series(FlowId id) const {
+  return flows_.at(id).rate_series;
+}
+
+const std::vector<Sample>& Simulator::probe_series(
+    const std::string& name) const {
+  const auto it = probe_series_.find(name);
+  if (it == probe_series_.end()) {
+    throw std::out_of_range("probe_series: unknown probe " + name);
+  }
+  return it->second;
+}
+
+const std::vector<Sample>& Simulator::link_utilization_series(
+    LinkIndex l) const {
+  return link_util_series_.at(l);
+}
+
+double Simulator::current_rate(FlowId id) const {
+  const FlowState& f = flows_.at(id);
+  return f.active ? f.rate_mbps : 0.0;
+}
+
+double Simulator::transferred_mb(FlowId id) const {
+  return flows_.at(id).transferred_mb;
+}
+
+const Path& Simulator::flow_path(FlowId id) const {
+  return flows_.at(id).spec.path;
+}
+
+bool Simulator::is_active(FlowId id) const { return flows_.at(id).active; }
+
+std::optional<double> Simulator::completion_time(FlowId id) const {
+  return flows_.at(id).completed_s;
+}
+
+std::optional<double> Simulator::fct_s(FlowId id) const {
+  const FlowState& f = flows_.at(id);
+  if (!f.completed_s) return std::nullopt;
+  return *f.completed_s - f.start_s;
+}
+
+}  // namespace hp::netsim

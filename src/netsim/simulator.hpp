@@ -1,0 +1,202 @@
+#pragma once
+// Fluid discrete-event network simulator.
+//
+// Replaces the paper's VirtualBox/freeRtr testbed: flows are fluid TCP
+// streams whose instantaneous rates follow the max-min fair allocation;
+// the event queue carries flow arrivals/departures, path migrations
+// (the PBR rewrites of Figs 11/12), ICMP-style RTT probes and periodic
+// telemetry samples.  All series are recorded for the benches to print.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "netsim/fairshare.hpp"
+#include "netsim/topology.hpp"
+
+namespace hp::netsim {
+
+using FlowId = std::size_t;
+
+/// Description of a flow entering the network.
+struct FlowSpec {
+  std::string name;
+  Path path;
+  /// Demand cap in Mbps; infinity models a greedy TCP transfer.
+  double demand_mbps = std::numeric_limits<double>::infinity();
+  int tos = 0;  ///< Type of Service tag (the paper steers flows by ToS)
+  /// Transfer size in megabytes; infinity = long-lived flow.  Sized
+  /// flows stop automatically once the goodput integral reaches the
+  /// size, enabling flow-completion-time measurements.
+  double size_mb = std::numeric_limits<double>::infinity();
+};
+
+/// One point of a recorded time series.
+struct Sample {
+  double t_s = 0.0;
+  double value = 0.0;
+};
+
+/// Queueing model parameters for RTT probes (M/M/1-flavoured:
+/// queue = base * util / (1 - util), capped).
+struct QueueModel {
+  double serialization_ms = 0.5;
+  double max_queue_ms = 100.0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(Topology topo, QueueModel queue_model = {});
+
+  [[nodiscard]] const Topology& topology() const noexcept { return topo_; }
+  [[nodiscard]] double now() const noexcept { return now_s_; }
+
+  // --- schedule (all times absolute seconds, >= now) -------------------
+
+  /// Flow joins at `at_s`; returns its id immediately.
+  FlowId add_flow(double at_s, FlowSpec spec);
+
+  /// Flow leaves at `at_s`.
+  void stop_flow(double at_s, FlowId id);
+
+  /// Rewire the flow onto a new path at `at_s` -- the one-PBR-entry
+  /// migration that PolKA makes cheap (paper Figs 11/12).  The new path
+  /// must be connected (checked at schedule time).
+  void migrate_flow(double at_s, FlowId id, Path new_path);
+
+  /// Fire RTT probes along `forward` (and its duplex reverse) every
+  /// `interval_s` from `start_s` until the simulation ends, recording
+  /// into the series named `name`.
+  void schedule_probes(const std::string& name, Path forward, double start_s,
+                       double interval_s);
+
+  /// Sample every flow's rate and every link's utilization on this
+  /// period (first sample at t = interval).
+  void set_sample_interval(double interval_s);
+
+  /// Arbitrary callback event (used by the control-plane layer to hook
+  /// telemetry export and optimizer invocations into simulated time).
+  void schedule_callback(double at_s, std::function<void(Simulator&)> fn);
+
+  /// Take a *duplex* link down (both directions) at `at_s`: flows
+  /// crossing it drop to (near) zero rate and its RTT contribution
+  /// saturates at the queue-model cap, emulating a fibre cut.  `link`
+  /// may be either direction of the pair.
+  void fail_link(double at_s, LinkIndex link);
+
+  /// Restore a previously failed duplex link.
+  void restore_link(double at_s, LinkIndex link);
+
+  /// Whether a directed link is currently up.
+  [[nodiscard]] bool is_link_up(LinkIndex link) const;
+
+  // --- run --------------------------------------------------------------
+
+  /// Process events up to and including `t_end_s`, then advance the
+  /// clock to `t_end_s`.
+  void run_until(double t_end_s);
+
+  // --- results ----------------------------------------------------------
+
+  /// Rate series sampled at every recompute and telemetry tick.
+  [[nodiscard]] const std::vector<Sample>& flow_rate_series(FlowId id) const;
+
+  /// RTT series of a probe by name (ms).
+  [[nodiscard]] const std::vector<Sample>& probe_series(
+      const std::string& name) const;
+
+  /// Utilization series (fraction of capacity) per directed link.
+  [[nodiscard]] const std::vector<Sample>& link_utilization_series(
+      LinkIndex l) const;
+
+  /// Instantaneous current rate of an active flow (Mbps); 0 if stopped.
+  [[nodiscard]] double current_rate(FlowId id) const;
+
+  /// Cumulative goodput of the flow so far (megabytes), discounted by
+  /// path loss.
+  [[nodiscard]] double transferred_mb(FlowId id) const;
+
+  /// Current path of a flow.
+  [[nodiscard]] const Path& flow_path(FlowId id) const;
+
+  /// Whether a flow is currently active.
+  [[nodiscard]] bool is_active(FlowId id) const;
+
+  /// Completion time of a sized flow (seconds), if it has finished.
+  [[nodiscard]] std::optional<double> completion_time(FlowId id) const;
+
+  /// Flow-completion time (completion - start), if finished.
+  [[nodiscard]] std::optional<double> fct_s(FlowId id) const;
+
+  /// Immediate RTT estimate over a forward path and its duplex reverse
+  /// at the current utilization state (what a ping would report now).
+  [[nodiscard]] double path_rtt_ms(const Path& forward) const;
+
+  /// Instantaneous utilization (load / capacity) of one link.
+  [[nodiscard]] double link_utilization(LinkIndex l) const;
+
+ private:
+  struct FlowState {
+    FlowSpec spec;
+    bool active = false;
+    bool ever_started = false;
+    double rate_mbps = 0.0;
+    double transferred_mb = 0.0;
+    double goodput_factor = 1.0;  ///< prod(1 - loss) along the path
+    double start_s = 0.0;
+    std::optional<double> completed_s;
+    std::vector<Sample> rate_series;
+  };
+
+  struct Event {
+    double t = 0.0;
+    std::uint64_t seq = 0;  // FIFO among same-time events
+    std::function<void(Simulator&)> action;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_event(double at_s, std::function<void(Simulator&)> action);
+  /// Accrue transferred bytes for [last_change_, t] then set clock.
+  void advance_to(double t_s);
+  /// Recompute the fair-share allocation and record rate samples.
+  void reallocate();
+  /// Schedule (or reschedule) the earliest sized-flow completion under
+  /// the current rates.  Stale completions are skipped via the
+  /// allocation generation counter.
+  void schedule_next_completion();
+  /// Finish a sized flow now: mark complete, deactivate, reallocate.
+  void complete_flow(FlowId id);
+  [[nodiscard]] double queue_delay_ms(LinkIndex l) const;
+  [[nodiscard]] static Path reverse_path(const Path& forward);
+  void record_probe(const std::string& name, const Path& forward);
+
+  /// Capacity a failed link is clamped to (fluid model cannot use 0).
+  static constexpr double kDownCapacityMbps = 1e-6;
+
+  Topology topo_;
+  QueueModel queue_model_;
+  std::vector<double> saved_capacity_;  // original capacity of down links
+  double now_s_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> events_;
+  std::vector<FlowState> flows_;
+  std::vector<double> link_load_mbps_;
+  std::vector<std::vector<Sample>> link_util_series_;
+  std::map<std::string, std::vector<Sample>> probe_series_;
+  double sample_interval_s_ = 0.0;
+  bool sampler_scheduled_ = false;
+  double horizon_s_ = 0.0;  // current run_until target
+  std::uint64_t allocation_generation_ = 0;
+};
+
+}  // namespace hp::netsim

@@ -1,0 +1,85 @@
+#include "netsim/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace hp::netsim {
+
+std::vector<ScheduledFlow> generate_workload(const std::vector<Path>& paths,
+                                             const WorkloadParams& params) {
+  if (paths.empty()) {
+    throw std::invalid_argument("generate_workload: no paths");
+  }
+  if (params.duration_s <= 0.0 || params.arrival_rate_per_s <= 0.0) {
+    throw std::invalid_argument(
+        "generate_workload: duration and rate must be positive");
+  }
+  std::mt19937_64 rng(params.seed);
+  std::exponential_distribution<double> gap(params.arrival_rate_per_s);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  std::lognormal_distribution<double> mice(params.mice_log_mean,
+                                           params.mice_log_sd);
+
+  // Bounded Pareto via inverse-CDF sampling.
+  auto elephant_size = [&]() {
+    const double a = params.elephant_alpha;
+    const double lo = std::pow(params.elephant_min_mb, -a);
+    const double hi = std::pow(params.elephant_max_mb, -a);
+    const double u = uni(rng);
+    return std::pow(lo - u * (lo - hi), -1.0 / a);
+  };
+
+  std::vector<ScheduledFlow> out;
+  double t = 0.0;
+  std::size_t n_mice = 0;
+  std::size_t n_elephants = 0;
+  std::size_t path_index = 0;
+  while (true) {
+    t += gap(rng);
+    if (t >= params.duration_s) break;
+    ScheduledFlow flow;
+    flow.at_s = t;
+    const bool elephant = uni(rng) < params.elephant_fraction;
+    if (elephant) {
+      flow.spec.name = "elephant" + std::to_string(n_elephants++);
+      flow.spec.size_mb = elephant_size();
+      flow.spec.tos = 2;
+    } else {
+      flow.spec.name = "mouse" + std::to_string(n_mice++);
+      flow.spec.size_mb = std::max(0.01, mice(rng));
+      flow.spec.tos = 1;
+    }
+    flow.spec.path = paths[path_index];
+    path_index = (path_index + 1) % paths.size();
+    out.push_back(std::move(flow));
+  }
+  return out;
+}
+
+FctStats collect_fct(const Simulator& sim, const std::vector<FlowId>& flows) {
+  FctStats stats;
+  std::vector<double> fcts;
+  for (const FlowId id : flows) {
+    const auto fct = sim.fct_s(id);
+    if (fct) {
+      fcts.push_back(*fct);
+    } else {
+      ++stats.unfinished;
+    }
+  }
+  stats.completed = fcts.size();
+  if (fcts.empty()) return stats;
+  std::sort(fcts.begin(), fcts.end());
+  double acc = 0.0;
+  for (const double v : fcts) acc += v;
+  stats.mean_fct_s = acc / static_cast<double>(fcts.size());
+  stats.p95_fct_s = fcts[std::min(fcts.size() - 1,
+                                  static_cast<std::size_t>(
+                                      0.95 * static_cast<double>(fcts.size())))];
+  stats.max_fct_s = fcts.back();
+  return stats;
+}
+
+}  // namespace hp::netsim

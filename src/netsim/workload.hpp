@@ -1,0 +1,59 @@
+#pragma once
+// Synthetic traffic workloads.
+//
+// The Hecate line of work (DeepRoute and the paper's Section II-A)
+// targets science-network traffic: a few huge "elephant" transfers over
+// a swarm of short "mice".  This generator produces that mix with
+// Poisson arrivals, log-normal mice and bounded-Pareto elephants --
+// the workload the FCT benches drive through the framework.
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/simulator.hpp"
+
+namespace hp::netsim {
+
+/// One scheduled arrival.
+struct ScheduledFlow {
+  double at_s = 0.0;
+  FlowSpec spec;
+};
+
+/// Workload shape parameters.
+struct WorkloadParams {
+  double duration_s = 300.0;
+  double arrival_rate_per_s = 0.5;  ///< Poisson arrival intensity
+  double elephant_fraction = 0.1;   ///< share of arrivals that are elephants
+  /// Mice: log-normal size (MB); median ~ exp(mu).
+  double mice_log_mean = 1.0;   ///< ln MB (median ~2.7 MB)
+  double mice_log_sd = 0.8;
+  /// Elephants: bounded Pareto size (MB).
+  double elephant_min_mb = 100.0;
+  double elephant_max_mb = 2000.0;
+  double elephant_alpha = 1.3;
+  std::uint64_t seed = 42;
+};
+
+/// Generate arrivals over `paths` (round-robin across paths by default;
+/// the controller usually overrides the path anyway).  Flow names are
+/// "mouse<N>" / "elephant<N>"; ToS 1 for mice, 2 for elephants.
+/// Throws std::invalid_argument on an empty path list or non-positive
+/// rate/duration.
+[[nodiscard]] std::vector<ScheduledFlow> generate_workload(
+    const std::vector<Path>& paths, const WorkloadParams& params = {});
+
+/// Summary statistics of a finished workload run.
+struct FctStats {
+  std::size_t completed = 0;
+  std::size_t unfinished = 0;
+  double mean_fct_s = 0.0;
+  double p95_fct_s = 0.0;
+  double max_fct_s = 0.0;
+};
+
+/// Collect FCT stats for a set of flow ids from a simulator.
+[[nodiscard]] FctStats collect_fct(const Simulator& sim,
+                                   const std::vector<FlowId>& flows);
+
+}  // namespace hp::netsim

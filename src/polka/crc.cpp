@@ -1,0 +1,78 @@
+#include "polka/crc.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace hp::polka {
+
+BitSerialCrc::BitSerialCrc(gf2::Poly generator)
+    : generator_(std::move(generator)), degree_(generator_.degree()) {
+  if (degree_ < 1) {
+    throw std::invalid_argument("BitSerialCrc: generator degree must be >= 1");
+  }
+}
+
+gf2::Poly BitSerialCrc::remainder(const gf2::Poly& dividend) const {
+  gf2::Poly state;
+  for (int i = dividend.degree(); i >= 0; --i) {
+    // Shift the next dividend coefficient into the LFSR...
+    state = state.shifted_left(1);
+    if (dividend.coeff(static_cast<unsigned>(i))) state.set_coeff(0, true);
+    // ...and reduce when the state reaches the generator degree.
+    if (state.degree() == degree_) state += generator_;
+  }
+  return state;
+}
+
+TableCrc::TableCrc(const gf2::Poly& generator) {
+  const int d = generator.degree();
+  if (d < 1 || d > 56) {
+    throw std::invalid_argument("TableCrc: generator degree must be in [1,56]");
+  }
+  degree_ = static_cast<unsigned>(d);
+  generator_bits_ = generator.to_uint64();
+  // Folding the top 8 state bits H back into the low part needs
+  // table_[H] = (H * t^degree) mod g; build the entries with exact
+  // polynomial arithmetic once, then the hot path is pure integer ops.
+  const gf2::Poly t_d = gf2::Poly::monomial(degree_);
+  for (unsigned b = 0; b < 256; ++b) {
+    table_[b] = ((gf2::Poly(b) * t_d) % generator).to_uint64();
+  }
+}
+
+std::uint64_t TableCrc::step(std::uint64_t state,
+                             std::uint8_t byte) const noexcept {
+  // Mixing the next input byte with the high bits of the state and
+  // indexing the table is equivalent to 8 bit-serial steps, but only if
+  // the state's high byte can be exposed; with degree <= 56 the shifted
+  // state never overflows 64 bits.
+  std::uint64_t shifted = (state << 8) | byte;
+  // Reduce the (degree_+8)-bit value by folding its top 8 bits through
+  // the table.
+  const std::uint64_t high = shifted >> degree_;
+  shifted &= (std::uint64_t{1} << degree_) - 1;
+  return shifted ^ table_[static_cast<std::uint8_t>(high)];
+}
+
+std::uint64_t TableCrc::remainder_bits(const gf2::Poly& dividend) const {
+  const int d = dividend.degree();
+  if (d < 0) return 0;
+  // Serialize the dividend MSB-first into whole bytes (left-aligned to a
+  // byte boundary would scale the polynomial, so pad on the *left* with
+  // zeros, which is harmless).
+  const unsigned nbits = static_cast<unsigned>(d) + 1;
+  const unsigned nbytes = (nbits + 7) / 8;
+  std::uint64_t state = 0;
+  for (unsigned i = 0; i < nbytes; ++i) {
+    std::uint8_t byte = 0;
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      const unsigned pos = nbytes * 8 - 1 - (i * 8 + bit);
+      const bool c = pos < nbits && dividend.coeff(pos);
+      byte = static_cast<std::uint8_t>((byte << 1) | (c ? 1 : 0));
+    }
+    state = step(state, byte);
+  }
+  return state;
+}
+
+}  // namespace hp::polka

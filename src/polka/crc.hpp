@@ -1,0 +1,69 @@
+#pragma once
+// CRC-style polynomial remainder engines.
+//
+// PolKA's key data-plane trick is that "routeID mod nodeID" is exactly the
+// remainder a CRC circuit computes, so programmable switches reuse their
+// CRC hardware for forwarding.  We model that hardware two ways:
+//
+//  * BitSerialCrc  - one coefficient per step, the textbook LFSR; this is
+//    the reference implementation and works for any generator degree.
+//  * TableCrc     - byte-at-a-time with a 256-entry table, the way real
+//    pipelines stage the computation; generators up to degree 56.
+//
+// Both consume the dividend most-significant coefficient first and agree
+// with gf2::Poly's Euclidean remainder (asserted by tests and benches).
+
+#include <array>
+#include <cstdint>
+
+#include "gf2/poly.hpp"
+
+namespace hp::polka {
+
+/// Reference remainder engine: processes the dividend one coefficient at
+/// a time, mirroring a linear-feedback shift register.
+class BitSerialCrc {
+ public:
+  /// `generator` must have degree >= 1 (throws std::invalid_argument).
+  explicit BitSerialCrc(gf2::Poly generator);
+
+  /// Remainder of `dividend` modulo the generator.
+  [[nodiscard]] gf2::Poly remainder(const gf2::Poly& dividend) const;
+
+  [[nodiscard]] const gf2::Poly& generator() const noexcept {
+    return generator_;
+  }
+
+ private:
+  gf2::Poly generator_;
+  int degree_;
+};
+
+/// Table-driven remainder engine (byte at a time).  Requires the
+/// generator degree to fit the 64-bit state with one byte of headroom
+/// (degree <= 56); throws std::invalid_argument otherwise.
+class TableCrc {
+ public:
+  explicit TableCrc(const gf2::Poly& generator);
+
+  /// Remainder of `dividend` modulo the generator, as raw bits.
+  [[nodiscard]] std::uint64_t remainder_bits(const gf2::Poly& dividend) const;
+
+  /// Remainder as a polynomial.
+  [[nodiscard]] gf2::Poly remainder(const gf2::Poly& dividend) const {
+    return gf2::Poly(remainder_bits(dividend));
+  }
+
+  [[nodiscard]] unsigned degree() const noexcept { return degree_; }
+
+ private:
+  /// Advance the remainder state by one input byte.
+  [[nodiscard]] std::uint64_t step(std::uint64_t state,
+                                   std::uint8_t byte) const noexcept;
+
+  std::array<std::uint64_t, 256> table_{};
+  std::uint64_t generator_bits_ = 0;
+  unsigned degree_ = 0;
+};
+
+}  // namespace hp::polka

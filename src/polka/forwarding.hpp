@@ -1,0 +1,95 @@
+#pragma once
+// Stateless PolKA forwarding over an abstract switching fabric.
+//
+// A PolkaFabric owns the core nodes and their port wiring.  Packets carry
+// only a routeID; each node computes its output port with a single mod
+// (via a CRC engine, mirroring the P4 implementation) and hands the
+// packet to the neighbour on that port.  No per-node route tables exist.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "polka/crc.hpp"
+#include "polka/node_id.hpp"
+#include "polka/route.hpp"
+
+namespace hp::polka {
+
+/// How a node computes routeID mod nodeID in the data plane.
+enum class ModEngine {
+  kBitSerial,  ///< reference LFSR (any degree)
+  kTable,      ///< byte-at-a-time table CRC (degree <= 56)
+  kDirect,     ///< exact gf2::Poly Euclidean division
+};
+
+/// A switching fabric of PolKA core nodes.
+class PolkaFabric {
+ public:
+  explicit PolkaFabric(ModEngine engine = ModEngine::kTable);
+
+  /// Add a core node with `port_count` output ports; returns its index.
+  /// Node names must be unique (throws std::invalid_argument).
+  std::size_t add_node(const std::string& name, unsigned port_count);
+
+  /// Wire `port` of node `from` to node `to` (unidirectional at this
+  /// layer; call twice for duplex).  Throws std::out_of_range on bad
+  /// indices or ports.
+  void connect(std::size_t from, unsigned port, std::size_t to);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] const NodeId& node(std::size_t i) const {
+    return nodes_.at(i);
+  }
+  [[nodiscard]] std::size_t index_of(const std::string& name) const;
+
+  /// Build the routeID for an explicit node-index path; transit ports
+  /// are derived from the wiring (consecutive path nodes must be
+  /// connected).  `egress_port`, when given, adds a congruence for the
+  /// *last* node so it deterministically emits the packet on that port
+  /// (typically an unwired host-facing port); without it the last node's
+  /// behaviour is unspecified, as in real PolKA where the edge strips
+  /// the header.
+  [[nodiscard]] RouteId route_for_path(
+      const std::vector<std::size_t>& node_path,
+      std::optional<unsigned> egress_port = std::nullopt) const;
+
+  /// Result of pushing one packet through the fabric.
+  struct Trace {
+    std::vector<std::size_t> nodes;  ///< nodes visited, in order
+    std::vector<unsigned> ports;     ///< port taken at each visited node
+    std::size_t mod_operations = 0;  ///< data-plane work performed
+  };
+
+  /// Forward a packet carrying `route` starting at node `first`, for at
+  /// most `max_hops` hops (guards against misconfigured loops).  The
+  /// trace ends when a node's computed port is unwired (egress) or the
+  /// hop limit is reached.
+  [[nodiscard]] Trace forward(const RouteId& route, std::size_t first,
+                              std::size_t max_hops = 64) const;
+
+  /// The port `from` uses to reach `to`, if wired.
+  [[nodiscard]] std::optional<unsigned> port_between(std::size_t from,
+                                                     std::size_t to) const;
+
+ private:
+  [[nodiscard]] unsigned compute_port(const RouteId& route,
+                                      std::size_t node) const;
+
+  ModEngine engine_;
+  NodeIdAllocator allocator_;
+  std::vector<NodeId> nodes_;
+  std::unordered_map<std::string, std::size_t> by_name_;
+  // wiring_[node][port] = neighbour index (or npos when unwired).
+  std::vector<std::vector<std::size_t>> wiring_;
+  std::vector<BitSerialCrc> bit_engines_;
+  std::vector<TableCrc> table_engines_;
+
+  static constexpr std::size_t kUnwired = static_cast<std::size_t>(-1);
+};
+
+}  // namespace hp::polka

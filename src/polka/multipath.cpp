@@ -1,0 +1,58 @@
+#include "polka/multipath.hpp"
+
+#include <stdexcept>
+
+namespace hp::polka {
+
+gf2::Poly port_set_polynomial(const std::vector<unsigned>& ports) {
+  gf2::Poly p;
+  for (const unsigned port : ports) p.set_coeff(port, true);
+  return p;
+}
+
+std::vector<unsigned> polynomial_port_set(const gf2::Poly& p) {
+  std::vector<unsigned> ports;
+  for (int i = 0; i <= p.degree(); ++i) {
+    if (p.coeff(static_cast<unsigned>(i))) {
+      ports.push_back(static_cast<unsigned>(i));
+    }
+  }
+  return ports;
+}
+
+unsigned min_degree_for_port_bitmap(unsigned port_count) {
+  // Bitmap needs one coefficient per port, strictly below the modulus
+  // degree: deg(nodeID) >= port_count.
+  return port_count;
+}
+
+RouteId compute_multipath_route_id(const std::vector<MultiHop>& tree) {
+  if (tree.empty()) {
+    throw std::invalid_argument("compute_multipath_route_id: empty tree");
+  }
+  std::vector<gf2::Congruence> system;
+  system.reserve(tree.size());
+  for (const MultiHop& hop : tree) {
+    if (hop.ports.empty()) {
+      throw std::invalid_argument(
+          "compute_multipath_route_id: hop with no output ports at " +
+          hop.node.name);
+    }
+    const gf2::Poly bitmap = port_set_polynomial(hop.ports);
+    if (bitmap.degree() >= hop.node.poly.degree()) {
+      throw std::domain_error(
+          "compute_multipath_route_id: port bitmap does not fit nodeID "
+          "degree at " +
+          hop.node.name);
+    }
+    system.push_back(gf2::Congruence{bitmap, hop.node.poly});
+  }
+  return RouteId{gf2::crt(system)};
+}
+
+std::vector<unsigned> output_port_set(const RouteId& route,
+                                      const NodeId& node) {
+  return polynomial_port_set(route.value % node.poly);
+}
+
+}  // namespace hp::polka

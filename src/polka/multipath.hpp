@@ -1,0 +1,51 @@
+#pragma once
+// M-PolKA-style stateless multipath source routing.
+//
+// The paper's related work cites mPolKA-INT [31]: "stateless multipath
+// source routing" where the per-node remainder is interpreted as an
+// output-port *bitmap* instead of a port index, so one routeID encodes
+// a whole replication tree.  A node whose remainder has bits {0, 2} set
+// forwards copies on ports 0 and 2.  Node IDs need degree > max port
+// index (one bit per port) rather than log2(ports).
+//
+// This module computes multipath routeIDs from explicit trees and
+// replicates packets through the PolkaFabric wiring.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "gf2/crt.hpp"
+#include "polka/node_id.hpp"
+#include "polka/route.hpp"
+
+namespace hp::polka {
+
+/// One node of a multipath route: forward on every port in `ports`.
+struct MultiHop {
+  NodeId node;
+  std::vector<unsigned> ports;
+};
+
+/// Encode a port set as a bitmap polynomial (bit p <=> port p).
+[[nodiscard]] gf2::Poly port_set_polynomial(const std::vector<unsigned>& ports);
+
+/// Decode a bitmap polynomial back into sorted port indices.
+[[nodiscard]] std::vector<unsigned> polynomial_port_set(const gf2::Poly& p);
+
+/// Compute the multipath routeID.  Every hop needs
+/// deg(nodeID) > max(port) (bitmap must fit below the modulus degree);
+/// throws std::domain_error otherwise, std::invalid_argument on an
+/// empty tree or a hop with no ports.
+[[nodiscard]] RouteId compute_multipath_route_id(
+    const std::vector<MultiHop>& tree);
+
+/// Data-plane lookup: the set of output ports at `node`.
+[[nodiscard]] std::vector<unsigned> output_port_set(const RouteId& route,
+                                                    const NodeId& node);
+
+/// Minimum nodeID degree for bitmap forwarding on `port_count` ports.
+[[nodiscard]] unsigned min_degree_for_port_bitmap(unsigned port_count);
+
+}  // namespace hp::polka

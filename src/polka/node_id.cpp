@@ -1,0 +1,35 @@
+#include "polka/node_id.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "gf2/irreducible.hpp"
+
+namespace hp::polka {
+
+unsigned min_degree_for_ports(unsigned port_count) {
+  unsigned d = 1;
+  while ((std::uint64_t{1} << d) < port_count) ++d;
+  return d;
+}
+
+NodeId NodeIdAllocator::allocate(std::string name, unsigned port_count,
+                                 unsigned min_degree) {
+  if (port_count == 0) {
+    throw std::invalid_argument("NodeIdAllocator: node needs >= 1 port");
+  }
+  const unsigned need = std::max(min_degree, min_degree_for_ports(port_count));
+  for (unsigned d = need; d <= need + 16; ++d) {
+    for (const gf2::Poly& f : gf2::irreducible_of_degree(d)) {
+      if (std::ranges::find(used_, f) == used_.end()) {
+        used_.push_back(f);
+        NodeId id{std::move(name), f, port_count};
+        nodes_.push_back(id);
+        return id;
+      }
+    }
+  }
+  throw std::runtime_error("NodeIdAllocator: exhausted candidate degrees");
+}
+
+}  // namespace hp::polka

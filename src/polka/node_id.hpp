@@ -1,0 +1,49 @@
+#pragma once
+// Node identifier allocation for PolKA core nodes.
+//
+// Each core node's nodeID is a GF(2) polynomial; the output port for a
+// packet is (routeID mod nodeID), so a node with P ports needs a nodeID
+// of degree d with 2^d >= P so every port index 0..P-1 is expressible as
+// a remainder.  CRT additionally requires the nodeIDs to be pairwise
+// coprime; distinct *irreducible* polynomials satisfy that for free,
+// which is the allocation policy used here (and in the PolKA paper).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gf2/poly.hpp"
+
+namespace hp::polka {
+
+/// Identifier of a core node inside a PolKA domain.
+struct NodeId {
+  std::string name;     ///< Human-readable router name (e.g. "SAO").
+  gf2::Poly poly;       ///< The node's polynomial identifier.
+  unsigned port_count;  ///< Number of output ports the node exposes.
+};
+
+/// Allocates pairwise-coprime node identifiers.
+class NodeIdAllocator {
+ public:
+  /// Assign an irreducible polynomial to a node with `port_count` output
+  /// ports.  The chosen degree d satisfies 2^d >= port_count (and is at
+  /// least `min_degree`); each call returns a distinct polynomial.
+  NodeId allocate(std::string name, unsigned port_count,
+                  unsigned min_degree = 2);
+
+  /// All identifiers allocated so far, in allocation order.
+  [[nodiscard]] const std::vector<NodeId>& allocated() const noexcept {
+    return nodes_;
+  }
+
+ private:
+  std::vector<NodeId> nodes_;
+  std::vector<gf2::Poly> used_;
+};
+
+/// Degree needed so that all port indices 0..port_count-1 are valid
+/// remainders (smallest d with 2^d >= port_count, minimum 1).
+[[nodiscard]] unsigned min_degree_for_ports(unsigned port_count);
+
+}  // namespace hp::polka

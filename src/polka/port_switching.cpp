@@ -1,0 +1,32 @@
+#include "polka/port_switching.hpp"
+
+#include <stdexcept>
+
+namespace hp::polka {
+
+PortListLabel::PortListLabel(const std::vector<unsigned>& ports,
+                             unsigned port_bits)
+    : ports_(ports), port_bits_(port_bits) {
+  if (port_bits == 0 || port_bits > 16) {
+    throw std::invalid_argument("PortListLabel: port_bits must be in [1,16]");
+  }
+  for (unsigned p : ports) {
+    if (p >= (1U << port_bits)) {
+      throw std::invalid_argument("PortListLabel: port does not fit field");
+    }
+  }
+}
+
+unsigned PortListLabel::pop_front() {
+  if (head_ >= ports_.size()) {
+    throw std::out_of_range("PortListLabel::pop_front: label exhausted");
+  }
+  const unsigned p = ports_[head_++];
+  if (head_ == ports_.size()) {
+    ports_.clear();
+    head_ = 0;
+  }
+  return p;
+}
+
+}  // namespace hp::polka

@@ -1,0 +1,48 @@
+#pragma once
+// Port-switching source routing: the classical baseline PolKA contrasts
+// against (Section II-B of the paper).
+//
+// The route label is an ordered list of output-port indices; every hop
+// pops the head of the list and rewrites the packet.  We model the label
+// as a bit-packed stack of fixed-width port fields so that label sizes
+// can be compared against PolKA routeID bit lengths (the
+// bench_ablation_label_size experiment).
+
+#include <cstdint>
+#include <vector>
+
+namespace hp::polka {
+
+/// A port-list source-routing label.
+class PortListLabel {
+ public:
+  /// Build a label from the sequence of ports to take, first hop first.
+  /// `port_bits` is the fixed field width per hop (must be in [1,16]
+  /// and large enough for every port; throws std::invalid_argument).
+  PortListLabel(const std::vector<unsigned>& ports, unsigned port_bits);
+
+  /// Pop the next output port, shortening the label (the per-hop
+  /// rewrite that PolKA avoids).  Throws std::out_of_range when empty.
+  unsigned pop_front();
+
+  [[nodiscard]] bool empty() const noexcept {
+    return head_ >= ports_.size();
+  }
+  [[nodiscard]] std::size_t remaining_hops() const noexcept {
+    return ports_.size() - head_;
+  }
+
+  /// Current label size in bits (fields remaining * field width).
+  [[nodiscard]] unsigned bit_length() const noexcept {
+    return static_cast<unsigned>(remaining_hops()) * port_bits_;
+  }
+
+  [[nodiscard]] unsigned port_bits() const noexcept { return port_bits_; }
+
+ private:
+  std::vector<unsigned> ports_;  // front at index head_
+  std::size_t head_ = 0;
+  unsigned port_bits_;
+};
+
+}  // namespace hp::polka

@@ -1,0 +1,71 @@
+#include "polka/pot.hpp"
+
+#include <stdexcept>
+
+namespace hp::polka {
+
+gf2::Poly transit_tag(const TransitSecret& secret, const gf2::Poly& nonce) {
+  // Reduce the nonce into the node's field first and map zero to one:
+  // otherwise a nonce divisible by the nodeID would zero the tag and
+  // make skipping this node undetectable.  With an irreducible modulus
+  // and both factors nonzero, the tag is never zero.
+  gf2::Poly reduced = nonce % secret.node.poly;
+  if (reduced.is_zero()) reduced = gf2::Poly(1);
+  return (secret.key * reduced) % secret.node.poly;
+}
+
+void TransitProof::absorb(const TransitSecret& secret,
+                          const gf2::Poly& nonce) {
+  accumulator += transit_tag(secret, nonce);
+}
+
+PotVerifier::PotVerifier(const std::vector<NodeId>& nodes,
+                         std::uint64_t seed) {
+  std::uint64_t state = seed | 1;
+  auto next = [&state]() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545F4914F6CDD1DULL;
+  };
+  for (const NodeId& node : nodes) {
+    if (secrets_.contains(node.name)) {
+      throw std::invalid_argument("PotVerifier: duplicate node " + node.name);
+    }
+    // Key: nonzero pseudo-random polynomial below the nodeID degree.
+    const int degree = node.poly.degree();
+    gf2::Poly key;
+    do {
+      key = gf2::Poly{};
+      for (int i = 0; i < degree; ++i) {
+        if (next() & 1) key.set_coeff(static_cast<unsigned>(i), true);
+      }
+    } while (key.is_zero());
+    secrets_.emplace(node.name, TransitSecret{node, std::move(key)});
+  }
+}
+
+const TransitSecret& PotVerifier::secret(const std::string& name) const {
+  const auto it = secrets_.find(name);
+  if (it == secrets_.end()) {
+    throw std::out_of_range("PotVerifier: unknown node " + name);
+  }
+  return it->second;
+}
+
+gf2::Poly PotVerifier::expected(const std::vector<std::string>& path_names,
+                                const gf2::Poly& nonce) const {
+  gf2::Poly acc;
+  for (const std::string& name : path_names) {
+    acc += transit_tag(secret(name), nonce);
+  }
+  return acc;
+}
+
+bool PotVerifier::verify(const TransitProof& proof,
+                         const std::vector<std::string>& path_names,
+                         const gf2::Poly& nonce) const {
+  return proof.accumulator == expected(path_names, nonce);
+}
+
+}  // namespace hp::polka

@@ -1,0 +1,72 @@
+#pragma once
+// Proof of Transit for path-aware networks (PoT-PolKA, the paper's
+// reference [18]: "let the edge control the proof-of-transit").
+//
+// Model: every core node holds a secret polynomial key.  A packet
+// carries a per-packet nonce and a PoT accumulator; each node folds in
+// its tag = (key * nonce) mod nodeID, and the egress edge -- which
+// knows all keys -- recomputes the expected accumulator for the
+// intended path and compares.  A node skipped (path deviation) or an
+// unknown node inserted leaves a mismatching accumulator with
+// probability 1 - 2^-deg.
+//
+// This is a didactic simplification of [18]'s Shamir-secret-sharing
+// construction: it keeps the two properties the framework exercises
+// (edge-verifiable transit, stateless per-node work) with GF(2)
+// arithmetic only; it is not resistant to nodes colluding to reorder
+// tags (XOR is commutative).  Documented in DESIGN.md.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "gf2/poly.hpp"
+#include "polka/node_id.hpp"
+
+namespace hp::polka {
+
+/// A node's transit secret, provisioned by the edge controller.
+struct TransitSecret {
+  NodeId node;
+  gf2::Poly key;
+};
+
+/// The per-node data-plane operation: tag = (key * nonce) mod nodeID.
+[[nodiscard]] gf2::Poly transit_tag(const TransitSecret& secret,
+                                    const gf2::Poly& nonce);
+
+/// Running accumulator carried by the packet (XOR of tags).
+struct TransitProof {
+  gf2::Poly accumulator;
+
+  /// Fold one node's tag in (order-independent by construction).
+  void absorb(const TransitSecret& secret, const gf2::Poly& nonce);
+};
+
+/// Edge-side verifier: provisions secrets and checks proofs.
+class PotVerifier {
+ public:
+  /// Generate distinct pseudo-random keys (deg < deg(nodeID)) for each
+  /// node from a seed.  Node names must be unique.
+  explicit PotVerifier(const std::vector<NodeId>& nodes,
+                       std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// The secret provisioned for a node (throws std::out_of_range).
+  [[nodiscard]] const TransitSecret& secret(const std::string& name) const;
+
+  /// The accumulator an honest traversal of `path_names` must produce
+  /// for this nonce.
+  [[nodiscard]] gf2::Poly expected(const std::vector<std::string>& path_names,
+                                   const gf2::Poly& nonce) const;
+
+  /// Does the carried proof match the intended path?
+  [[nodiscard]] bool verify(const TransitProof& proof,
+                            const std::vector<std::string>& path_names,
+                            const gf2::Poly& nonce) const;
+
+ private:
+  std::map<std::string, TransitSecret> secrets_;
+};
+
+}  // namespace hp::polka

@@ -1,0 +1,38 @@
+#include "polka/route.hpp"
+
+#include <stdexcept>
+
+namespace hp::polka {
+
+gf2::Poly port_polynomial(unsigned port) { return gf2::Poly(port); }
+
+unsigned polynomial_port(const gf2::Poly& p) {
+  const std::uint64_t v = p.to_uint64();
+  if (v > 0xFFFFFFFFULL) {
+    throw std::domain_error("polynomial_port: value exceeds unsigned range");
+  }
+  return static_cast<unsigned>(v);
+}
+
+RouteId compute_route_id(const std::vector<Hop>& path) {
+  if (path.empty()) {
+    throw std::invalid_argument("compute_route_id: empty path");
+  }
+  std::vector<gf2::Congruence> system;
+  system.reserve(path.size());
+  for (const Hop& hop : path) {
+    const gf2::Poly port = port_polynomial(hop.port);
+    if (port.degree() >= hop.node.poly.degree()) {
+      throw std::domain_error(
+          "compute_route_id: port polynomial does not fit nodeID degree");
+    }
+    system.push_back(gf2::Congruence{port, hop.node.poly});
+  }
+  return RouteId{gf2::crt(system)};
+}
+
+unsigned output_port(const RouteId& route, const NodeId& node) {
+  return polynomial_port(route.value % node.poly);
+}
+
+}  // namespace hp::polka

@@ -1,0 +1,51 @@
+#pragma once
+// PolKA route identifiers.
+//
+// A route is a list of (node, output-port) hops.  The routeID is the CRT
+// solution of { routeID == port_poly(hop)  (mod nodeID(hop)) } and is the
+// *only* state carried by the packet: core nodes recover their port with
+// one polynomial remainder and never rewrite the label (contrast with
+// the port-switching baseline in port_switching.hpp).
+
+#include <cstdint>
+#include <vector>
+
+#include "gf2/crt.hpp"
+#include "gf2/poly.hpp"
+#include "polka/node_id.hpp"
+
+namespace hp::polka {
+
+/// One hop of an explicit route: at `node`, leave through `port`.
+struct Hop {
+  NodeId node;
+  unsigned port = 0;
+};
+
+/// The packet-carried route label.
+struct RouteId {
+  gf2::Poly value;  ///< CRT solution; deg < sum of nodeID degrees.
+
+  /// Bits needed to carry this routeID in a packet header.
+  [[nodiscard]] unsigned bit_length() const noexcept {
+    return static_cast<unsigned>(value.degree() + 1);
+  }
+};
+
+/// Encode a port index as a polynomial (its binary expansion).
+[[nodiscard]] gf2::Poly port_polynomial(unsigned port);
+
+/// Decode a polynomial back to a port index.  Throws std::domain_error
+/// if the polynomial's value does not fit `unsigned`.
+[[nodiscard]] unsigned polynomial_port(const gf2::Poly& p);
+
+/// Compute the routeID for an explicit path.  Throws std::domain_error
+/// when a hop's port does not fit its node's degree (the port polynomial
+/// must have degree < deg(nodeID)) or when nodeIDs are not pairwise
+/// coprime; std::invalid_argument on an empty path.
+[[nodiscard]] RouteId compute_route_id(const std::vector<Hop>& path);
+
+/// What a core node does in the data plane: one mod operation.
+[[nodiscard]] unsigned output_port(const RouteId& route, const NodeId& node);
+
+}  // namespace hp::polka

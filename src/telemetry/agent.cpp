@@ -1,0 +1,56 @@
+#include "telemetry/agent.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace hp::telemetry {
+
+PathAgent::PathAgent(PathAgentConfig config, TimeSeriesStore& store)
+    : config_(std::move(config)), store_(&store) {}
+
+double PathAgent::available_mbps(const hp::netsim::Simulator& sim,
+                                 const hp::netsim::Path& path) {
+  double avail = std::numeric_limits<double>::infinity();
+  for (const hp::netsim::LinkIndex l : path) {
+    const double cap = sim.topology().link(l).capacity_mbps;
+    const double residual = cap * (1.0 - sim.link_utilization(l));
+    avail = std::min(avail, std::max(residual, 0.0));
+  }
+  return avail;
+}
+
+void PathAgent::start(hp::netsim::Simulator& sim, double start_s) {
+  auto fire = std::make_shared<
+      std::function<void(hp::netsim::Simulator&, double)>>();
+  // Copy what the callback needs by value: the agent object may go out
+  // of scope while the simulation keeps running.
+  TimeSeriesStore* store = store_;
+  const hp::netsim::Path path = config_.path;
+  const std::string bw_series = bandwidth_series();
+  const std::string rtt_series_name = rtt_series();
+  const std::string jitter_series_name = jitter_series();
+  const double interval = config_.interval_s;
+  // Previous RTT for the jitter delta; shared by the recurring closure.
+  auto prev_rtt = std::make_shared<double>(-1.0);
+  *fire = [=](hp::netsim::Simulator& s, double t) {
+    const double rtt = s.path_rtt_ms(path);
+    store->append(bw_series, Point{t, available_mbps(s, path)});
+    store->append(rtt_series_name, Point{t, rtt});
+    if (*prev_rtt >= 0.0) {
+      store->append(jitter_series_name, Point{t, std::abs(rtt - *prev_rtt)});
+    }
+    *prev_rtt = rtt;
+    const double next = t + interval;
+    s.schedule_callback(next,
+                        [fire, next](hp::netsim::Simulator& s2) {
+                          (*fire)(s2, next);
+                        });
+  };
+  sim.schedule_callback(start_s, [fire, start_s](hp::netsim::Simulator& s) {
+    (*fire)(s, start_s);
+  });
+}
+
+}  // namespace hp::telemetry

@@ -1,0 +1,58 @@
+#pragma once
+// Telemetry agents: the Controller "activates agents to collect
+// telemetry data from relevant network paths ... focusing on metrics
+// like flow rate and latency" (paper Section IV).  A PathAgent samples
+// a path's available bandwidth and RTT from the simulator on a fixed
+// period and appends to the Telemetry Service store.
+
+#include <string>
+#include <vector>
+
+#include "netsim/simulator.hpp"
+#include "telemetry/store.hpp"
+
+namespace hp::telemetry {
+
+/// Sampling configuration for one monitored path.
+struct PathAgentConfig {
+  std::string path_name;        ///< series prefix, e.g. "tunnel1"
+  hp::netsim::Path path;        ///< forward path through the topology
+  double interval_s = 1.0;      ///< sampling period
+};
+
+/// Installs periodic sampling callbacks on the simulator.  Three series
+/// per path are produced: "<name>.available_mbps" (bottleneck residual
+/// capacity, what a new flow could get), "<name>.rtt_ms", and
+/// "<name>.jitter_ms" (absolute RTT delta between consecutive samples,
+/// one of the Section III QoS parameters).
+class PathAgent {
+ public:
+  PathAgent(PathAgentConfig config, TimeSeriesStore& store);
+
+  /// Begin sampling at `start_s` on `sim`'s clock.
+  void start(hp::netsim::Simulator& sim, double start_s);
+
+  [[nodiscard]] const std::string& name() const noexcept {
+    return config_.path_name;
+  }
+  [[nodiscard]] std::string bandwidth_series() const {
+    return config_.path_name + ".available_mbps";
+  }
+  [[nodiscard]] std::string rtt_series() const {
+    return config_.path_name + ".rtt_ms";
+  }
+  [[nodiscard]] std::string jitter_series() const {
+    return config_.path_name + ".jitter_ms";
+  }
+
+  /// Available bandwidth of a path right now: the minimum over links of
+  /// (capacity - load), clamped at 0.
+  [[nodiscard]] static double available_mbps(const hp::netsim::Simulator& sim,
+                                             const hp::netsim::Path& path);
+
+ private:
+  PathAgentConfig config_;
+  TimeSeriesStore* store_;
+};
+
+}  // namespace hp::telemetry

@@ -1,0 +1,79 @@
+#include "telemetry/store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hp::telemetry {
+
+void TimeSeriesStore::append(const std::string& series, Point p) {
+  auto& data = series_[series];
+  if (!data.empty() && p.t_s < data.back().t_s) {
+    throw std::invalid_argument("TimeSeriesStore: non-monotonic timestamp in " +
+                                series);
+  }
+  data.push_back(p);
+  if (max_points_ != 0 && data.size() > max_points_) {
+    data.erase(data.begin(),
+               data.begin() + static_cast<std::ptrdiff_t>(data.size() -
+                                                          max_points_));
+  }
+}
+
+bool TimeSeriesStore::has_series(const std::string& series) const {
+  return series_.contains(series);
+}
+
+std::vector<std::string> TimeSeriesStore::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, _] : series_) names.push_back(name);
+  return names;
+}
+
+std::size_t TimeSeriesStore::size(const std::string& series) const {
+  const auto it = series_.find(series);
+  return it == series_.end() ? 0 : it->second.size();
+}
+
+std::vector<Point> TimeSeriesStore::range(const std::string& series, double t0,
+                                          double t1) const {
+  const auto it = series_.find(series);
+  if (it == series_.end()) return {};
+  const auto& data = it->second;
+  const auto lo = std::lower_bound(
+      data.begin(), data.end(), t0,
+      [](const Point& p, double t) { return p.t_s < t; });
+  const auto hi = std::upper_bound(
+      data.begin(), data.end(), t1,
+      [](double t, const Point& p) { return t < p.t_s; });
+  return {lo, hi};
+}
+
+std::vector<Point> TimeSeriesStore::last(const std::string& series,
+                                         std::size_t k) const {
+  const auto it = series_.find(series);
+  if (it == series_.end()) return {};
+  const auto& data = it->second;
+  const std::size_t n = std::min(k, data.size());
+  return {data.end() - static_cast<std::ptrdiff_t>(n), data.end()};
+}
+
+std::vector<double> TimeSeriesStore::last_values(const std::string& series,
+                                                 std::size_t k) const {
+  const auto points = last(series, k);
+  std::vector<double> values(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) values[i] = points[i].value;
+  return values;
+}
+
+std::optional<Point> TimeSeriesStore::latest(const std::string& series) const {
+  const auto it = series_.find(series);
+  if (it == series_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+void TimeSeriesStore::clear(const std::string& series) {
+  series_.erase(series);
+}
+
+}  // namespace hp::telemetry

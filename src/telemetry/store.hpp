@@ -1,0 +1,63 @@
+#pragma once
+// Telemetry Service: an in-memory time-series store.
+//
+// The paper's framework stores per-path flow-rate and latency samples in
+// a time-series database that the Controller later queries as
+// "a dataset of time-indexed values" for the Optimizer (Fig 4).  This
+// store keeps one append-only series per string key with range / last-k
+// queries and an optional retention cap.
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hp::telemetry {
+
+/// One observation.
+struct Point {
+  double t_s = 0.0;
+  double value = 0.0;
+};
+
+/// Append-only named time series with retention.
+class TimeSeriesStore {
+ public:
+  /// `max_points_per_series` == 0 means unbounded.
+  explicit TimeSeriesStore(std::size_t max_points_per_series = 0)
+      : max_points_(max_points_per_series) {}
+
+  /// Append a sample; timestamps within one series must be
+  /// non-decreasing (throws std::invalid_argument otherwise).
+  void append(const std::string& series, Point p);
+
+  [[nodiscard]] bool has_series(const std::string& series) const;
+  [[nodiscard]] std::vector<std::string> series_names() const;
+  [[nodiscard]] std::size_t size(const std::string& series) const;
+
+  /// All points with t in [t0, t1]; unknown series yields empty.
+  [[nodiscard]] std::vector<Point> range(const std::string& series, double t0,
+                                         double t1) const;
+
+  /// Last k points (fewer if the series is shorter).
+  [[nodiscard]] std::vector<Point> last(const std::string& series,
+                                        std::size_t k) const;
+
+  /// Values (without timestamps) of the last k points, oldest first --
+  /// the exact shape the regression windowing consumes.
+  [[nodiscard]] std::vector<double> last_values(const std::string& series,
+                                                std::size_t k) const;
+
+  /// Latest point of a series, if any.
+  [[nodiscard]] std::optional<Point> latest(const std::string& series) const;
+
+  /// Drop all data of one series.
+  void clear(const std::string& series);
+
+ private:
+  std::size_t max_points_;
+  std::map<std::string, std::vector<Point>> series_;
+};
+
+}  // namespace hp::telemetry

@@ -1,0 +1,86 @@
+// Tests for the Dashboard rendering helpers.
+
+#include "core/dashboard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hp::core {
+namespace {
+
+using hp::netsim::Sample;
+
+std::vector<Sample> ramp_series() {
+  std::vector<Sample> s;
+  for (int i = 0; i <= 10; ++i) {
+    s.push_back(Sample{static_cast<double>(i), static_cast<double>(i * 2)});
+  }
+  return s;
+}
+
+TEST(Dashboard, SeriesTableDownsamples) {
+  const auto series = ramp_series();
+  const std::string table = Dashboard::series_table(series, "hdr", 5);
+  EXPECT_NE(table.find("hdr"), std::string::npos);
+  // Downsampled: fewer data rows than points, but at least a few.
+  const auto rows = std::count(table.begin(), table.end(), '\n');
+  EXPECT_LE(rows, 8);
+  EXPECT_GE(rows, 4);
+}
+
+TEST(Dashboard, SeriesTableEmpty) {
+  const std::string table = Dashboard::series_table({}, "hdr");
+  EXPECT_NE(table.find("(empty)"), std::string::npos);
+}
+
+TEST(Dashboard, StripChartBoundsAndWidth) {
+  const auto series = ramp_series();
+  const std::string chart = Dashboard::strip_chart(series, 20);
+  // "[" + 20 chars + "]" plus stats.
+  EXPECT_EQ(chart.find('['), 0U);
+  EXPECT_EQ(chart.find(']'), 21U);
+  EXPECT_NE(chart.find("min=0"), std::string::npos);
+  EXPECT_NE(chart.find("max=20"), std::string::npos);
+}
+
+TEST(Dashboard, StripChartConstantSeries) {
+  std::vector<Sample> flat(5, Sample{0.0, 7.0});
+  for (int i = 0; i < 5; ++i) flat[static_cast<std::size_t>(i)].t_s = i;
+  const std::string chart = Dashboard::strip_chart(flat, 10);
+  EXPECT_NE(chart.find("min=7"), std::string::npos);
+  EXPECT_EQ(Dashboard::strip_chart({}, 10), "(empty)");
+}
+
+TEST(Dashboard, MeanBetween) {
+  const auto series = ramp_series();
+  EXPECT_DOUBLE_EQ(Dashboard::mean_between(series, 0.0, 10.0), 10.0);
+  EXPECT_DOUBLE_EQ(Dashboard::mean_between(series, 4.0, 6.0), 10.0);
+  EXPECT_DOUBLE_EQ(Dashboard::mean_between(series, 100.0, 200.0), 0.0);
+}
+
+TEST(Dashboard, LinkOccupationSkipsIdleLinks) {
+  hp::netsim::Simulator sim(hp::netsim::make_global_p4_lab());
+  const Dashboard dashboard(sim);
+  // Nothing flowing: the report has a header and no bars.
+  const std::string idle = dashboard.link_occupation_report();
+  EXPECT_NE(idle.find("link occupation"), std::string::npos);
+  EXPECT_EQ(idle.find('#'), std::string::npos);
+
+  const auto path = sim.topology().path_through(
+      {"host1", "MIA", "CHI", "AMS", "host2"});
+  sim.add_flow(0.0, hp::netsim::FlowSpec{
+                        "f", path, std::numeric_limits<double>::infinity(),
+                        0});
+  sim.run_until(1.0);
+  const std::string busy = dashboard.link_occupation_report();
+  EXPECT_NE(busy.find("MIA"), std::string::npos);
+  EXPECT_NE(busy.find("CHI"), std::string::npos);
+  // The saturated MIA->CHI bar is full.
+  EXPECT_NE(busy.find("##########"), std::string::npos);
+  // SAO never appears: no traffic crosses it.
+  EXPECT_EQ(busy.find("SAO"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,169 @@
+// Tests for the framework extensions: automatic model selection
+// (fit_auto) and LP-based flow splitting in the Controller.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/runtime.hpp"
+
+namespace hp::core {
+namespace {
+
+using hp::freertr::parse_ipv4;
+
+TEST(FitAuto, PicksLowHoldoutRmseModel) {
+  HecateConfig config;
+  config.history = 5;
+  HecateService hecate(config);
+  // A clean linear ramp: linear-family models win the holdout easily
+  // against trees (which extrapolate poorly beyond the training range).
+  std::vector<double> ramp(200);
+  for (std::size_t i = 0; i < 200; ++i) ramp[i] = static_cast<double>(i);
+  hecate.load_series("ramp", ramp);
+  const std::string chosen =
+      hecate.fit_auto("ramp", {"LR", "DTR", "RFR"});
+  EXPECT_EQ(chosen, "LR");
+  EXPECT_EQ(hecate.model_of("ramp"), "LR");
+  EXPECT_TRUE(hecate.is_trained("ramp"));
+  // Forecast extrapolates the ramp.
+  const auto forecast = hecate.forecast("ramp", 3);
+  EXPECT_NEAR(forecast[0], 200.0, 2.0);
+}
+
+TEST(FitAuto, DefaultCandidatesAreTheCatalog) {
+  HecateConfig config;
+  config.history = 5;
+  HecateService hecate(config);
+  std::vector<double> series(120);
+  for (std::size_t i = 0; i < 120; ++i) {
+    series[i] = 10.0 + 3.0 * std::sin(static_cast<double>(i) * 0.3);
+  }
+  hecate.load_series("s", series);
+  const std::string chosen = hecate.fit_auto("s");
+  EXPECT_FALSE(chosen.empty());
+  EXPECT_EQ(hecate.model_of("s"), chosen);
+}
+
+TEST(FitAuto, ThinSeriesRejected) {
+  HecateService hecate;
+  hecate.load_series("thin", std::vector<double>(20, 1.0));
+  EXPECT_THROW((void)hecate.fit_auto("thin"), std::runtime_error);
+  EXPECT_EQ(hecate.model_of("thin"), "");
+}
+
+FlowRequest split_request(double demand) {
+  FlowRequest request;
+  request.name = "bulk";
+  request.acl_name = "bulk";
+  request.src_ip = parse_ipv4("40.40.1.2");
+  request.dst_ip = parse_ipv4("40.40.2.2");
+  request.tos = 1;
+  request.demand_mbps = demand;
+  return request;
+}
+
+TEST(SplitFlow, BalancesUtilizationAcrossTunnels) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  auto& sim = runtime.simulator();
+  // 28 Mbps over bottlenecks {20, 10, 5}: LP gives 16/8/4 (0.8 each).
+  const auto indices = runtime.controller().split_flow(split_request(28.0),
+                                                       0.0);
+  ASSERT_EQ(indices.size(), 3U);
+  sim.run_until(10.0);
+  const double rates[3] = {
+      sim.current_rate(runtime.controller().managed(indices[0]).sim_flow),
+      sim.current_rate(runtime.controller().managed(indices[1]).sim_flow),
+      sim.current_rate(runtime.controller().managed(indices[2]).sim_flow)};
+  EXPECT_NEAR(rates[0], 16.0, 1e-6);
+  EXPECT_NEAR(rates[1], 8.0, 1e-6);
+  EXPECT_NEAR(rates[2], 4.0, 1e-6);
+  // Subflows landed on three distinct tunnels with their own ACLs.
+  EXPECT_NE(runtime.edge().config().find_pbr("bulk.0"), nullptr);
+  EXPECT_NE(runtime.edge().config().find_pbr("bulk.2"), nullptr);
+}
+
+TEST(SplitFlow, SmallDemandMaySkipTunnels) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  // A tiny demand is served by a subset; total must still match.
+  const auto indices =
+      runtime.controller().split_flow(split_request(3.0), 0.0);
+  runtime.simulator().run_until(5.0);
+  double total = 0.0;
+  for (const auto i : indices) {
+    total += runtime.simulator().current_rate(
+        runtime.controller().managed(i).sim_flow);
+  }
+  EXPECT_NEAR(total, 3.0, 1e-6);
+}
+
+TEST(SplitFlow, AvoidsDownTunnels) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  auto& sim = runtime.simulator();
+  const auto& topo = sim.topology();
+  sim.fail_link(0.0, *topo.link_between(topo.index_of("MIA"),
+                                        topo.index_of("SAO")));
+  sim.run_until(1.0);
+  // Only tunnels 2 (10) and 3 (5) remain: 12 Mbps fits, split 8/4.
+  const auto indices =
+      runtime.controller().split_flow(split_request(12.0), 1.0);
+  ASSERT_EQ(indices.size(), 2U);
+  for (const auto i : indices) {
+    EXPECT_NE(runtime.controller().managed(i).tunnel_id, 1U);
+  }
+}
+
+TEST(PlanTunnels, DerivesThePaperTunnelsAutomatically) {
+  const auto topo = hp::netsim::make_global_p4_lab();
+  const auto plans =
+      FrameworkRuntime::plan_tunnels(topo, "host1", "host2", 3);
+  ASSERT_EQ(plans.size(), 3U);
+  // Delay-ordered: MIA-CHI-AMS, MIA-CAL-CHI-AMS, MIA-SAO-AMS.
+  EXPECT_EQ(plans[0].routers,
+            (std::vector<std::string>{"MIA", "CHI", "AMS"}));
+  EXPECT_EQ(plans[1].routers,
+            (std::vector<std::string>{"MIA", "CAL", "CHI", "AMS"}));
+  EXPECT_EQ(plans[2].routers,
+            (std::vector<std::string>{"MIA", "SAO", "AMS"}));
+  EXPECT_EQ(plans[0].id, 1U);
+  EXPECT_EQ(plans[2].egress_host, "host2");
+}
+
+TEST(PlanTunnels, PlansBuildAWorkingRuntime) {
+  auto topo = hp::netsim::make_global_p4_lab();
+  auto plans = FrameworkRuntime::plan_tunnels(topo, "host1", "host2", 3);
+  FrameworkRuntime runtime(std::move(topo), std::move(plans));
+  // All three tunnels verified at construction; latency objective picks
+  // the CHI tunnel, which plan_tunnels put first (id 1).
+  EXPECT_EQ(runtime.controller().choose_tunnel(Objective::kMinLatency), 1U);
+  const auto index = runtime.controller().handle_new_flow(
+      split_request(5.0), 0.0, Objective::kMinLatency);
+  runtime.simulator().run_until(5.0);
+  EXPECT_NEAR(runtime.simulator().current_rate(
+                  runtime.controller().managed(index).sim_flow),
+              5.0, 1e-6);
+}
+
+TEST(PlanTunnels, NoPathThrows) {
+  hp::netsim::Topology topo;
+  topo.add_node("h1", hp::netsim::NodeKind::kHost);
+  topo.add_node("h2", hp::netsim::NodeKind::kHost);
+  EXPECT_THROW(
+      (void)FrameworkRuntime::plan_tunnels(topo, "h1", "h2", 2),
+      std::invalid_argument);
+}
+
+TEST(SplitFlow, Validation) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  EXPECT_THROW((void)runtime.controller().split_flow(
+                   split_request(std::numeric_limits<double>::infinity()),
+                   0.0),
+               std::invalid_argument);
+  // Over total capacity (20+10+5 = 35).
+  EXPECT_THROW((void)runtime.controller().split_flow(split_request(50.0),
+                                                     0.0),
+               std::domain_error);
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,197 @@
+// Integration tests: PolkaService + Controller + FrameworkRuntime on the
+// Fig 9 topology, reproducing the shapes of experiments 1 and 2.
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+
+namespace hp::core {
+namespace {
+
+using hp::freertr::parse_ipv4;
+
+FlowRequest make_request(const std::string& name, unsigned tos,
+                         double demand = 1e18) {
+  FlowRequest request;
+  request.name = name;
+  request.acl_name = name;
+  request.src_ip = parse_ipv4("40.40.1.2");
+  request.dst_ip = parse_ipv4("40.40.2.2");
+  request.tos = tos;
+  request.demand_mbps = demand;
+  return request;
+}
+
+TEST(PolkaService, TunnelsGetVerifiableRouteIds) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  auto& polka = runtime.polka();
+  ASSERT_EQ(polka.tunnels().size(), 3U);
+  // verify_tunnel already ran in the constructor; re-verify and check
+  // the mod-operation count equals the hop count.
+  EXPECT_EQ(polka.verify_tunnel(1), 3U);  // MIA, SAO, AMS
+  EXPECT_EQ(polka.verify_tunnel(2), 3U);
+  EXPECT_EQ(polka.verify_tunnel(3), 4U);  // MIA, CAL, CHI, AMS
+  EXPECT_THROW((void)polka.tunnel(9), std::out_of_range);
+}
+
+TEST(PolkaService, EdgeConfigMirrorsTunnels) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  const auto& config = runtime.edge().config();
+  ASSERT_NE(config.find_tunnel(1), nullptr);
+  EXPECT_EQ(config.find_tunnel(1)->domain_path,
+            (std::vector<std::string>{"MIA", "SAO", "AMS"}));
+  EXPECT_EQ(config.find_tunnel(3)->domain_path,
+            (std::vector<std::string>{"MIA", "CAL", "CHI", "AMS"}));
+}
+
+TEST(PolkaService, HostToHostPathConnects) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  const auto path = runtime.polka().host_to_host_path(2, "host1", "host2");
+  EXPECT_TRUE(runtime.simulator().topology().is_connected_path(path));
+  EXPECT_EQ(path.size(), 4U);  // host1-MIA, MIA-CHI, CHI-AMS, AMS-host2
+}
+
+TEST(Controller, MinLatencyPicksTunnel2) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  // Tunnel 2 (MIA-CHI-AMS) has no 20 ms transatlantic hop.
+  EXPECT_EQ(runtime.controller().choose_tunnel(Objective::kMinLatency), 2U);
+}
+
+TEST(Controller, FirstConfiguredIsTunnel1) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  EXPECT_EQ(runtime.controller().choose_tunnel(Objective::kFirstConfigured),
+            1U);
+}
+
+TEST(Controller, NewFlowProgramsEdgeAndSimulator) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  const auto index = runtime.controller().handle_new_flow(
+      make_request("flow1", 1), 0.0, Objective::kFirstConfigured);
+  runtime.simulator().run_until(5.0);
+  const ManagedFlow& flow = runtime.controller().managed(index);
+  EXPECT_EQ(flow.tunnel_id, 1U);
+  // Edge got the ACL and PBR.
+  EXPECT_NE(runtime.edge().config().find_access_list("flow1"), nullptr);
+  EXPECT_EQ(runtime.edge().config().find_pbr("flow1")->tunnel_id, 1U);
+  // The flow runs at tunnel 1's bottleneck.
+  EXPECT_NEAR(runtime.simulator().current_rate(flow.sim_flow), 20.0, 1e-6);
+}
+
+TEST(Controller, SchedulerDrainsInOrder) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  runtime.scheduler().submit(make_request("f1", 1));
+  runtime.scheduler().submit(make_request("f2", 2));
+  EXPECT_EQ(runtime.scheduler().pending_count(), 2U);
+  const auto admitted =
+      runtime.admit_pending(0.0, Objective::kFirstConfigured);
+  EXPECT_EQ(admitted.size(), 2U);
+  EXPECT_TRUE(runtime.scheduler().empty());
+  EXPECT_EQ(runtime.controller().managed(admitted[0]).request.name, "f1");
+}
+
+TEST(Experiment1, LatencyMigrationShape) {
+  // Phase (i): arbitrary allocation on tunnel 1 (high latency);
+  // phase (ii): optimizer migrates to tunnel 2; RTT steps down.
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  auto& sim = runtime.simulator();
+  const auto index = runtime.controller().handle_new_flow(
+      make_request("ping", 0, 0.5), 0.0, Objective::kFirstConfigured);
+  const auto flow = runtime.controller().managed(index).sim_flow;
+  sim.schedule_probes("ping", runtime.polka().tunnel(1).netsim_path, 0.0,
+                      1.0);
+  sim.run_until(60.0);
+  const double rtt_before =
+      sim.path_rtt_ms(sim.flow_path(flow));
+  const unsigned chosen =
+      runtime.controller().reoptimize(index, 60.0, Objective::kMinLatency);
+  sim.run_until(120.0);
+  const double rtt_after = sim.path_rtt_ms(sim.flow_path(flow));
+  EXPECT_EQ(chosen, 2U);
+  EXPECT_GT(rtt_before, 40.0);
+  EXPECT_LT(rtt_after, 15.0);
+  // Edge PBR now points at tunnel 2 -- the single-entry migration.
+  EXPECT_EQ(runtime.edge().config().find_pbr("ping")->tunnel_id, 2U);
+}
+
+TEST(Experiment2, FlowAggregationShape) {
+  // Three ToS-tagged TCP flows all start on tunnel 1 (total <= 20);
+  // reactive re-optimization spreads them over tunnels 2 and 3, total
+  // rises toward 20 + 10 + 5.
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  auto& sim = runtime.simulator();
+  std::vector<std::size_t> flows;
+  for (unsigned tos = 1; tos <= 3; ++tos) {
+    flows.push_back(runtime.controller().handle_new_flow(
+        make_request("flow" + std::to_string(tos), tos), 0.0,
+        Objective::kFirstConfigured));
+  }
+  sim.run_until(60.0);
+  double total_before = 0.0;
+  for (const auto f : flows) {
+    total_before += sim.current_rate(runtime.controller().managed(f).sim_flow);
+  }
+  EXPECT_NEAR(total_before, 20.0, 1e-6);
+
+  // Reactive migration using fresh telemetry, one flow at a time.
+  runtime.controller().reoptimize(flows[1], 60.0,
+                                  Objective::kCurrentBandwidth);
+  sim.run_until(65.0);  // let telemetry observe the new state
+  runtime.controller().reoptimize(flows[2], 65.0,
+                                  Objective::kCurrentBandwidth);
+  sim.run_until(120.0);
+
+  double total_after = 0.0;
+  for (const auto f : flows) {
+    total_after += sim.current_rate(runtime.controller().managed(f).sim_flow);
+  }
+  EXPECT_GT(total_after, total_before + 9.0);  // ~35 in the fluid model
+  // The three flows sit on three distinct tunnels now.
+  std::set<unsigned> tunnels;
+  for (const auto f : flows) {
+    tunnels.insert(runtime.controller().managed(f).tunnel_id);
+  }
+  EXPECT_EQ(tunnels.size(), 3U);
+}
+
+TEST(Framework, HecateTrainsFromTelemetryAndRecommends) {
+  HecateConfig config;
+  config.model = "LR";
+  config.history = 5;
+  config.horizon = 3;
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab(config);
+  auto& sim = runtime.simulator();
+  // Load tunnel 1 with a demand-limited flow so its availability drops.
+  const auto index = runtime.controller().handle_new_flow(
+      make_request("bg", 1, 15.0), 0.0, Objective::kFirstConfigured);
+  (void)index;
+  sim.run_until(60.0);
+  EXPECT_EQ(runtime.train_hecate_from_telemetry(), 3U);
+  // Tunnel 1 availability ~5, tunnel 2 ~10, tunnel 3 ~5: Hecate must
+  // not pick tunnel 1.
+  const unsigned chosen =
+      runtime.controller().choose_tunnel(Objective::kPredictedBandwidth);
+  EXPECT_EQ(chosen, 2U);
+}
+
+TEST(Framework, PredictiveFallsBackBeforeTraining) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  runtime.simulator().run_until(5.0);
+  // Untrained Hecate: kPredictedBandwidth degrades to the reactive
+  // choice instead of failing.
+  EXPECT_NO_THROW(
+      runtime.controller().choose_tunnel(Objective::kPredictedBandwidth));
+}
+
+TEST(Framework, DashboardRendersOccupation) {
+  FrameworkRuntime runtime = FrameworkRuntime::global_p4_lab();
+  runtime.controller().handle_new_flow(make_request("f", 1), 0.0,
+                                       Objective::kFirstConfigured);
+  runtime.simulator().run_until(10.0);
+  const std::string report = runtime.dashboard().link_occupation_report();
+  EXPECT_NE(report.find("MIA"), std::string::npos);
+  EXPECT_NE(report.find("Mbps"), std::string::npos);
+  EXPECT_NE(report.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,122 @@
+// Tests for the two-phase simplex solver.
+
+#include "core/lp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp::core {
+namespace {
+
+TEST(Simplex, BasicMaximizationAsMinimization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  => min -3x - 2y.
+  LpProblem lp;
+  lp.a = Matrix{{1, 1}, {1, 3}};
+  lp.b = {4, 6};
+  lp.senses = {Sense::kLessEqual, Sense::kLessEqual};
+  lp.c = {-3, -2};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 4.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 0.0, 1e-9);
+  EXPECT_NEAR(sol.objective, -12.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y == 5, x <= 3.
+  LpProblem lp;
+  lp.a = Matrix{{1, 1}, {1, 0}};
+  lp.b = {5, 3};
+  lp.senses = {Sense::kEqual, Sense::kLessEqual};
+  lp.c = {1, 2};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 3.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 7.0, 1e-9);
+}
+
+TEST(Simplex, GreaterEqualConstraint) {
+  // min 2x + y s.t. x + y >= 4, x <= 10, y <= 10.
+  LpProblem lp;
+  lp.a = Matrix{{1, 1}, {1, 0}, {0, 1}};
+  lp.b = {4, 10, 10};
+  lp.senses = {Sense::kGreaterEqual, Sense::kLessEqual, Sense::kLessEqual};
+  lp.c = {2, 1};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 0.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 4.0, 1e-9);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  // x <= 1 and x >= 3 cannot hold.
+  LpProblem lp;
+  lp.a = Matrix{{1}, {1}};
+  lp.b = {1, 3};
+  lp.senses = {Sense::kLessEqual, Sense::kGreaterEqual};
+  lp.c = {1};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // min -x with only x >= 0: unbounded below.
+  LpProblem lp;
+  lp.a = Matrix{{1}};
+  lp.b = {0};
+  lp.senses = {Sense::kGreaterEqual};
+  lp.c = {-1};
+  EXPECT_EQ(solve_lp(lp).status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // -x <= -2  (i.e. x >= 2); min x => x = 2.
+  LpProblem lp;
+  lp.a = Matrix{{-1}};
+  lp.b = {-2};
+  lp.senses = {Sense::kLessEqual};
+  lp.c = {1};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex; Bland's
+  // rule must avoid cycling.
+  LpProblem lp;
+  lp.a = Matrix{{1, 1}, {2, 2}, {1, 0}, {0, 1}};
+  lp.b = {2, 4, 2, 2};
+  lp.senses = {Sense::kLessEqual, Sense::kLessEqual, Sense::kLessEqual,
+               Sense::kLessEqual};
+  lp.c = {-1, -1};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0] + sol.x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, DimensionValidation) {
+  LpProblem lp;
+  lp.a = Matrix{{1, 1}};
+  lp.b = {1, 2};  // wrong length
+  lp.senses = {Sense::kLessEqual};
+  lp.c = {1, 1};
+  EXPECT_THROW((void)solve_lp(lp), std::invalid_argument);
+}
+
+TEST(Simplex, PaperEquationOneTwoLp) {
+  // Eq 1-2 as an LP: min xi1*x1 + xi2*x2, x1 + x2 == h, x_i <= c.
+  // With h=8, c=6 each, costs (1, 2): x1=6, x2=2.
+  LpProblem lp;
+  lp.a = Matrix{{1, 1}, {1, 0}, {0, 1}};
+  lp.b = {8, 6, 6};
+  lp.senses = {Sense::kEqual, Sense::kLessEqual, Sense::kLessEqual};
+  lp.c = {1, 2};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.x[0], 6.0, 1e-9);
+  EXPECT_NEAR(sol.x[1], 2.0, 1e-9);
+  EXPECT_NEAR(sol.objective, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,117 @@
+// Tests for the Section III objective functions.
+
+#include "core/objective.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hp::core {
+namespace {
+
+TEST(Objectives, Feasibility) {
+  EXPECT_TRUE(is_feasible({8.0, 6.0, 6.0, 1.0, 1.0}));
+  EXPECT_FALSE(is_feasible({13.0, 6.0, 6.0, 1.0, 1.0}));
+  EXPECT_FALSE(is_feasible({-1.0, 6.0, 6.0, 1.0, 1.0}));
+}
+
+TEST(LinearCost, FillsCheaperPathFirst) {
+  const DemandSplit s = solve_linear_cost({8.0, 6.0, 6.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(s.x1, 6.0);
+  EXPECT_DOUBLE_EQ(s.x2, 2.0);
+  EXPECT_DOUBLE_EQ(s.objective, 10.0);
+  // Costs swapped: path 2 fills first.
+  const DemandSplit t = solve_linear_cost({8.0, 6.0, 6.0, 3.0, 1.0});
+  EXPECT_DOUBLE_EQ(t.x2, 6.0);
+  EXPECT_DOUBLE_EQ(t.x1, 2.0);
+}
+
+TEST(LinearCost, InfeasibleThrows) {
+  EXPECT_THROW((void)solve_linear_cost({20.0, 6.0, 6.0, 1.0, 1.0}),
+               std::domain_error);
+}
+
+TEST(LinearCost, MatchesLpSolver) {
+  const TwoPathProblem p{7.0, 5.0, 4.0, 2.0, 3.0};
+  const DemandSplit corner = solve_linear_cost(p);
+  LpProblem lp;
+  lp.a = Matrix{{1, 1}, {1, 0}, {0, 1}};
+  lp.b = {p.demand, p.capacity1, p.capacity2};
+  lp.senses = {Sense::kEqual, Sense::kLessEqual, Sense::kLessEqual};
+  lp.c = {p.cost1, p.cost2};
+  const LpSolution sol = solve_lp(lp);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_NEAR(sol.objective, corner.objective, 1e-9);
+}
+
+TEST(MinMaxUtilization, EqualizesUtilization) {
+  const DemandSplit s = solve_min_max_utilization({9.0, 6.0, 3.0, 1.0, 1.0});
+  EXPECT_NEAR(s.x1 / 6.0, s.x2 / 3.0, 1e-12);
+  EXPECT_NEAR(s.x1 + s.x2, 9.0, 1e-12);
+  EXPECT_NEAR(s.objective, 1.0, 1e-12);  // h == total capacity here
+  const DemandSplit half = solve_min_max_utilization({4.5, 6.0, 3.0, 1, 1});
+  EXPECT_NEAR(half.objective, 0.5, 1e-12);
+}
+
+TEST(MinMaxUtilization, BeatsAnyOtherSplit) {
+  const TwoPathProblem p{5.0, 8.0, 4.0, 1.0, 1.0};
+  const DemandSplit best = solve_min_max_utilization(p);
+  for (double x1 = 1.0; x1 <= 5.0; x1 += 0.5) {
+    const double x2 = p.demand - x1;
+    if (x2 < 0.0 || x2 > p.capacity2 || x1 > p.capacity1) continue;
+    const double other = std::max(x1 / p.capacity1, x2 / p.capacity2);
+    EXPECT_GE(other + 1e-9, best.objective);
+  }
+}
+
+TEST(DelayObjective, MatchesBruteForce) {
+  const TwoPathProblem p{6.0, 8.0, 8.0, 1.0, 1.0};
+  const DemandSplit s = solve_delay_objective(p);
+  double best = 1e100;
+  for (double x1 = 0.0; x1 <= 6.0; x1 += 0.001) {
+    best = std::min(best, delay_objective_value(p, x1));
+  }
+  EXPECT_NEAR(s.objective, best, 1e-4);
+  EXPECT_NEAR(s.x1 + s.x2, p.demand, 1e-9);
+}
+
+TEST(DelayObjective, DoublePenaltyShiftsTowardDirectPath) {
+  // The via path is counted twice (two hops), so the optimum puts more
+  // traffic on the direct path than the symmetric 50/50 split.
+  const DemandSplit s = solve_delay_objective({6.0, 8.0, 8.0, 1.0, 1.0});
+  EXPECT_GT(s.x1, s.x2);
+}
+
+TEST(DelayObjective, SaturationRejected) {
+  EXPECT_THROW((void)solve_delay_objective({16.0, 8.0, 8.0, 1.0, 1.0}),
+               std::domain_error);
+}
+
+TEST(DelayObjective, ZeroDemandZeroCost) {
+  const DemandSplit s = solve_delay_objective({0.0, 8.0, 8.0, 1.0, 1.0});
+  EXPECT_NEAR(s.x1, 0.0, 1e-9);
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+}
+
+TEST(KPathMinMax, MatchesTwoPathClosedForm) {
+  const auto x = solve_k_path_min_max(9.0, {6.0, 3.0});
+  const DemandSplit s = solve_min_max_utilization({9.0, 6.0, 3.0, 1, 1});
+  EXPECT_NEAR(x[0], s.x1, 1e-6);
+  EXPECT_NEAR(x[1], s.x2, 1e-6);
+}
+
+TEST(KPathMinMax, ThreePathsExperimentCapacities) {
+  // The Fig 12 tunnels: 20, 10 and 5 Mbps.  A 28 Mbps aggregate demand
+  // splits proportionally (utilization 0.8 on every path).
+  const auto x = solve_k_path_min_max(28.0, {20.0, 10.0, 5.0});
+  EXPECT_NEAR(x[0] / 20.0, 0.8, 1e-6);
+  EXPECT_NEAR(x[1] / 10.0, 0.8, 1e-6);
+  EXPECT_NEAR(x[2] / 5.0, 0.8, 1e-6);
+}
+
+TEST(KPathMinMax, InfeasibleThrows) {
+  EXPECT_THROW((void)solve_k_path_min_max(100.0, {20.0, 10.0, 5.0}),
+               std::domain_error);
+  EXPECT_THROW((void)solve_k_path_min_max(1.0, {}), std::domain_error);
+}
+
+}  // namespace
+}  // namespace hp::core

@@ -1,0 +1,134 @@
+// Tests for the synthetic UQ wireless trace, CSV round trip and
+// sliding-window supervised transform.
+
+#include "dataset/uq_wireless.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "ml/linalg.hpp"
+
+namespace hp::dataset {
+namespace {
+
+TEST(UqTrace, DefaultShapeMatchesPaper) {
+  const WirelessTrace trace = generate_uq_trace();
+  EXPECT_EQ(trace.size(), 500U);  // 500 seconds at 1 Hz
+  EXPECT_DOUBLE_EQ(trace.seconds.front(), 0.0);
+  EXPECT_DOUBLE_EQ(trace.seconds.back(), 499.0);
+}
+
+TEST(UqTrace, IndoorOutdoorRegimes) {
+  const WirelessTrace trace = generate_uq_trace();
+  auto mean_between = [&](const std::vector<double>& v, std::size_t a,
+                          std::size_t b) {
+    double acc = 0.0;
+    for (std::size_t i = a; i < b; ++i) acc += v[i];
+    return acc / static_cast<double>(b - a);
+  };
+  // Indoors (0-100): WiFi strong, LTE weak -- the Fig 5b crossover.
+  EXPECT_GT(mean_between(trace.wifi, 0, 100),
+            mean_between(trace.lte, 0, 100) + 20.0);
+  // Outdoors (200-500): LTE overtakes WiFi.
+  EXPECT_GT(mean_between(trace.lte, 200, 500),
+            mean_between(trace.wifi, 200, 500) + 5.0);
+}
+
+TEST(UqTrace, NonNegativeBandwidth) {
+  const WirelessTrace trace = generate_uq_trace();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_GE(trace.wifi[i], 0.0);
+    EXPECT_GE(trace.lte[i], 0.0);
+  }
+}
+
+TEST(UqTrace, DeterministicPerSeed) {
+  const WirelessTrace a = generate_uq_trace();
+  const WirelessTrace b = generate_uq_trace();
+  EXPECT_EQ(a.wifi, b.wifi);
+  EXPECT_EQ(a.lte, b.lte);
+  UqTraceParams params;
+  params.seed = 7;
+  const WirelessTrace c = generate_uq_trace(params);
+  EXPECT_NE(a.wifi, c.wifi);
+}
+
+TEST(UqTrace, WifiNoisierThanLte) {
+  // The paper's RMSE split (WiFi 14-23 vs LTE 6-8) requires the WiFi
+  // column to be the harder target.
+  const WirelessTrace trace = generate_uq_trace();
+  // Compare first-difference variance (unpredictability proxy).
+  auto diff_var = [](const std::vector<double>& v) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i < v.size(); ++i) {
+      const double d = v[i] - v[i - 1];
+      acc += d * d;
+    }
+    return acc / static_cast<double>(v.size() - 1);
+  };
+  EXPECT_GT(diff_var(trace.wifi), 2.0 * diff_var(trace.lte));
+}
+
+TEST(UqTrace, ZeroDurationRejected) {
+  UqTraceParams params;
+  params.duration_s = 0;
+  EXPECT_THROW((void)generate_uq_trace(params), std::invalid_argument);
+}
+
+TEST(Csv, RoundTrip) {
+  const WirelessTrace trace = generate_uq_trace();
+  const std::string path = "/tmp/hp_dataset_test_roundtrip.csv";
+  save_csv(trace, path);
+  const WirelessTrace loaded = load_csv(path);
+  ASSERT_EQ(loaded.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); i += 37) {
+    EXPECT_NEAR(loaded.wifi[i], trace.wifi[i], 1e-4);
+    EXPECT_NEAR(loaded.lte[i], trace.lte[i], 1e-4);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Csv, MissingFileThrows) {
+  EXPECT_THROW((void)load_csv("/tmp/does_not_exist_hp.csv"),
+               std::runtime_error);
+}
+
+TEST(Windows, ShapeAndContent) {
+  const std::vector<double> series{1, 2, 3, 4, 5, 6};
+  const WindowedDataset w = make_windows(series, 3, 1);
+  // Windows: [1,2,3]->4, [2,3,4]->5, [3,4,5]->6.
+  ASSERT_EQ(w.x.rows(), 3U);
+  ASSERT_EQ(w.x.cols(), 3U);
+  EXPECT_DOUBLE_EQ(w.x(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(w.x(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(w.y[0], 4.0);
+  EXPECT_DOUBLE_EQ(w.y[2], 6.0);
+}
+
+TEST(Windows, HorizonShiftsTarget) {
+  const std::vector<double> series{1, 2, 3, 4, 5, 6};
+  const WindowedDataset w = make_windows(series, 2, 3);
+  // [1,2] -> series[1+3] = 5 ; [2,3] -> 6.
+  ASSERT_EQ(w.y.size(), 2U);
+  EXPECT_DOUBLE_EQ(w.y[0], 5.0);
+  EXPECT_DOUBLE_EQ(w.y[1], 6.0);
+}
+
+TEST(Windows, PaperWindowSize) {
+  const WirelessTrace trace = generate_uq_trace();
+  const WindowedDataset w = make_windows(trace.wifi, 10, 1);
+  EXPECT_EQ(w.x.cols(), 10U);
+  EXPECT_EQ(w.x.rows(), 490U);
+}
+
+TEST(Windows, Validation) {
+  const std::vector<double> series{1, 2, 3};
+  EXPECT_THROW((void)make_windows(series, 0, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_windows(series, 3, 0), std::invalid_argument);
+  EXPECT_THROW((void)make_windows(series, 3, 1), std::invalid_argument);
+  EXPECT_NO_THROW((void)make_windows(series, 2, 1));
+}
+
+}  // namespace
+}  // namespace hp::dataset

@@ -1,0 +1,212 @@
+// Tests for the freeRtr config model, parser and reconfiguration service.
+
+#include <gtest/gtest.h>
+
+#include "freertr/config_model.hpp"
+#include "freertr/message_queue.hpp"
+#include "freertr/parser.hpp"
+#include "freertr/router_service.hpp"
+
+namespace hp::freertr {
+namespace {
+
+TEST(Ipv4, ParseAndFormat) {
+  EXPECT_EQ(parse_ipv4("40.40.1.0"), 0x28280100u);
+  EXPECT_EQ(ipv4_to_string(0x28280100u), "40.40.1.0");
+  EXPECT_THROW((void)parse_ipv4("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW((void)parse_ipv4("1.2.3"), std::invalid_argument);
+  EXPECT_THROW((void)parse_ipv4("a.b.c.d"), std::invalid_argument);
+}
+
+TEST(Prefix, ParseAndContain) {
+  const Prefix p = Prefix::parse("40.40.1.0/24");
+  EXPECT_EQ(p.length, 24U);
+  EXPECT_TRUE(p.contains(parse_ipv4("40.40.1.77")));
+  EXPECT_FALSE(p.contains(parse_ipv4("40.40.2.77")));
+  // Bare address becomes /32.
+  const Prefix host = Prefix::parse("40.40.2.2");
+  EXPECT_EQ(host.length, 32U);
+  EXPECT_TRUE(host.contains(parse_ipv4("40.40.2.2")));
+  EXPECT_FALSE(host.contains(parse_ipv4("40.40.2.3")));
+  // /0 matches everything.
+  EXPECT_TRUE(Prefix::parse("0.0.0.0/0").contains(parse_ipv4("9.9.9.9")));
+  EXPECT_THROW((void)Prefix::parse("1.2.3.4/33"), std::invalid_argument);
+}
+
+TEST(AccessList, PaperFlow3Semantics) {
+  // "network 40.40.1.0/24 can access machine 40.40.2.2 using protocol 6
+  // (TCP); the ToS ... filters only packets with that indication".
+  AccessList acl;
+  acl.name = "flow3";
+  acl.protocol = 6;
+  acl.source = Prefix::parse("40.40.1.0/24");
+  acl.destination = Prefix::parse("40.40.2.2/32");
+  acl.tos = 3;
+  EXPECT_TRUE(acl.matches(parse_ipv4("40.40.1.5"), parse_ipv4("40.40.2.2"), 6,
+                          3));
+  EXPECT_FALSE(acl.matches(parse_ipv4("40.40.1.5"), parse_ipv4("40.40.2.2"),
+                           17, 3));  // UDP
+  EXPECT_FALSE(acl.matches(parse_ipv4("40.40.1.5"), parse_ipv4("40.40.2.2"), 6,
+                           1));  // wrong ToS
+  EXPECT_FALSE(acl.matches(parse_ipv4("40.40.1.5"), parse_ipv4("40.40.2.2"), 6,
+                           std::nullopt));  // no ToS marking
+  acl.tos.reset();
+  EXPECT_TRUE(acl.matches(parse_ipv4("40.40.1.5"), parse_ipv4("40.40.2.2"), 6,
+                          std::nullopt));
+}
+
+RouterConfig example_config() {
+  RouterConfig config;
+  AccessList acl;
+  acl.name = "flow3";
+  acl.protocol = 6;
+  acl.source = Prefix::parse("40.40.1.0/24");
+  acl.destination = Prefix::parse("40.40.2.2/32");
+  acl.tos = 3;
+  config.upsert_access_list(acl);
+  PolkaTunnel tunnel;
+  tunnel.id = 3;
+  tunnel.destination_ip = "20.20.0.7";
+  tunnel.domain_path = {"MIA", "SAO", "AMS"};
+  config.upsert_tunnel(tunnel);
+  config.set_pbr(PbrEntry{"flow3", 3, "30.30.3.2"});
+  return config;
+}
+
+TEST(RouterConfig, RouteLookup) {
+  const RouterConfig config = example_config();
+  EXPECT_EQ(config.route_lookup(parse_ipv4("40.40.1.9"),
+                                parse_ipv4("40.40.2.2"), 6, 3),
+            std::optional<unsigned>{3});
+  EXPECT_EQ(config.route_lookup(parse_ipv4("40.40.1.9"),
+                                parse_ipv4("40.40.2.2"), 6, 7),
+            std::nullopt);
+}
+
+TEST(RouterConfig, PbrValidation) {
+  RouterConfig config;
+  EXPECT_THROW(config.set_pbr(PbrEntry{"missing", 1, "1.1.1.1"}),
+               std::invalid_argument);
+  EXPECT_FALSE(config.remove_pbr("missing"));
+}
+
+TEST(RouterConfig, RevisionBumpsOnMutation) {
+  RouterConfig config = example_config();
+  const auto rev = config.revision();
+  config.set_pbr(PbrEntry{"flow3", 3, "30.30.3.9"});
+  EXPECT_EQ(config.revision(), rev + 1);
+}
+
+TEST(Parser, Figure10Style) {
+  const std::string text =
+      "access-list flow3 permit 6 40.40.1.0/24 40.40.2.2/32 tos 3\n"
+      "interface tunnel3\n"
+      " tunnel destination 20.20.0.7\n"
+      " tunnel domain-name MIA SAO AMS\n"
+      " tunnel mode polka\n"
+      "exit\n"
+      "pbr flow3 tunnel 3 nexthop 30.30.3.2\n";
+  const RouterConfig config = parse_config(text);
+  ASSERT_NE(config.find_access_list("flow3"), nullptr);
+  EXPECT_EQ(config.find_access_list("flow3")->tos, std::optional<unsigned>{3});
+  ASSERT_NE(config.find_tunnel(3), nullptr);
+  EXPECT_EQ(config.find_tunnel(3)->domain_path,
+            (std::vector<std::string>{"MIA", "SAO", "AMS"}));
+  EXPECT_EQ(config.find_tunnel(3)->mode, "polka");
+  ASSERT_NE(config.find_pbr("flow3"), nullptr);
+  EXPECT_EQ(config.find_pbr("flow3")->nexthop_ip, "30.30.3.2");
+}
+
+TEST(Parser, RoundTripThroughToText) {
+  const RouterConfig original = example_config();
+  const RouterConfig reparsed = parse_config(original.to_text());
+  EXPECT_EQ(reparsed.to_text(), original.to_text());
+}
+
+TEST(Parser, CommentsAndBlanksIgnored) {
+  const RouterConfig config = parse_config(
+      "! freeRtr fragment\n\n"
+      "access-list f permit 6 1.0.0.0/8 2.0.0.0/8\n");
+  EXPECT_NE(config.find_access_list("f"), nullptr);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_config("access-list broken permit\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 1"), std::string::npos);
+  }
+  EXPECT_THROW((void)parse_config("pbr f tunnel 1 nexthop 1.1.1.1\n"),
+               std::invalid_argument);  // references unknown ACL
+  EXPECT_THROW((void)parse_config("interface tunnel1\nexit\n"),
+               std::invalid_argument);  // no domain-name
+  EXPECT_THROW((void)parse_config("frobnicate\n"), std::invalid_argument);
+}
+
+TEST(MessageQueue, PushPopOrder) {
+  MessageQueue<int> queue;
+  EXPECT_TRUE(queue.push(1));
+  EXPECT_TRUE(queue.push(2));
+  EXPECT_EQ(queue.size(), 2U);
+  EXPECT_EQ(queue.try_pop(), std::optional<int>{1});
+  EXPECT_EQ(queue.try_pop(), std::optional<int>{2});
+  EXPECT_EQ(queue.try_pop(), std::nullopt);
+}
+
+TEST(MessageQueue, CloseSemantics) {
+  MessageQueue<int> queue;
+  queue.push(1);
+  queue.close();
+  EXPECT_FALSE(queue.push(2));
+  EXPECT_EQ(queue.pop(), std::optional<int>{1});  // drains
+  EXPECT_EQ(queue.pop(), std::nullopt);           // then closed
+}
+
+TEST(RouterConfigService, AppliesQueuedMessages) {
+  RouterConfigService service("MIA");
+  service.queue().push(ConfigMessage{
+      1, "access-list f1 permit 6 40.40.1.0/24 40.40.2.2/32 tos 1\n"});
+  service.queue().push(ConfigMessage{
+      2, "interface tunnel1\n tunnel destination 20.20.0.7\n"
+         " tunnel domain-name MIA SAO AMS\nexit\n"
+         "pbr f1 tunnel 1 nexthop 30.30.3.2\n"});
+  EXPECT_EQ(service.process_pending(), 2U);
+  EXPECT_TRUE(service.acks()[0].ok);
+  EXPECT_TRUE(service.acks()[1].ok);
+  EXPECT_NE(service.config().find_pbr("f1"), nullptr);
+}
+
+TEST(RouterConfigService, BadMessageIsAtomicallyRejected) {
+  RouterConfigService service("MIA");
+  // One message with a valid line then an invalid one: nothing applies.
+  service.queue().push(ConfigMessage{
+      7, "access-list ok permit 6 1.0.0.0/8 2.0.0.0/8\nbogus-command\n"});
+  EXPECT_EQ(service.process_pending(), 1U);
+  ASSERT_EQ(service.acks().size(), 1U);
+  EXPECT_FALSE(service.acks()[0].ok);
+  EXPECT_EQ(service.acks()[0].message_id, 7U);
+  EXPECT_EQ(service.config().find_access_list("ok"), nullptr);  // rolled back
+}
+
+TEST(RouterConfigService, PbrRebindIsOneMessage) {
+  // The paper's migration: "a single modification of a PBR entry".
+  RouterConfigService service("MIA");
+  service.queue().push(ConfigMessage{
+      1, "access-list f permit 6 40.40.1.0/24 40.40.2.2/32\n"
+         "interface tunnel1\n tunnel destination 20.20.0.7\n"
+         " tunnel domain-name MIA SAO AMS\nexit\n"
+         "interface tunnel2\n tunnel destination 20.20.0.7\n"
+         " tunnel domain-name MIA CHI AMS\nexit\n"
+         "pbr f tunnel 1 nexthop 30.30.3.2\n"});
+  service.process_pending();
+  ASSERT_EQ(service.config().find_pbr("f")->tunnel_id, 1U);
+  service.queue().push(
+      ConfigMessage{2, "pbr f tunnel 2 nexthop 30.30.3.2\n"});
+  service.process_pending();
+  EXPECT_EQ(service.config().find_pbr("f")->tunnel_id, 2U);
+  EXPECT_TRUE(service.acks().back().ok);
+}
+
+}  // namespace
+}  // namespace hp::freertr

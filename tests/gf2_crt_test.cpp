@@ -1,0 +1,119 @@
+// Tests for the GF(2)[t] Chinese Remainder Theorem solver.
+#include <algorithm>
+
+#include "gf2/crt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gf2/irreducible.hpp"
+
+namespace hp::gf2 {
+namespace {
+
+TEST(Crt, PaperFigure1System) {
+  // s1 = t+1 with port o1 = 1; s2 = t^2+t+1 with o2 = t;
+  // s3 = t^3+t+1 with o3 = t^2+t.  The routeID must reproduce each
+  // port under mod by the matching node polynomial.
+  const std::vector<Congruence> sys{
+      {Poly(0b1), Poly(0b11)},
+      {Poly(0b10), Poly(0b111)},
+      {Poly(0b110), Poly(0b1011)},
+  };
+  const Poly r = crt(sys);
+  EXPECT_EQ(r % Poly(0b11), Poly(0b1));
+  EXPECT_EQ(r % Poly(0b111), Poly(0b10));
+  EXPECT_EQ(r % Poly(0b1011), Poly(0b110));
+  // Solution degree is bounded by the product degree (1 + 2 + 3 = 6).
+  EXPECT_LT(r.degree(), 6);
+}
+
+TEST(Crt, SingleCongruence) {
+  const std::vector<Congruence> sys{{Poly(0b101), Poly(0b1011)}};
+  EXPECT_EQ(crt(sys), Poly(0b101));
+}
+
+TEST(Crt, ResidueReducedFirst) {
+  // Residue with degree >= modulus degree is accepted and reduced.
+  const std::vector<Congruence> sys{{Poly(0b11111), Poly(0b111)}};
+  const Poly r = crt(sys);
+  EXPECT_EQ(r, Poly(0b11111) % Poly(0b111));
+}
+
+TEST(Crt, EmptySystemThrows) {
+  EXPECT_THROW(crt(std::vector<Congruence>{}), std::domain_error);
+}
+
+TEST(Crt, NonCoprimeModuliThrow) {
+  const std::vector<Congruence> sys{
+      {Poly(0b1), Poly(0b110)},   // t(t+1)
+      {Poly(0b10), Poly(0b10)},   // t  -> shares factor t
+  };
+  EXPECT_THROW(crt(sys), std::domain_error);
+}
+
+TEST(Crt, ZeroModulusThrows) {
+  const std::vector<Congruence> sys{{Poly(0b1), Poly{}}};
+  EXPECT_THROW(crt(sys), std::domain_error);
+}
+
+TEST(Crt, AccumulatorMatchesBatch) {
+  const std::vector<Congruence> sys{
+      {Poly(0b1), Poly(0b11)},
+      {Poly(0b10), Poly(0b111)},
+      {Poly(0b110), Poly(0b1011)},
+  };
+  CrtAccumulator acc;
+  for (const auto& c : sys) acc.add(c);
+  EXPECT_EQ(acc.solution(), crt(sys));
+  EXPECT_EQ(acc.modulus(), Poly(0b11) * Poly(0b111) * Poly(0b1011));
+}
+
+// Property: for random systems over distinct irreducible moduli, the CRT
+// solution satisfies every congruence and is degree-bounded.
+class CrtProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrtProperty, SolutionSatisfiesAllCongruences) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  const auto moduli = first_irreducible(10, 2);
+  std::uniform_int_distribution<std::size_t> count(2, moduli.size());
+  const std::size_t n = count(rng);
+
+  std::vector<Congruence> sys;
+  int total_degree = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Poly& m = moduli[i];
+    // Residue: random polynomial of degree < deg(m).
+    std::uint64_t mask = (std::uint64_t{1} << m.degree()) - 1;
+    sys.push_back(Congruence{Poly(rng() & mask), m});
+    total_degree += m.degree();
+  }
+  const Poly r = crt(sys);
+  for (const auto& c : sys) {
+    EXPECT_EQ(r % c.modulus, c.residue % c.modulus);
+  }
+  EXPECT_LT(r.degree(), total_degree);
+}
+
+TEST_P(CrtProperty, SolutionIsUnique) {
+  // Any two solutions differ by a multiple of the modulus product, so
+  // the degree-bounded solution is unique: re-solving a permuted system
+  // must give the same answer.
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 500);
+  const auto moduli = first_irreducible(6, 2);
+  std::vector<Congruence> sys;
+  for (const Poly& m : moduli) {
+    std::uint64_t mask = (std::uint64_t{1} << m.degree()) - 1;
+    sys.push_back(Congruence{Poly(rng() & mask), m});
+  }
+  const Poly r1 = crt(sys);
+  std::reverse(sys.begin(), sys.end());
+  const Poly r2 = crt(sys);
+  EXPECT_EQ(r1, r2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrtProperty, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace hp::gf2

@@ -1,0 +1,96 @@
+// Tests for irreducibility testing and enumeration.
+
+#include "gf2/irreducible.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hp::gf2 {
+namespace {
+
+TEST(Irreducible, DegreeOneAlwaysIrreducible) {
+  EXPECT_TRUE(is_irreducible(Poly(0b10)));  // t
+  EXPECT_TRUE(is_irreducible(Poly(0b11)));  // t + 1
+}
+
+TEST(Irreducible, KnownIrreducibles) {
+  EXPECT_TRUE(is_irreducible(Poly(0b111)));      // t^2+t+1
+  EXPECT_TRUE(is_irreducible(Poly(0b1011)));     // t^3+t+1
+  EXPECT_TRUE(is_irreducible(Poly(0b1101)));     // t^3+t^2+1
+  EXPECT_TRUE(is_irreducible(Poly(0b10011)));    // t^4+t+1
+  EXPECT_TRUE(is_irreducible(Poly(0b100101)));   // t^5+t^2+1
+  EXPECT_TRUE(is_irreducible(Poly(0b1000011)));  // t^6+t+1
+}
+
+TEST(Irreducible, KnownReducibles) {
+  EXPECT_FALSE(is_irreducible(Poly(0b101)));    // (t+1)^2
+  EXPECT_FALSE(is_irreducible(Poly(0b110)));    // t(t+1)
+  EXPECT_FALSE(is_irreducible(Poly(0b1111)));   // (t+1)(t^2+t+1)
+  EXPECT_FALSE(is_irreducible(Poly(0b10101)));  // (t^2+t+1)^2
+  EXPECT_FALSE(is_irreducible(Poly{}));
+  EXPECT_FALSE(is_irreducible(Poly(1)));
+}
+
+TEST(Irreducible, PaperNodeIds) {
+  // Fig 1 of the paper: s1 = t+1, s2 = t^2+t+1, s3 = t^3+t+1.
+  EXPECT_TRUE(is_irreducible(Poly(0b11)));
+  EXPECT_TRUE(is_irreducible(Poly(0b111)));
+  EXPECT_TRUE(is_irreducible(Poly(0b1011)));
+}
+
+class IrreducibleCount : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IrreducibleCount, EnumerationMatchesNecklaceFormula) {
+  const unsigned d = GetParam();
+  const auto polys = irreducible_of_degree(d);
+  EXPECT_EQ(polys.size(), count_irreducible(d));
+  for (const Poly& p : polys) {
+    EXPECT_EQ(p.degree(), static_cast<int>(d));
+    EXPECT_TRUE(is_irreducible(p));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, IrreducibleCount,
+                         ::testing::Values(1U, 2U, 3U, 4U, 5U, 6U, 7U, 8U,
+                                           9U, 10U, 11U, 12U));
+
+TEST(Irreducible, CountFormulaKnownValues) {
+  // OEIS A001037 (monic irreducible over GF(2)): 2,1,2,3,6,9,18,30,...
+  EXPECT_EQ(count_irreducible(1), 2U);
+  EXPECT_EQ(count_irreducible(2), 1U);
+  EXPECT_EQ(count_irreducible(3), 2U);
+  EXPECT_EQ(count_irreducible(4), 3U);
+  EXPECT_EQ(count_irreducible(5), 6U);
+  EXPECT_EQ(count_irreducible(6), 9U);
+  EXPECT_EQ(count_irreducible(7), 18U);
+  EXPECT_EQ(count_irreducible(8), 30U);
+}
+
+TEST(Irreducible, FirstIrreducibleProducesDistinct) {
+  const auto polys = first_irreducible(40, 2);
+  EXPECT_EQ(polys.size(), 40U);
+  std::set<Poly> unique(polys.begin(), polys.end());
+  EXPECT_EQ(unique.size(), 40U);
+  for (const Poly& p : polys) {
+    EXPECT_GE(p.degree(), 2);
+    EXPECT_TRUE(is_irreducible(p));
+  }
+}
+
+TEST(Irreducible, PairwiseCoprimeByConstruction) {
+  const auto polys = first_irreducible(12, 2);
+  for (std::size_t i = 0; i < polys.size(); ++i) {
+    for (std::size_t j = i + 1; j < polys.size(); ++j) {
+      EXPECT_TRUE(gcd(polys[i], polys[j]).is_one())
+          << polys[i].to_string() << " vs " << polys[j].to_string();
+    }
+  }
+}
+
+TEST(Irreducible, ScanCapThrows) {
+  EXPECT_THROW(irreducible_of_degree(25), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp::gf2

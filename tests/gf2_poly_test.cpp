@@ -1,0 +1,230 @@
+// Unit and property tests for GF(2) polynomial arithmetic.
+
+#include "gf2/poly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace hp::gf2 {
+namespace {
+
+Poly random_poly(std::mt19937_64& rng, int max_degree) {
+  std::uniform_int_distribution<int> deg(-1, max_degree);
+  const int d = deg(rng);
+  Poly p;
+  if (d < 0) return p;
+  for (int i = 0; i < d; ++i) {
+    if (rng() & 1) p.set_coeff(static_cast<unsigned>(i), true);
+  }
+  p.set_coeff(static_cast<unsigned>(d), true);
+  return p;
+}
+
+TEST(Poly, ZeroHasDegreeMinusOne) {
+  EXPECT_EQ(Poly{}.degree(), -1);
+  EXPECT_TRUE(Poly{}.is_zero());
+  EXPECT_EQ(Poly{0}.degree(), -1);
+}
+
+TEST(Poly, ConstructionFromBits) {
+  const Poly p(0b1011);  // t^3 + t + 1
+  EXPECT_EQ(p.degree(), 3);
+  EXPECT_TRUE(p.coeff(0));
+  EXPECT_TRUE(p.coeff(1));
+  EXPECT_FALSE(p.coeff(2));
+  EXPECT_TRUE(p.coeff(3));
+  EXPECT_FALSE(p.coeff(4));
+  EXPECT_EQ(p.to_string(), "t^3 + t + 1");
+}
+
+TEST(Poly, FromExponents) {
+  const Poly p = Poly::from_exponents({3, 1, 0});
+  EXPECT_EQ(p, Poly(0b1011));
+  // Duplicates cancel in characteristic 2.
+  EXPECT_EQ(Poly::from_exponents({2, 2}), Poly{});
+}
+
+TEST(Poly, BinaryStringRoundTrip) {
+  const Poly p = Poly::from_binary_string("10011");
+  EXPECT_EQ(p, Poly(0b10011));
+  EXPECT_EQ(p.to_binary_string(), "10011");
+  EXPECT_EQ(Poly::from_binary_string("").degree(), -1);
+  EXPECT_THROW(Poly::from_binary_string("10x1"), std::invalid_argument);
+}
+
+TEST(Poly, Monomial) {
+  EXPECT_EQ(Poly::monomial(0), Poly(1));
+  EXPECT_EQ(Poly::monomial(7), Poly(1U << 7));
+  EXPECT_EQ(Poly::monomial(100).degree(), 100);
+}
+
+TEST(Poly, AdditionIsXor) {
+  const Poly a(0b1100), b(0b1010);
+  EXPECT_EQ(a + b, Poly(0b0110));
+  EXPECT_EQ(a + a, Poly{});  // characteristic 2
+}
+
+TEST(Poly, MultiplicationSmall) {
+  // (t + 1)(t + 1) = t^2 + 1 over GF(2).
+  EXPECT_EQ(Poly(0b11) * Poly(0b11), Poly(0b101));
+  // (t^2 + t + 1)(t + 1) = t^3 + 1.
+  EXPECT_EQ(Poly(0b111) * Poly(0b11), Poly(0b1001));
+  EXPECT_EQ(Poly(0b111) * Poly{}, Poly{});
+  EXPECT_EQ(Poly(0b111) * Poly(1), Poly(0b111));
+}
+
+TEST(Poly, MultiplicationCrossesWordBoundary) {
+  const Poly a = Poly::monomial(60);
+  const Poly b = Poly::monomial(10);
+  EXPECT_EQ((a * b).degree(), 70);
+  const Poly c = Poly::monomial(63) + Poly(1);
+  const Poly d = Poly::monomial(64);
+  EXPECT_EQ((c * d).degree(), 127);
+}
+
+TEST(Poly, DivModIdentity) {
+  const Poly a(0b110101), b(0b101);
+  const auto [q, r] = divmod(a, b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r.degree(), b.degree());
+}
+
+TEST(Poly, DivisionByZeroThrows) {
+  EXPECT_THROW(divmod(Poly(0b101), Poly{}), std::domain_error);
+}
+
+TEST(Poly, PaperExampleMod) {
+  // Paper Section II-B: routeID 10000 mod s2 = t^2+t+1 yields port 2.
+  const Poly route_id = Poly::from_binary_string("10000");
+  const Poly s2 = Poly::from_binary_string("111");
+  EXPECT_EQ((route_id % s2).to_uint64(), 2U);
+}
+
+TEST(Poly, SquaredMatchesSelfMultiply) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 50; ++i) {
+    const Poly p = random_poly(rng, 200);
+    EXPECT_EQ(p.squared(), p * p);
+  }
+}
+
+TEST(Poly, ToUint64Bounds) {
+  EXPECT_EQ(Poly(0xDEADBEEF).to_uint64(), 0xDEADBEEFULL);
+  EXPECT_THROW((void)Poly::monomial(64).to_uint64(), std::overflow_error);
+}
+
+TEST(Poly, OrderingIsTotal) {
+  EXPECT_LT(Poly(0b10), Poly(0b11));
+  EXPECT_LT(Poly(0b11), Poly(0b100));
+  EXPECT_LT(Poly{}, Poly(1));
+  EXPECT_EQ(Poly(5) <=> Poly(5), std::strong_ordering::equal);
+}
+
+TEST(Poly, HashDistinguishesValues) {
+  EXPECT_NE(Poly(0b101).hash(), Poly(0b110).hash());
+  EXPECT_EQ(Poly(42).hash(), Poly(42).hash());
+}
+
+TEST(Poly, SetCoeffClearNormalizes) {
+  Poly p = Poly::monomial(100);
+  p.set_coeff(100, false);
+  EXPECT_TRUE(p.is_zero());
+  EXPECT_EQ(p.degree(), -1);
+}
+
+// --- property suite over random operands ------------------------------
+
+class PolyRingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolyRingProperty, RingAxioms) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  const Poly a = random_poly(rng, 150);
+  const Poly b = random_poly(rng, 150);
+  const Poly c = random_poly(rng, 150);
+  // Commutativity and associativity.
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  // Distributivity.
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  // Additive self-inverse.
+  EXPECT_TRUE((a + a).is_zero());
+  // Multiplicative identity.
+  EXPECT_EQ(a * Poly(1), a);
+}
+
+TEST_P(PolyRingProperty, DivModInvariant) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 1000);
+  const Poly a = random_poly(rng, 300);
+  Poly b = random_poly(rng, 80);
+  if (b.is_zero()) b = Poly(0b11);
+  const auto [q, r] = divmod(a, b);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r.degree(), b.degree());
+}
+
+TEST_P(PolyRingProperty, DegreeOfProduct) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 2000);
+  const Poly a = random_poly(rng, 120);
+  const Poly b = random_poly(rng, 120);
+  if (a.is_zero() || b.is_zero()) {
+    EXPECT_TRUE((a * b).is_zero());
+  } else {
+    // No zero divisors in GF(2)[t]: degrees add exactly.
+    EXPECT_EQ((a * b).degree(), a.degree() + b.degree());
+  }
+}
+
+TEST_P(PolyRingProperty, GcdDividesBoth) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 3000);
+  const Poly a = random_poly(rng, 60);
+  const Poly b = random_poly(rng, 60);
+  if (a.is_zero() && b.is_zero()) return;
+  const Poly g = gcd(a, b);
+  if (!a.is_zero()) {
+    EXPECT_TRUE((a % g).is_zero());
+  }
+  if (!b.is_zero()) {
+    EXPECT_TRUE((b % g).is_zero());
+  }
+}
+
+TEST_P(PolyRingProperty, ExtendedGcdBezout) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) + 4000);
+  Poly a = random_poly(rng, 60);
+  Poly b = random_poly(rng, 60);
+  if (a.is_zero()) a = Poly(0b10);
+  if (b.is_zero()) b = Poly(0b11);
+  const Egcd e = extended_gcd(a, b);
+  EXPECT_EQ(e.u * a + e.v * b, e.g);
+  EXPECT_EQ(e.g, gcd(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolyRingProperty, ::testing::Range(0, 25));
+
+TEST(PolyModular, InverseRoundTrip) {
+  // In GF(2)[t]/(irreducible m) every nonzero element is invertible.
+  const Poly m(0b10011);  // t^4 + t + 1, irreducible
+  for (std::uint64_t v = 1; v < 16; ++v) {
+    const Poly a(v);
+    const Poly inv = inverse_mod(a, m);
+    EXPECT_TRUE(((a * inv) % m).is_one()) << "v=" << v;
+  }
+}
+
+TEST(PolyModular, NonInvertibleThrows) {
+  const Poly m(0b101);  // t^2 + 1 = (t+1)^2, reducible
+  EXPECT_THROW(inverse_mod(Poly(0b11), m), std::domain_error);
+}
+
+TEST(PolyModular, FrobeniusPowMatchesRepeatedSquaring) {
+  const Poly m(0b1011);  // t^3 + t + 1
+  const Poly t = Poly::monomial(1);
+  // t^(2^3) mod m must equal t for an irreducible degree-3 modulus.
+  EXPECT_EQ(frobenius_pow(t, 3, m), t % m);
+}
+
+}  // namespace
+}  // namespace hp::gf2

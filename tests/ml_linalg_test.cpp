@@ -1,0 +1,187 @@
+// Tests for the dense linear algebra kernels.
+
+#include "ml/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace hp::ml {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2U);
+  EXPECT_EQ(m.cols(), 3U);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  const Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3U);
+  EXPECT_EQ(m.cols(), 2U);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+  EXPECT_THROW(Matrix({{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, RowColTranspose) {
+  const Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.row(1), (Vector{4, 5, 6}));
+  EXPECT_EQ(m.col(2), (Vector{3, 6}));
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3U);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, RowsSubsetAllowsDuplicates) {
+  const Matrix m{{1, 1}, {2, 2}, {3, 3}};
+  const Matrix s = m.rows_subset({2, 0, 2});
+  EXPECT_EQ(s.rows(), 3U);
+  EXPECT_DOUBLE_EQ(s(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(s(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(s(2, 0), 3.0);
+}
+
+TEST(LinAlg, MatVec) {
+  const Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(matvec(m, {1, 1}), (Vector{3, 7}));
+  EXPECT_THROW(matvec(m, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(LinAlg, MatMul) {
+  const Matrix a{{1, 2}, {3, 4}};
+  const Matrix b{{0, 1}, {1, 0}};
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 3.0);
+}
+
+TEST(LinAlg, GramMatchesExplicit) {
+  const Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Matrix g = gram(a);
+  const Matrix want = matmul(a.transposed(), a);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(g(i, j), want(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(LinAlg, LuSolveIdentity) {
+  const Matrix a{{2, 0}, {0, 4}};
+  const Vector x = lu_solve(a, {4, 8});
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(LinAlg, LuSolveNeedsPivoting) {
+  // Zero pivot at (0,0): requires the row swap.
+  const Matrix a{{0, 1}, {1, 0}};
+  const Vector x = lu_solve(a, {3, 7});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LinAlg, LuSolveSingularThrows) {
+  const Matrix a{{1, 2}, {2, 4}};
+  EXPECT_THROW(lu_solve(a, {1, 2}), std::domain_error);
+}
+
+TEST(LinAlg, CholeskyRoundTrip) {
+  const Matrix a{{4, 2}, {2, 3}};
+  const Matrix l = cholesky(a);
+  // L L^T == A.
+  const Matrix back = matmul(l, l.transposed());
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(back(i, j), a(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(LinAlg, CholeskySolveMatchesLu) {
+  const Matrix a{{4, 1, 0}, {1, 5, 2}, {0, 2, 6}};
+  const Vector b{1, 2, 3};
+  const Vector via_chol = cholesky_solve(cholesky(a), b);
+  const Vector via_lu = lu_solve(a, b);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(via_chol[i], via_lu[i], 1e-10);
+  }
+}
+
+TEST(LinAlg, CholeskyRejectsIndefinite) {
+  const Matrix a{{1, 2}, {2, 1}};  // eigenvalues 3, -1
+  EXPECT_THROW(cholesky(a), std::domain_error);
+}
+
+TEST(LinAlg, LeastSquaresRecoversLine) {
+  // y = 3x + 2, exactly.
+  Matrix x(5, 1);
+  Vector y(5);
+  for (int i = 0; i < 5; ++i) {
+    x(static_cast<std::size_t>(i), 0) = i;
+    y[static_cast<std::size_t>(i)] = 3.0 * i + 2.0;
+  }
+  const Vector w = least_squares(x, y);
+  EXPECT_NEAR(w[0], 3.0, 1e-6);
+  EXPECT_NEAR(w[1], 2.0, 1e-6);
+}
+
+TEST(LinAlg, LeastSquaresRidgeShrinks) {
+  Matrix x(6, 1);
+  Vector y(6);
+  std::mt19937_64 rng(5);
+  std::normal_distribution<double> noise(0.0, 0.01);
+  for (int i = 0; i < 6; ++i) {
+    x(static_cast<std::size_t>(i), 0) = i;
+    y[static_cast<std::size_t>(i)] = 5.0 * i + noise(rng);
+  }
+  const Vector free_fit = least_squares(x, y, 0.0);
+  const Vector ridge_fit = least_squares(x, y, 100.0);
+  EXPECT_LT(std::abs(ridge_fit[0]), std::abs(free_fit[0]));
+}
+
+TEST(LinAlg, Statistics) {
+  EXPECT_DOUBLE_EQ(mean({1, 2, 3, 4}), 2.5);
+  EXPECT_DOUBLE_EQ(variance({2, 2, 2}), 0.0);
+  EXPECT_NEAR(variance({1, 3}), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+  EXPECT_THROW(median({}), std::invalid_argument);
+}
+
+TEST(LinAlg, ColumnStatistics) {
+  const Matrix m{{1, 10}, {3, 30}};
+  EXPECT_EQ(col_means(m), (Vector{2, 20}));
+  const Vector var = col_variances(m);
+  EXPECT_NEAR(var[0], 1.0, 1e-12);
+  EXPECT_NEAR(var[1], 100.0, 1e-12);
+}
+
+// Property: LU solve then multiply back reproduces b.
+class LuProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuProperty, SolveRoundTrip) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  std::uniform_real_distribution<double> val(-5.0, 5.0);
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 8;
+  Matrix a(n, n);
+  Vector b(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = val(rng);
+    a(i, i) += 10.0;  // diagonally dominant: comfortably nonsingular
+    b[i] = val(rng);
+  }
+  const Vector x = lu_solve(a, b);
+  const Vector back = matvec(a, x);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], b[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LuProperty, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace hp::ml

@@ -1,0 +1,124 @@
+// Tests for the MLP regressor (paper Section VII future-work model).
+
+#include "ml/mlp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "ml/metrics.hpp"
+#include "ml/registry.hpp"
+
+namespace hp::ml {
+namespace {
+
+TEST(MLP, FitsLinearFunction) {
+  std::mt19937_64 rng(3);
+  std::normal_distribution<double> u(0.0, 1.0);
+  Matrix x(200, 2);
+  Vector y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = u(rng);
+    x(i, 1) = u(rng);
+    y[i] = 2.0 * x(i, 0) - x(i, 1) + 0.5;
+  }
+  MLPRegressor mlp;
+  mlp.fit(x, y);
+  EXPECT_LT(rmse(y, mlp.predict(x)), 0.25);
+}
+
+TEST(MLP, FitsNonlinearSurfaceBetterThanChance) {
+  std::mt19937_64 rng(5);
+  std::uniform_real_distribution<double> u(-2.0, 2.0);
+  Matrix x(400, 2);
+  Vector y(400);
+  for (std::size_t i = 0; i < 400; ++i) {
+    x(i, 0) = u(rng);
+    x(i, 1) = u(rng);
+    y[i] = std::sin(x(i, 0)) + x(i, 1) * x(i, 1);
+  }
+  MLPRegressor mlp;
+  mlp.fit(x, y);
+  const double model_rmse = rmse(y, mlp.predict(x));
+  Vector mean_pred(y.size(), mean(y));
+  EXPECT_LT(model_rmse, 0.5 * rmse(y, mean_pred));  // ReLU units bend
+}
+
+TEST(MLP, EarlyStoppingCapsEpochs) {
+  // A constant target converges immediately; the plateau rule stops
+  // well before max_iter.
+  Matrix x(50, 1);
+  Vector y(50, 3.0);
+  for (std::size_t i = 0; i < 50; ++i) x(i, 0) = static_cast<double>(i);
+  MLPRegressor::Params params;
+  params.max_iter = 200;
+  MLPRegressor mlp(params);
+  mlp.fit(x, y);
+  EXPECT_LT(mlp.epochs_run(), 200U);
+}
+
+TEST(MLP, DeterministicPerSeed) {
+  Matrix x(60, 1);
+  Vector y(60);
+  for (std::size_t i = 0; i < 60; ++i) {
+    x(i, 0) = static_cast<double>(i) / 10.0;
+    y[i] = std::sin(x(i, 0));
+  }
+  MLPRegressor a, b;
+  a.fit(x, y);
+  b.fit(x, y);
+  const Vector pa = a.predict(x);
+  const Vector pb = b.predict(x);
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_DOUBLE_EQ(pa[i], pb[i]);
+  }
+}
+
+TEST(MLP, TwoHiddenLayers) {
+  MLPRegressor::Params params;
+  params.hidden_layers = {32, 16};
+  MLPRegressor mlp(params);
+  Matrix x(100, 1);
+  Vector y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i) / 25.0 - 2.0;
+    y[i] = std::abs(x(i, 0));  // kink: needs at least one hidden layer
+  }
+  mlp.fit(x, y);
+  EXPECT_LT(rmse(y, mlp.predict(x)), 0.2);
+}
+
+TEST(MLP, Validation) {
+  MLPRegressor mlp;
+  EXPECT_THROW((void)mlp.predict(Matrix{{1.0}}), std::logic_error);
+  EXPECT_THROW(mlp.fit(Matrix{}, {}), std::invalid_argument);
+  mlp.fit(Matrix{{1.0}, {2.0}, {3.0}}, {1.0, 2.0, 3.0});
+  EXPECT_THROW((void)mlp.predict(Matrix{{1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(MLP, AvailableFromRegistryAsExtension) {
+  auto model = make_regressor("MLP");
+  EXPECT_EQ(model->name(), "MLPRegressor");
+  // Not part of the paper's R1..R18 catalogue.
+  const auto names = regressor_short_names();
+  EXPECT_EQ(std::count(names.begin(), names.end(), "MLP"), 0);
+  EXPECT_EQ(make_regressor_catalog().size(), 18U);
+}
+
+TEST(MLP, CloneIsEquivalent) {
+  Matrix x(80, 1);
+  Vector y(80);
+  for (std::size_t i = 0; i < 80; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = 0.5 * static_cast<double>(i);
+  }
+  MLPRegressor original;
+  auto clone = original.clone();
+  original.fit(x, y);
+  clone->fit(x, y);
+  EXPECT_DOUBLE_EQ(original.predict(x)[7], clone->predict(x)[7]);
+}
+
+}  // namespace
+}  // namespace hp::ml

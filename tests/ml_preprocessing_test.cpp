@@ -1,0 +1,121 @@
+// Tests for StandardScaler, chronological splitting and metrics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/metrics.hpp"
+#include "ml/preprocessing.hpp"
+
+namespace hp::ml {
+namespace {
+
+TEST(StandardScaler, ZeroMeanUnitVariance) {
+  Matrix x{{1}, {2}, {3}, {4}, {5}};
+  StandardScaler scaler;
+  const Matrix t = scaler.fit_transform(x);
+  double sum = 0.0, sq = 0.0;
+  for (std::size_t i = 0; i < t.rows(); ++i) {
+    sum += t(i, 0);
+    sq += t(i, 0) * t(i, 0);
+  }
+  EXPECT_NEAR(sum / 5.0, 0.0, 1e-12);
+  EXPECT_NEAR(sq / 5.0, 1.0, 1e-12);
+}
+
+TEST(StandardScaler, InverseTransformRoundTrip) {
+  Matrix x{{10, -3}, {20, 7}, {35, 1}};
+  StandardScaler scaler;
+  const Matrix t = scaler.fit_transform(x);
+  const Matrix back = scaler.inverse_transform(t);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      EXPECT_NEAR(back(i, j), x(i, j), 1e-10);
+    }
+  }
+}
+
+TEST(StandardScaler, ConstantColumnShiftOnly) {
+  Matrix x{{7}, {7}, {7}};
+  StandardScaler scaler;
+  const Matrix t = scaler.fit_transform(x);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(t(i, 0), 0.0);
+  // Round trip still exact.
+  EXPECT_DOUBLE_EQ(scaler.inverse_transform(t)(0, 0), 7.0);
+}
+
+TEST(StandardScaler, TrainTestSemantics) {
+  // Fit on train only; transform of unseen data uses train statistics.
+  Matrix train{{0}, {10}};
+  StandardScaler scaler;
+  scaler.fit(train);
+  Matrix test{{5}};
+  EXPECT_NEAR(scaler.transform(test)(0, 0), 0.0, 1e-12);  // (5-5)/5
+}
+
+TEST(StandardScaler, VectorOverloads) {
+  StandardScaler scaler;
+  scaler.fit(Vector{2, 4, 6});
+  const Vector t = scaler.transform(Vector{4});
+  EXPECT_NEAR(t[0], 0.0, 1e-12);
+  EXPECT_NEAR(scaler.inverse_transform(Vector{1.0})[0],
+              4.0 + std::sqrt(8.0 / 3.0), 1e-9);
+}
+
+TEST(StandardScaler, ErrorsBeforeFitAndOnMismatch) {
+  StandardScaler scaler;
+  EXPECT_THROW((void)scaler.transform(Matrix{{1.0}}), std::logic_error);
+  scaler.fit(Matrix{{1.0, 2.0}});
+  EXPECT_THROW((void)scaler.transform(Matrix{{1.0}}), std::invalid_argument);
+}
+
+TEST(ChronologicalSplit, PaperSeventyFiveTwentyFive) {
+  Matrix x(100, 1);
+  Vector y(100);
+  for (int i = 0; i < 100; ++i) {
+    x(static_cast<std::size_t>(i), 0) = i;
+    y[static_cast<std::size_t>(i)] = i;
+  }
+  const Split s = chronological_split(x, y, 0.75);
+  EXPECT_EQ(s.x_train.rows(), 75U);
+  EXPECT_EQ(s.x_test.rows(), 25U);
+  // Order preserved: the test set is the *later* quarter.
+  EXPECT_DOUBLE_EQ(s.x_test(0, 0), 75.0);
+  EXPECT_DOUBLE_EQ(s.y_test[24], 99.0);
+}
+
+TEST(ChronologicalSplit, RejectsDegenerate) {
+  Matrix x(4, 1);
+  Vector y(4);
+  EXPECT_THROW(chronological_split(x, y, 0.0), std::invalid_argument);
+  EXPECT_THROW(chronological_split(x, y, 1.0), std::invalid_argument);
+  EXPECT_THROW(chronological_split(x, y, 0.1), std::invalid_argument);
+}
+
+TEST(Metrics, RmseKnownValues) {
+  EXPECT_DOUBLE_EQ(rmse({1, 2, 3}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(rmse({0, 0}, {3, 4}), std::sqrt(12.5));
+}
+
+TEST(Metrics, MaeKnownValues) {
+  EXPECT_DOUBLE_EQ(mae({1, 2}, {2, 4}), 1.5);
+}
+
+TEST(Metrics, R2Conventions) {
+  EXPECT_DOUBLE_EQ(r2({1, 2, 3}, {1, 2, 3}), 1.0);
+  // Predicting the mean scores exactly zero.
+  EXPECT_NEAR(r2({1, 2, 3}, {2, 2, 2}), 0.0, 1e-12);
+  // Worse than the mean is negative.
+  EXPECT_LT(r2({1, 2, 3}, {3, 2, 1}), 0.0);
+  // Constant truth: 1 iff perfect.
+  EXPECT_DOUBLE_EQ(r2({5, 5}, {5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(r2({5, 5}, {5, 6}), 0.0);
+}
+
+TEST(Metrics, ErrorsOnBadInput) {
+  EXPECT_THROW((void)rmse({1}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW((void)mae({}, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp::ml

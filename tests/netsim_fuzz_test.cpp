@@ -1,0 +1,117 @@
+// Randomized invariant testing of the simulator: arbitrary interleaved
+// sequences of flow arrivals/stops/migrations and link failures must
+// never violate the conservation and capacity invariants, and byte
+// accounting must match the integral of the recorded rate series.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+#include "netsim/simulator.hpp"
+
+namespace hp::netsim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// All simple host1->host2 paths of the Fig 9 topology.
+std::vector<Path> all_paths(const Topology& topo) {
+  return {
+      topo.path_through({"host1", "MIA", "SAO", "AMS", "host2"}),
+      topo.path_through({"host1", "MIA", "CHI", "AMS", "host2"}),
+      topo.path_through({"host1", "MIA", "CAL", "CHI", "AMS", "host2"}),
+  };
+}
+
+class SimulatorFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimulatorFuzz, InvariantsUnderRandomEventSequences) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 3);
+  Topology topo = make_global_p4_lab();
+  const auto paths = all_paths(topo);
+  Simulator sim(std::move(topo));
+  sim.set_sample_interval(1.0);
+
+  std::vector<FlowId> flows;
+  std::vector<LinkIndex> down_links;
+  double t = 0.0;
+  for (int step = 0; step < 60; ++step) {
+    t += 1.0 + static_cast<double>(rng() % 5);
+    switch (rng() % 5) {
+      case 0: {  // new flow (greedy or capped)
+        FlowSpec spec;
+        spec.name = "f" + std::to_string(step);
+        spec.path = paths[rng() % paths.size()];
+        spec.demand_mbps = (rng() % 2) ? kInf : 1.0 + rng() % 20;
+        flows.push_back(sim.add_flow(t, std::move(spec)));
+        break;
+      }
+      case 1: {  // stop one
+        if (!flows.empty()) sim.stop_flow(t, flows[rng() % flows.size()]);
+        break;
+      }
+      case 2: {  // migrate one
+        if (!flows.empty()) {
+          sim.migrate_flow(t, flows[rng() % flows.size()],
+                           paths[rng() % paths.size()]);
+        }
+        break;
+      }
+      case 3: {  // fail a random core duplex link
+        const LinkIndex l = (rng() % 6) * 2;  // core links come first
+        sim.fail_link(t, l);
+        down_links.push_back(l);
+        break;
+      }
+      case 4: {  // restore one
+        if (!down_links.empty()) {
+          const std::size_t k = rng() % down_links.size();
+          sim.restore_link(t, down_links[k]);
+          down_links.erase(down_links.begin() +
+                           static_cast<std::ptrdiff_t>(k));
+        }
+        break;
+      }
+    }
+  }
+  sim.run_until(t + 10.0);
+
+  // Invariant 1: utilization never exceeds 1 (+eps) on any link.
+  for (LinkIndex l = 0; l < sim.topology().link_count(); ++l) {
+    EXPECT_LE(sim.link_utilization(l), 1.0 + 1e-6) << "link " << l;
+    for (const auto& sample : sim.link_utilization_series(l)) {
+      EXPECT_LE(sample.value, 1.0 + 1e-6) << "link " << l;
+    }
+  }
+
+  // Invariant 2: every flow's rate is non-negative and demand-bounded.
+  for (const FlowId f : flows) {
+    for (const auto& sample : sim.flow_rate_series(f)) {
+      EXPECT_GE(sample.value, -1e-9);
+    }
+  }
+
+  // Invariant 3: byte accounting equals the integral of the rate
+  // series (piecewise-constant between recorded change points).  Only
+  // flows never crossing a lossy link are checked exactly; the Fig 9
+  // topology is loss-free, so all qualify.
+  for (const FlowId f : flows) {
+    const auto& series = sim.flow_rate_series(f);
+    if (series.empty()) continue;
+    double integral_mb = 0.0;
+    for (std::size_t i = 0; i + 1 < series.size(); ++i) {
+      integral_mb +=
+          series[i].value * (series[i + 1].t_s - series[i].t_s) / 8.0;
+    }
+    integral_mb += series.back().value * (sim.now() - series.back().t_s) / 8.0;
+    EXPECT_NEAR(sim.transferred_mb(f), integral_mb,
+                0.01 * std::max(1.0, integral_mb))
+        << "flow " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorFuzz, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace hp::netsim

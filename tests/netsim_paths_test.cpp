@@ -1,0 +1,108 @@
+// Tests for Dijkstra and Yen's k-shortest paths over the topology.
+
+#include "netsim/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace hp::netsim {
+namespace {
+
+TEST(ShortestPath, PicksLowDelayRoute) {
+  const Topology topo = make_global_p4_lab();
+  const auto path = shortest_path(topo, topo.index_of("MIA"),
+                                  topo.index_of("AMS"), PathMetric::kDelay);
+  ASSERT_TRUE(path.has_value());
+  // MIA-CHI-AMS (4 ms) beats MIA-SAO-AMS (22 ms).
+  const auto nodes = path_nodes(topo, *path);
+  ASSERT_EQ(nodes.size(), 3U);
+  EXPECT_EQ(topo.node(nodes[1]).name, "CHI");
+  EXPECT_DOUBLE_EQ(path_weight(topo, *path, PathMetric::kDelay), 4.0);
+}
+
+TEST(ShortestPath, MetricChangesTheWinner) {
+  const Topology topo = make_global_p4_lab();
+  const auto by_capacity =
+      shortest_path(topo, topo.index_of("MIA"), topo.index_of("AMS"),
+                    PathMetric::kInverseCapacity);
+  ASSERT_TRUE(by_capacity.has_value());
+  // Inverse capacity prefers the fat 20 Mbps MIA-SAO-AMS pair
+  // (1/20 + 1/20) over MIA-CHI-AMS (1/10 + 1/20).
+  EXPECT_EQ(topo.node(path_nodes(topo, *by_capacity)[1]).name, "SAO");
+}
+
+TEST(ShortestPath, HostsDoNotTransit) {
+  // host1 connects only to MIA; a path MIA -> host1 -> ... must never
+  // appear.  Build a topology where transiting a host would be the
+  // geometric shortcut.
+  Topology topo;
+  const auto a = topo.add_node("a");
+  const auto b = topo.add_node("b");
+  const auto h = topo.add_node("h", NodeKind::kHost);
+  topo.add_duplex_link(a, h, 100.0, 0.1);
+  topo.add_duplex_link(h, b, 100.0, 0.1);
+  topo.add_duplex_link(a, b, 100.0, 50.0);  // slow direct link
+  const auto path = shortest_path(topo, a, b);
+  ASSERT_TRUE(path.has_value());
+  // Must take the slow direct link, not the 0.2 ms host shortcut.
+  EXPECT_EQ(path->size(), 1U);
+  EXPECT_DOUBLE_EQ(path_weight(topo, *path, PathMetric::kDelay), 50.0);
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Topology topo;
+  topo.add_node("a");
+  topo.add_node("b");
+  EXPECT_EQ(shortest_path(topo, 0, 1), std::nullopt);
+  EXPECT_THROW((void)shortest_path(topo, 0, 9), std::out_of_range);
+}
+
+TEST(KShortest, FindsTheThreePaperTunnels) {
+  const Topology topo = make_global_p4_lab();
+  const auto paths = k_shortest_paths(topo, topo.index_of("MIA"),
+                                      topo.index_of("AMS"), 3,
+                                      PathMetric::kDelay);
+  ASSERT_EQ(paths.size(), 3U);
+  // Delay order: MIA-CHI-AMS (4), MIA-CAL-CHI-AMS (6), MIA-SAO-AMS (22).
+  EXPECT_EQ(topo.node(path_nodes(topo, paths[0])[1]).name, "CHI");
+  EXPECT_EQ(topo.node(path_nodes(topo, paths[1])[1]).name, "CAL");
+  EXPECT_EQ(topo.node(path_nodes(topo, paths[2])[1]).name, "SAO");
+  // Weights are non-decreasing.
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_GE(path_weight(topo, paths[i], PathMetric::kDelay),
+              path_weight(topo, paths[i - 1], PathMetric::kDelay));
+  }
+}
+
+TEST(KShortest, PathsAreLooplessAndDistinct) {
+  const Topology topo = make_global_p4_lab();
+  const auto paths = k_shortest_paths(topo, topo.index_of("host1"),
+                                      topo.index_of("host2"), 5);
+  EXPECT_GE(paths.size(), 3U);
+  std::set<Path> unique(paths.begin(), paths.end());
+  EXPECT_EQ(unique.size(), paths.size());
+  for (const Path& path : paths) {
+    const auto nodes = path_nodes(topo, path);
+    std::set<NodeIndex> seen(nodes.begin(), nodes.end());
+    EXPECT_EQ(seen.size(), nodes.size()) << "loop in path";
+    EXPECT_TRUE(topo.is_connected_path(path));
+  }
+}
+
+TEST(KShortest, ExhaustsFiniteGraphs) {
+  // A triangle a-b, b-c, a-c has exactly two simple a->c paths.
+  Topology topo;
+  topo.add_node("a");
+  topo.add_node("b");
+  topo.add_node("c");
+  topo.add_duplex_link(0, 1, 1.0, 1.0);
+  topo.add_duplex_link(1, 2, 1.0, 1.0);
+  topo.add_duplex_link(0, 2, 1.0, 5.0);
+  const auto paths = k_shortest_paths(topo, 0, 2, 10);
+  EXPECT_EQ(paths.size(), 2U);
+  EXPECT_TRUE(k_shortest_paths(topo, 0, 2, 0).empty());
+}
+
+}  // namespace
+}  // namespace hp::netsim

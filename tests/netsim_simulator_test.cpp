@@ -1,0 +1,167 @@
+// Tests for the fluid discrete-event simulator.
+
+#include "netsim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace hp::netsim {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Topology two_path_topology() {
+  // s - a - d (10 Mbps, 5 ms per link) and s - b - d (4 Mbps, 1 ms).
+  Topology topo;
+  topo.add_node("s");
+  topo.add_node("a");
+  topo.add_node("b");
+  topo.add_node("d");
+  topo.add_duplex_link(0, 1, 10.0, 5.0);  // links 0,1
+  topo.add_duplex_link(1, 3, 10.0, 5.0);  // links 2,3
+  topo.add_duplex_link(0, 2, 4.0, 1.0);   // links 4,5
+  topo.add_duplex_link(2, 3, 4.0, 1.0);   // links 6,7
+  return topo;
+}
+
+TEST(Simulator, FlowRateFollowsBottleneck) {
+  Simulator sim(two_path_topology());
+  const FlowId f = sim.add_flow(0.0, FlowSpec{"f", {0, 2}, kInf, 0});
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.current_rate(f), 10.0);
+  EXPECT_TRUE(sim.is_active(f));
+}
+
+TEST(Simulator, TransferAccountsBytes) {
+  Simulator sim(two_path_topology());
+  const FlowId f = sim.add_flow(0.0, FlowSpec{"f", {4, 6}, kInf, 0});
+  sim.run_until(8.0);
+  // 4 Mbps for 8 s = 32 Mbit = 4 MB.
+  EXPECT_NEAR(sim.transferred_mb(f), 4.0, 1e-9);
+}
+
+TEST(Simulator, StopFreezesTransfer) {
+  Simulator sim(two_path_topology());
+  const FlowId f = sim.add_flow(0.0, FlowSpec{"f", {4, 6}, kInf, 0});
+  sim.stop_flow(4.0, f);
+  sim.run_until(10.0);
+  EXPECT_NEAR(sim.transferred_mb(f), 2.0, 1e-9);  // only 4 s of 4 Mbps
+  EXPECT_FALSE(sim.is_active(f));
+  EXPECT_DOUBLE_EQ(sim.current_rate(f), 0.0);
+}
+
+TEST(Simulator, LateFlowSharesFairly) {
+  Simulator sim(two_path_topology());
+  const FlowId f1 = sim.add_flow(0.0, FlowSpec{"f1", {0, 2}, kInf, 0});
+  const FlowId f2 = sim.add_flow(5.0, FlowSpec{"f2", {0, 2}, kInf, 0});
+  sim.run_until(4.0);
+  EXPECT_DOUBLE_EQ(sim.current_rate(f1), 10.0);
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.current_rate(f1), 5.0);
+  EXPECT_DOUBLE_EQ(sim.current_rate(f2), 5.0);
+  // f1: 5 s at 10 + 5 s at 5 = 75 Mbit = 9.375 MB.
+  EXPECT_NEAR(sim.transferred_mb(f1), 75.0 / 8.0, 1e-9);
+}
+
+TEST(Simulator, MigrationChangesRateAndPath) {
+  Simulator sim(two_path_topology());
+  const FlowId f = sim.add_flow(0.0, FlowSpec{"f", {4, 6}, kInf, 0});
+  sim.migrate_flow(5.0, f, {0, 2});
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.current_rate(f), 10.0);
+  EXPECT_EQ(sim.flow_path(f), (Path{0, 2}));
+  // 5 s at 4 + 5 s at 10 = 70 Mbit = 8.75 MB.
+  EXPECT_NEAR(sim.transferred_mb(f), 70.0 / 8.0, 1e-9);
+}
+
+TEST(Simulator, RttReflectsPropagationAndLoad) {
+  Simulator sim(two_path_topology());
+  // Idle RTT on s-a-d: 2 * (5 + 5) = 20 ms.
+  EXPECT_NEAR(sim.path_rtt_ms({0, 2}), 20.0, 1e-9);
+  // Idle RTT on s-b-d: 2 * (1 + 1) = 4 ms.
+  EXPECT_NEAR(sim.path_rtt_ms({4, 6}), 4.0, 1e-9);
+  // Saturating the path adds queueing delay.
+  sim.add_flow(0.0, FlowSpec{"f", {0, 2}, kInf, 0});
+  sim.run_until(1.0);
+  EXPECT_GT(sim.path_rtt_ms({0, 2}), 20.0 + 1.0);
+}
+
+TEST(Simulator, ProbesRecordSeries) {
+  Simulator sim(two_path_topology());
+  sim.schedule_probes("ping", {0, 2}, 0.0, 1.0);
+  sim.run_until(10.0);
+  const auto& series = sim.probe_series("ping");
+  ASSERT_GE(series.size(), 10U);
+  EXPECT_NEAR(series.front().value, 20.0, 1e-9);
+  EXPECT_THROW((void)sim.probe_series("nope"), std::out_of_range);
+}
+
+TEST(Simulator, SamplerRecordsUtilization) {
+  Simulator sim(two_path_topology());
+  sim.set_sample_interval(1.0);
+  sim.add_flow(0.0, FlowSpec{"f", {4, 6}, kInf, 0});
+  sim.run_until(5.0);
+  const auto& util = sim.link_utilization_series(4);
+  ASSERT_GE(util.size(), 4U);
+  EXPECT_NEAR(util.back().value, 1.0, 1e-9);  // 4/4 Mbps
+}
+
+TEST(Simulator, LossDiscountsGoodput) {
+  Topology topo;
+  topo.add_node("a");
+  topo.add_node("b");
+  topo.add_duplex_link(0, 1, 8.0, 1.0, 0.25);  // 25% loss
+  Simulator sim(std::move(topo));
+  const FlowId f = sim.add_flow(0.0, FlowSpec{"f", {0}, kInf, 0});
+  sim.run_until(8.0);
+  // 8 Mbps * 8 s * 0.75 / 8 = 6 MB goodput.
+  EXPECT_NEAR(sim.transferred_mb(f), 6.0, 1e-9);
+}
+
+TEST(Simulator, Validation) {
+  Simulator sim(two_path_topology());
+  EXPECT_THROW((void)sim.add_flow(0.0, FlowSpec{"bad", {0, 3}, kInf, 0}),
+               std::invalid_argument);  // disconnected
+  const FlowId f = sim.add_flow(0.0, FlowSpec{"f", {0, 2}, kInf, 0});
+  EXPECT_THROW(sim.stop_flow(0.0, 99), std::out_of_range);
+  EXPECT_THROW(sim.migrate_flow(0.0, f, {0, 3}), std::invalid_argument);
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.run_until(1.0), std::invalid_argument);
+  EXPECT_THROW(sim.add_flow(1.0, FlowSpec{"late", {0, 2}, kInf, 0}),
+               std::invalid_argument);  // in the past
+}
+
+TEST(Simulator, EventOrderingIsFifoAtSameTimestamp) {
+  Simulator sim(two_path_topology());
+  std::vector<int> order;
+  sim.schedule_callback(1.0, [&](Simulator&) { order.push_back(1); });
+  sim.schedule_callback(1.0, [&](Simulator&) { order.push_back(2); });
+  sim.schedule_callback(0.5, [&](Simulator&) { order.push_back(0); });
+  sim.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, Figure11LatencyMigrationShape) {
+  // Experiment 1 end-to-end at the simulator level: ping host1->host2
+  // over MIA-SAO-AMS for 60 s, migrate to MIA-CHI-AMS, RTT steps down.
+  Topology topo = make_global_p4_lab();
+  const Path slow =
+      topo.path_through({"host1", "MIA", "SAO", "AMS", "host2"});
+  const Path fast =
+      topo.path_through({"host1", "MIA", "CHI", "AMS", "host2"});
+  Simulator sim(std::move(topo));
+  const FlowId f = sim.add_flow(0.0, FlowSpec{"icmp", slow, 0.5, 0});
+  sim.schedule_probes("ping", slow, 0.0, 1.0);
+  sim.run_until(60.0);
+  const double rtt_before = sim.path_rtt_ms(slow);
+  sim.migrate_flow(60.0, f, fast);
+  sim.run_until(120.0);
+  const double rtt_after = sim.path_rtt_ms(fast);
+  EXPECT_GT(rtt_before, 44.0);  // 2*(0.1+20+2+0.1) plus queueing
+  EXPECT_LT(rtt_after, 15.0);
+  EXPECT_GT(rtt_before - rtt_after, 30.0);
+}
+
+}  // namespace
+}  // namespace hp::netsim

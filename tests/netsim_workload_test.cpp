@@ -1,0 +1,153 @@
+// Tests for sized flows / flow-completion times and the workload
+// generator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netsim/workload.hpp"
+
+namespace hp::netsim {
+namespace {
+
+Topology single_link() {
+  Topology topo;
+  topo.add_node("a");
+  topo.add_node("b");
+  topo.add_duplex_link(0, 1, 8.0, 1.0);  // 8 Mbps = 1 MB/s
+  return topo;
+}
+
+TEST(SizedFlow, CompletesExactlyWhenSizeTransferred) {
+  Simulator sim(single_link());
+  FlowSpec spec{"f", {0}, 1e18, 0, 5.0};  // 5 MB over 1 MB/s
+  const FlowId f = sim.add_flow(0.0, std::move(spec));
+  sim.run_until(100.0);
+  ASSERT_TRUE(sim.completion_time(f).has_value());
+  EXPECT_NEAR(*sim.completion_time(f), 5.0, 1e-6);
+  EXPECT_NEAR(*sim.fct_s(f), 5.0, 1e-6);
+  EXPECT_FALSE(sim.is_active(f));
+  EXPECT_NEAR(sim.transferred_mb(f), 5.0, 1e-9);
+}
+
+TEST(SizedFlow, CompletionReactsToSharingChanges) {
+  Simulator sim(single_link());
+  // Two 4 MB flows share 1 MB/s: both run at 0.5 MB/s until the first
+  // completes at t=8, then... they complete together at t=8.
+  const FlowId f1 = sim.add_flow(0.0, FlowSpec{"f1", {0}, 1e18, 0, 4.0});
+  // Second flow arrives at t=2: f1 has 2 MB done.  From t=2 both get
+  // 0.5 MB/s.  f1 finishes its remaining 2 MB at t=6; f2 then speeds
+  // up to 1 MB/s with 2 MB done and 2 MB left: done at t=8.
+  const FlowId f2 = sim.add_flow(2.0, FlowSpec{"f2", {0}, 1e18, 0, 4.0});
+  sim.run_until(50.0);
+  EXPECT_NEAR(*sim.completion_time(f1), 6.0, 1e-6);
+  EXPECT_NEAR(*sim.completion_time(f2), 8.0, 1e-6);
+  EXPECT_NEAR(*sim.fct_s(f2), 6.0, 1e-6);
+}
+
+TEST(SizedFlow, UnfinishedHasNoFct) {
+  Simulator sim(single_link());
+  const FlowId f = sim.add_flow(0.0, FlowSpec{"f", {0}, 1e18, 0, 1000.0});
+  sim.run_until(5.0);
+  EXPECT_FALSE(sim.fct_s(f).has_value());
+  EXPECT_TRUE(sim.is_active(f));
+}
+
+TEST(SizedFlow, StarvedFlowCompletesAfterRestore) {
+  Topology topo = single_link();
+  Simulator sim(std::move(topo));
+  const FlowId f = sim.add_flow(0.0, FlowSpec{"f", {0}, 1e18, 0, 2.0});
+  sim.fail_link(1.0, 0);
+  sim.restore_link(10.0, 0);
+  sim.run_until(30.0);
+  ASSERT_TRUE(sim.completion_time(f).has_value());
+  // 1 MB done before the cut; 1 MB after the restore: completes at 11 s.
+  EXPECT_NEAR(*sim.completion_time(f), 11.0, 1e-3);
+}
+
+TEST(SizedFlow, DemandCapStillApplies) {
+  Simulator sim(single_link());
+  // 4 Mbps cap = 0.5 MB/s, 3 MB -> 6 s.
+  const FlowId f = sim.add_flow(0.0, FlowSpec{"f", {0}, 4.0, 0, 3.0});
+  sim.run_until(20.0);
+  EXPECT_NEAR(*sim.completion_time(f), 6.0, 1e-6);
+}
+
+TEST(Workload, GeneratesMiceAndElephants) {
+  Topology topo = make_global_p4_lab();
+  const std::vector<Path> paths{
+      topo.path_through({"host1", "MIA", "SAO", "AMS", "host2"})};
+  WorkloadParams params;
+  params.duration_s = 600.0;
+  params.arrival_rate_per_s = 1.0;
+  const auto flows = generate_workload(paths, params);
+  ASSERT_GT(flows.size(), 400U);
+  std::size_t elephants = 0;
+  for (const auto& flow : flows) {
+    EXPECT_LT(flow.at_s, params.duration_s);
+    EXPECT_GT(flow.spec.size_mb, 0.0);
+    if (flow.spec.tos == 2) {
+      ++elephants;
+      EXPECT_GE(flow.spec.size_mb, params.elephant_min_mb);
+      EXPECT_LE(flow.spec.size_mb, params.elephant_max_mb);
+    }
+  }
+  // ~10% elephants.
+  EXPECT_GT(elephants, flows.size() / 20);
+  EXPECT_LT(elephants, flows.size() / 4);
+  // Arrival times sorted.
+  for (std::size_t i = 1; i < flows.size(); ++i) {
+    EXPECT_GE(flows[i].at_s, flows[i - 1].at_s);
+  }
+}
+
+TEST(Workload, DeterministicPerSeed) {
+  Topology topo = make_global_p4_lab();
+  const std::vector<Path> paths{
+      topo.path_through({"host1", "MIA", "CHI", "AMS", "host2"})};
+  const auto a = generate_workload(paths);
+  const auto b = generate_workload(paths);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].at_s, b[i].at_s);
+    EXPECT_DOUBLE_EQ(a[i].spec.size_mb, b[i].spec.size_mb);
+  }
+}
+
+TEST(Workload, Validation) {
+  EXPECT_THROW((void)generate_workload({}), std::invalid_argument);
+  Topology topo = make_global_p4_lab();
+  const std::vector<Path> paths{
+      topo.path_through({"host1", "MIA", "CHI", "AMS", "host2"})};
+  WorkloadParams params;
+  params.duration_s = 0.0;
+  EXPECT_THROW((void)generate_workload(paths, params),
+               std::invalid_argument);
+}
+
+TEST(Workload, FctStatsEndToEnd) {
+  Topology topo = make_global_p4_lab();
+  const std::vector<Path> paths{
+      topo.path_through({"host1", "MIA", "SAO", "AMS", "host2"}),
+      topo.path_through({"host1", "MIA", "CHI", "AMS", "host2"})};
+  WorkloadParams params;
+  params.duration_s = 120.0;
+  params.arrival_rate_per_s = 0.3;
+  params.elephant_fraction = 0.0;  // mice only: everything finishes
+  const auto workload = generate_workload(paths, params);
+  Simulator sim(std::move(topo));
+  std::vector<FlowId> ids;
+  for (const auto& flow : workload) {
+    ids.push_back(sim.add_flow(flow.at_s, flow.spec));
+  }
+  sim.run_until(600.0);
+  const FctStats stats = collect_fct(sim, ids);
+  EXPECT_EQ(stats.unfinished, 0U);
+  EXPECT_EQ(stats.completed, ids.size());
+  EXPECT_GT(stats.mean_fct_s, 0.0);
+  EXPECT_GE(stats.p95_fct_s, stats.mean_fct_s);
+  EXPECT_GE(stats.max_fct_s, stats.p95_fct_s);
+}
+
+}  // namespace
+}  // namespace hp::netsim

@@ -1,0 +1,114 @@
+// Tests for the CRC remainder engines against exact polynomial division.
+
+#include "polka/crc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gf2/irreducible.hpp"
+
+namespace hp::polka {
+namespace {
+
+using gf2::Poly;
+
+Poly random_poly(std::mt19937_64& rng, int max_degree) {
+  Poly p;
+  std::uniform_int_distribution<int> deg(0, max_degree);
+  const int d = deg(rng);
+  for (int i = 0; i < d; ++i) {
+    if (rng() & 1) p.set_coeff(static_cast<unsigned>(i), true);
+  }
+  p.set_coeff(static_cast<unsigned>(d), true);
+  return p;
+}
+
+TEST(BitSerialCrc, MatchesEuclideanRemainderPaperExample) {
+  const Poly s2(0b111);
+  const BitSerialCrc crc(s2);
+  const Poly route = Poly::from_binary_string("10000");
+  EXPECT_EQ(crc.remainder(route), route % s2);
+  EXPECT_EQ(crc.remainder(route).to_uint64(), 2U);
+}
+
+TEST(BitSerialCrc, ZeroDividend) {
+  const BitSerialCrc crc(Poly(0b1011));
+  EXPECT_TRUE(crc.remainder(Poly{}).is_zero());
+}
+
+TEST(BitSerialCrc, DividendSmallerThanGenerator) {
+  const BitSerialCrc crc(Poly(0b10011));
+  EXPECT_EQ(crc.remainder(Poly(0b101)), Poly(0b101));
+}
+
+TEST(BitSerialCrc, RejectsConstantGenerator) {
+  EXPECT_THROW(BitSerialCrc(Poly(1)), std::invalid_argument);
+  EXPECT_THROW(BitSerialCrc(Poly{}), std::invalid_argument);
+}
+
+TEST(TableCrc, MatchesEuclideanRemainderPaperExample) {
+  const Poly s2(0b111);
+  const TableCrc crc(s2);
+  const Poly route = Poly::from_binary_string("10000");
+  EXPECT_EQ(crc.remainder(route), route % s2);
+}
+
+TEST(TableCrc, DegreeBoundsEnforced) {
+  EXPECT_THROW(TableCrc(Poly(1)), std::invalid_argument);
+  EXPECT_THROW(TableCrc(Poly::monomial(57) + Poly(1)), std::invalid_argument);
+  EXPECT_NO_THROW(TableCrc(Poly::monomial(56) + Poly(0b11)));
+}
+
+TEST(TableCrc, StandardCrc8Polynomial) {
+  // CRC-8-ATM generator t^8 + t^2 + t + 1.
+  const Poly g(0x107);
+  const TableCrc crc(g);
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const Poly msg = random_poly(rng, 120);
+    EXPECT_EQ(crc.remainder(msg), msg % g);
+  }
+}
+
+// Property: both engines agree with exact division for random
+// generator/dividend pairs across a sweep of generator degrees.
+class CrcAgreement : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CrcAgreement, EnginesMatchExactDivision) {
+  const unsigned degree = GetParam();
+  std::mt19937_64 rng(degree * 977 + 11);
+  const auto gens = gf2::irreducible_of_degree(degree);
+  ASSERT_FALSE(gens.empty());
+  const Poly& g = gens[rng() % gens.size()];
+  const BitSerialCrc bit(g);
+  const TableCrc table(g);
+  for (int i = 0; i < 60; ++i) {
+    const Poly msg = random_poly(rng, 250);
+    const Poly want = msg % g;
+    EXPECT_EQ(bit.remainder(msg), want) << "degree=" << degree;
+    EXPECT_EQ(table.remainder(msg), want) << "degree=" << degree;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GeneratorDegrees, CrcAgreement,
+                         ::testing::Values(1U, 2U, 3U, 4U, 5U, 6U, 7U, 8U,
+                                           9U, 12U, 16U, 20U));
+
+TEST(CrcAgreement, LongRouteIds) {
+  // routeIDs grow with path length; engines must stay exact for
+  // multi-hundred-bit dividends.
+  const Poly g = gf2::irreducible_of_degree(16).front();
+  const BitSerialCrc bit(g);
+  const TableCrc table(g);
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 20; ++i) {
+    const Poly msg = random_poly(rng, 900);
+    const Poly want = msg % g;
+    EXPECT_EQ(bit.remainder(msg), want);
+    EXPECT_EQ(table.remainder(msg), want);
+  }
+}
+
+}  // namespace
+}  // namespace hp::polka

@@ -1,0 +1,181 @@
+// Tests for the PolKA extensions: M-PolKA multipath routeIDs and the
+// PoT-PolKA proof-of-transit scheme.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "gf2/irreducible.hpp"
+#include "polka/multipath.hpp"
+#include "polka/pot.hpp"
+
+namespace hp::polka {
+namespace {
+
+using gf2::Poly;
+
+NodeId bitmap_node(const std::string& name, unsigned ports,
+                   NodeIdAllocator& alloc) {
+  // Bitmap forwarding needs deg(nodeID) >= port count (one bit per
+  // port), not just log2(ports).
+  return alloc.allocate(name, ports, min_degree_for_port_bitmap(ports) + 1);
+}
+
+TEST(PortSetPolynomial, RoundTrip) {
+  const std::vector<unsigned> ports{0, 2, 5};
+  const Poly bitmap = port_set_polynomial(ports);
+  EXPECT_EQ(bitmap, Poly(0b100101));
+  EXPECT_EQ(polynomial_port_set(bitmap), ports);
+  EXPECT_TRUE(polynomial_port_set(Poly{}).empty());
+}
+
+TEST(Multipath, SingleNodeReplication) {
+  NodeIdAllocator alloc;
+  const NodeId node = bitmap_node("branch", 4, alloc);
+  const RouteId route =
+      compute_multipath_route_id({MultiHop{node, {1, 3}}});
+  EXPECT_EQ(output_port_set(route, node), (std::vector<unsigned>{1, 3}));
+}
+
+TEST(Multipath, TreeAcrossNodes) {
+  NodeIdAllocator alloc;
+  const NodeId root = bitmap_node("root", 4, alloc);
+  const NodeId left = bitmap_node("left", 4, alloc);
+  const NodeId right = bitmap_node("right", 4, alloc);
+  // root replicates to ports 0 and 1; left exits on 2; right on 0 and 3.
+  const RouteId route = compute_multipath_route_id({
+      MultiHop{root, {0, 1}},
+      MultiHop{left, {2}},
+      MultiHop{right, {0, 3}},
+  });
+  EXPECT_EQ(output_port_set(route, root), (std::vector<unsigned>{0, 1}));
+  EXPECT_EQ(output_port_set(route, left), (std::vector<unsigned>{2}));
+  EXPECT_EQ(output_port_set(route, right), (std::vector<unsigned>{0, 3}));
+}
+
+TEST(Multipath, UnipathIsSpecialCase) {
+  // A multipath routeID with singleton port sets reproduces classic
+  // PolKA behaviour.
+  NodeIdAllocator alloc;
+  const NodeId a = bitmap_node("a", 4, alloc);
+  const NodeId b = bitmap_node("b", 4, alloc);
+  const RouteId multi =
+      compute_multipath_route_id({MultiHop{a, {2}}, MultiHop{b, {1}}});
+  EXPECT_EQ(output_port_set(multi, a), (std::vector<unsigned>{2}));
+  EXPECT_EQ(output_port_set(multi, b), (std::vector<unsigned>{1}));
+}
+
+TEST(Multipath, Validation) {
+  NodeIdAllocator alloc;
+  const NodeId small = alloc.allocate("small", 4, 2);  // degree 2
+  EXPECT_THROW((void)compute_multipath_route_id({MultiHop{small, {0, 1, 2}}}),
+               std::domain_error);  // bitmap needs degree > 2
+  EXPECT_THROW((void)compute_multipath_route_id({}), std::invalid_argument);
+  const NodeId ok = bitmap_node("ok", 4, alloc);
+  EXPECT_THROW((void)compute_multipath_route_id({MultiHop{ok, {}}}),
+               std::invalid_argument);
+}
+
+// Property: random trees over random nodes always recover every port
+// set exactly.
+class MultipathProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultipathProperty, PortSetsRecovered) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()));
+  NodeIdAllocator alloc;
+  std::vector<MultiHop> tree;
+  const std::size_t n_nodes = 2 + rng() % 6;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    const unsigned ports = 3 + static_cast<unsigned>(rng() % 6);
+    MultiHop hop{bitmap_node("n" + std::to_string(i), ports, alloc), {}};
+    std::set<unsigned> chosen;
+    const std::size_t k = 1 + rng() % ports;
+    while (chosen.size() < k) {
+      chosen.insert(static_cast<unsigned>(rng() % ports));
+    }
+    hop.ports.assign(chosen.begin(), chosen.end());
+    tree.push_back(std::move(hop));
+  }
+  const RouteId route = compute_multipath_route_id(tree);
+  for (const MultiHop& hop : tree) {
+    EXPECT_EQ(output_port_set(route, hop.node), hop.ports) << hop.node.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultipathProperty, ::testing::Range(0, 20));
+
+// --- proof of transit ---------------------------------------------------
+
+std::vector<NodeId> pot_nodes() {
+  NodeIdAllocator alloc;
+  std::vector<NodeId> nodes;
+  for (const char* name : {"MIA", "SAO", "CHI", "AMS"}) {
+    nodes.push_back(alloc.allocate(name, 8, 4));
+  }
+  return nodes;
+}
+
+TEST(ProofOfTransit, HonestPathVerifies) {
+  const auto nodes = pot_nodes();
+  const PotVerifier verifier(nodes);
+  const Poly nonce(0xABCDEF);
+  TransitProof proof;
+  for (const char* hop : {"MIA", "SAO", "AMS"}) {
+    proof.absorb(verifier.secret(hop), nonce);
+  }
+  EXPECT_TRUE(verifier.verify(proof, {"MIA", "SAO", "AMS"}, nonce));
+}
+
+TEST(ProofOfTransit, SkippedNodeDetected) {
+  const auto nodes = pot_nodes();
+  const PotVerifier verifier(nodes);
+  const Poly nonce(0x1234);
+  TransitProof proof;
+  proof.absorb(verifier.secret("MIA"), nonce);
+  proof.absorb(verifier.secret("AMS"), nonce);  // SAO skipped
+  EXPECT_FALSE(verifier.verify(proof, {"MIA", "SAO", "AMS"}, nonce));
+}
+
+TEST(ProofOfTransit, WrongPathDetected) {
+  const auto nodes = pot_nodes();
+  const PotVerifier verifier(nodes);
+  const Poly nonce(0x77);
+  TransitProof proof;
+  for (const char* hop : {"MIA", "CHI", "AMS"}) {  // took the CHI path
+    proof.absorb(verifier.secret(hop), nonce);
+  }
+  EXPECT_FALSE(verifier.verify(proof, {"MIA", "SAO", "AMS"}, nonce));
+  EXPECT_TRUE(verifier.verify(proof, {"MIA", "CHI", "AMS"}, nonce));
+}
+
+TEST(ProofOfTransit, NonceBindsProof) {
+  const auto nodes = pot_nodes();
+  const PotVerifier verifier(nodes);
+  TransitProof proof;
+  for (const char* hop : {"MIA", "SAO", "AMS"}) {
+    proof.absorb(verifier.secret(hop), Poly(0xAA));
+  }
+  // Replaying the accumulator under a different nonce fails.
+  EXPECT_FALSE(verifier.verify(proof, {"MIA", "SAO", "AMS"}, Poly(0xBB)));
+}
+
+TEST(ProofOfTransit, UnknownNodeThrows) {
+  const PotVerifier verifier(pot_nodes());
+  EXPECT_THROW((void)verifier.secret("LON"), std::out_of_range);
+  EXPECT_THROW((void)verifier.expected({"MIA", "LON"}, Poly(1)),
+               std::out_of_range);
+}
+
+TEST(ProofOfTransit, KeysAreNodeSpecificAndSeeded) {
+  const auto nodes = pot_nodes();
+  const PotVerifier a(nodes, 1);
+  const PotVerifier b(nodes, 1);
+  const PotVerifier c(nodes, 2);
+  EXPECT_EQ(a.secret("MIA").key, b.secret("MIA").key);  // deterministic
+  EXPECT_NE(a.secret("MIA").key, a.secret("SAO").key);  // per-node
+  EXPECT_NE(a.secret("MIA").key, c.secret("MIA").key);  // seed-dependent
+}
+
+}  // namespace
+}  // namespace hp::polka

@@ -1,0 +1,114 @@
+// Randomized property testing of PolKA fabric forwarding: on random
+// connected fabrics, every simple path's routeID must steer a packet
+// exactly along that path with every mod engine, and the label must
+// stay within its CRT bit bound.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "polka/forwarding.hpp"
+
+namespace hp::polka {
+namespace {
+
+struct RandomFabric {
+  PolkaFabric fabric;
+  std::vector<std::vector<std::size_t>> adjacency;  // node -> neighbours
+};
+
+/// Ring of n nodes plus random chords; every node gets an extra unwired
+/// host port (the last port index).
+RandomFabric make_random_fabric(std::size_t n, std::mt19937_64& rng,
+                                ModEngine engine) {
+  // First decide the neighbour sets, then size the ports.
+  std::vector<std::set<std::size_t>> neighbours(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    neighbours[i].insert((i + 1) % n);
+    neighbours[(i + 1) % n].insert(i);
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    const std::size_t a = rng() % n;
+    const std::size_t b = rng() % n;
+    if (a == b) continue;
+    neighbours[a].insert(b);
+    neighbours[b].insert(a);
+  }
+  RandomFabric out{PolkaFabric(engine), {}};
+  for (std::size_t i = 0; i < n; ++i) {
+    out.fabric.add_node("n" + std::to_string(i),
+                        static_cast<unsigned>(neighbours[i].size()) + 1);
+  }
+  out.adjacency.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned port = 0;
+    for (const std::size_t peer : neighbours[i]) {
+      out.fabric.connect(i, port++, peer);
+      out.adjacency[i].push_back(peer);
+    }
+  }
+  return out;
+}
+
+/// Random simple path by loop-erased random walk.
+std::vector<std::size_t> random_simple_path(const RandomFabric& rf,
+                                            std::mt19937_64& rng,
+                                            std::size_t max_len) {
+  const std::size_t n = rf.adjacency.size();
+  std::vector<std::size_t> path{rng() % n};
+  std::set<std::size_t> seen{path[0]};
+  while (path.size() < max_len) {
+    const auto& next_options = rf.adjacency[path.back()];
+    std::vector<std::size_t> fresh;
+    for (const std::size_t peer : next_options) {
+      if (!seen.contains(peer)) fresh.push_back(peer);
+    }
+    if (fresh.empty()) break;
+    const std::size_t next = fresh[rng() % fresh.size()];
+    path.push_back(next);
+    seen.insert(next);
+  }
+  return path;
+}
+
+class FabricFuzz
+    : public ::testing::TestWithParam<std::tuple<int, ModEngine>> {};
+
+TEST_P(FabricFuzz, RandomPathsForwardExactly) {
+  const auto [seed, engine] = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 2654435761u + 1);
+  const std::size_t n = 6 + rng() % 20;
+  const RandomFabric rf = make_random_fabric(n, rng, engine);
+
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto path = random_simple_path(rf, rng, 2 + rng() % 10);
+    if (path.size() < 2) continue;
+    // Egress on the host port (always the last, unwired port).
+    const unsigned egress = static_cast<unsigned>(
+        rf.adjacency[path.back()].size());
+    const RouteId route = rf.fabric.route_for_path(path, egress);
+
+    // Bit bound: deg(routeID) < sum of nodeID degrees along the path.
+    int degree_sum = 0;
+    for (const std::size_t node : path) {
+      degree_sum += rf.fabric.node(node).poly.degree();
+    }
+    EXPECT_LT(route.value.degree(), degree_sum);
+
+    const auto trace = rf.fabric.forward(route, path.front());
+    ASSERT_EQ(trace.nodes, path) << "seed=" << seed;
+    EXPECT_EQ(trace.ports.back(), egress);
+    EXPECT_EQ(trace.mod_operations, path.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FabricFuzz,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values(ModEngine::kBitSerial,
+                                         ModEngine::kTable,
+                                         ModEngine::kDirect)));
+
+}  // namespace
+}  // namespace hp::polka

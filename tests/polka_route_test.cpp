@@ -1,0 +1,122 @@
+// Tests for routeID computation and per-node port recovery.
+
+#include "polka/route.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "gf2/irreducible.hpp"
+#include "polka/node_id.hpp"
+
+namespace hp::polka {
+namespace {
+
+using gf2::Poly;
+
+TEST(MinDegreeForPorts, Bounds) {
+  EXPECT_EQ(min_degree_for_ports(1), 1U);
+  EXPECT_EQ(min_degree_for_ports(2), 1U);
+  EXPECT_EQ(min_degree_for_ports(3), 2U);
+  EXPECT_EQ(min_degree_for_ports(4), 2U);
+  EXPECT_EQ(min_degree_for_ports(5), 3U);
+  EXPECT_EQ(min_degree_for_ports(9), 4U);
+  EXPECT_EQ(min_degree_for_ports(256), 8U);
+}
+
+TEST(NodeIdAllocator, DistinctIrreducibleIds) {
+  NodeIdAllocator alloc;
+  const NodeId a = alloc.allocate("A", 4);
+  const NodeId b = alloc.allocate("B", 4);
+  const NodeId c = alloc.allocate("C", 8);
+  EXPECT_NE(a.poly, b.poly);
+  EXPECT_NE(a.poly, c.poly);
+  EXPECT_TRUE(gf2::is_irreducible(a.poly));
+  EXPECT_TRUE(gf2::is_irreducible(b.poly));
+  EXPECT_TRUE(gf2::is_irreducible(c.poly));
+  // Degree must accommodate the port space.
+  EXPECT_GE(a.poly.degree(), 2);
+  EXPECT_GE(c.poly.degree(), 3);
+}
+
+TEST(NodeIdAllocator, ZeroPortsRejected) {
+  NodeIdAllocator alloc;
+  EXPECT_THROW(alloc.allocate("X", 0), std::invalid_argument);
+}
+
+TEST(NodeIdAllocator, ManyNodesStayCoprime) {
+  NodeIdAllocator alloc;
+  std::vector<NodeId> nodes;
+  for (int i = 0; i < 30; ++i) {
+    nodes.push_back(alloc.allocate("n" + std::to_string(i), 4));
+  }
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      EXPECT_TRUE(gcd(nodes[i].poly, nodes[j].poly).is_one());
+    }
+  }
+}
+
+TEST(RouteId, PaperFigure1) {
+  // Fig 1: three nodes with ports o1=1, o2=t (port 2), o3=t^2+t (port 6).
+  const NodeId s1{"s1", Poly(0b11), 2};
+  const NodeId s2{"s2", Poly(0b111), 4};
+  const NodeId s3{"s3", Poly(0b1011), 8};
+  const RouteId r = compute_route_id({{s1, 1}, {s2, 2}, {s3, 6}});
+  EXPECT_EQ(output_port(r, s1), 1U);
+  EXPECT_EQ(output_port(r, s2), 2U);
+  EXPECT_EQ(output_port(r, s3), 6U);
+  EXPECT_LE(r.bit_length(), 6U);  // deg < 1+2+3
+}
+
+TEST(RouteId, PortMustFitNodeDegree) {
+  const NodeId small{"s", Poly(0b11), 2};  // degree 1: ports {0,1}
+  EXPECT_THROW(compute_route_id({{small, 2}}), std::domain_error);
+}
+
+TEST(RouteId, EmptyPathRejected) {
+  EXPECT_THROW(compute_route_id({}), std::invalid_argument);
+}
+
+TEST(RouteId, DuplicateNodeRejected) {
+  // Same node appearing twice means non-coprime moduli: CRT must refuse
+  // (PolKA cannot encode loops through one node in a single routeID).
+  const NodeId s{"s", Poly(0b111), 4};
+  EXPECT_THROW(compute_route_id({{s, 1}, {s, 2}}), std::domain_error);
+}
+
+TEST(RouteId, PortPolynomialRoundTrip) {
+  for (unsigned p = 0; p < 64; ++p) {
+    EXPECT_EQ(polynomial_port(port_polynomial(p)), p);
+  }
+}
+
+// Property: random paths through randomly allocated nodes always
+// recover every hop's port, for varying path lengths.
+class RouteRecovery : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RouteRecovery, AllPortsRecovered) {
+  const std::size_t hops = GetParam();
+  std::mt19937_64 rng(hops * 7919);
+  NodeIdAllocator alloc;
+  std::vector<Hop> path;
+  for (std::size_t i = 0; i < hops; ++i) {
+    const unsigned ports = 2 + static_cast<unsigned>(rng() % 15);
+    NodeId node = alloc.allocate("n" + std::to_string(i), ports);
+    path.push_back(Hop{std::move(node), static_cast<unsigned>(rng() % ports)});
+  }
+  const RouteId r = compute_route_id(path);
+  int total_degree = 0;
+  for (const Hop& hop : path) {
+    EXPECT_EQ(output_port(r, hop.node), hop.port) << hop.node.name;
+    total_degree += hop.node.poly.degree();
+  }
+  EXPECT_LT(r.value.degree(), total_degree);
+}
+
+INSTANTIATE_TEST_SUITE_P(PathLengths, RouteRecovery,
+                         ::testing::Values(1U, 2U, 3U, 5U, 8U, 12U, 20U,
+                                           32U));
+
+}  // namespace
+}  // namespace hp::polka

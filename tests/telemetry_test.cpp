@@ -1,0 +1,146 @@
+// Tests for the time-series store and path telemetry agents.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "telemetry/agent.hpp"
+#include "telemetry/store.hpp"
+
+namespace hp::telemetry {
+namespace {
+
+TEST(TimeSeriesStore, AppendAndQuery) {
+  TimeSeriesStore store;
+  store.append("bw", {0.0, 10.0});
+  store.append("bw", {1.0, 12.0});
+  store.append("bw", {2.0, 9.0});
+  EXPECT_TRUE(store.has_series("bw"));
+  EXPECT_EQ(store.size("bw"), 3U);
+  EXPECT_DOUBLE_EQ(store.latest("bw")->value, 9.0);
+}
+
+TEST(TimeSeriesStore, RangeQuery) {
+  TimeSeriesStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.append("s", {static_cast<double>(i), static_cast<double>(i * i)});
+  }
+  const auto mid = store.range("s", 2.0, 5.0);
+  ASSERT_EQ(mid.size(), 4U);
+  EXPECT_DOUBLE_EQ(mid.front().t_s, 2.0);
+  EXPECT_DOUBLE_EQ(mid.back().t_s, 5.0);
+  EXPECT_TRUE(store.range("s", 100.0, 200.0).empty());
+  EXPECT_TRUE(store.range("unknown", 0.0, 1.0).empty());
+}
+
+TEST(TimeSeriesStore, LastKOldestFirst) {
+  TimeSeriesStore store;
+  for (int i = 0; i < 5; ++i) {
+    store.append("s", {static_cast<double>(i), static_cast<double>(i)});
+  }
+  const auto values = store.last_values("s", 3);
+  EXPECT_EQ(values, (std::vector<double>{2, 3, 4}));
+  EXPECT_EQ(store.last_values("s", 99).size(), 5U);
+  EXPECT_TRUE(store.last_values("unknown", 3).empty());
+}
+
+TEST(TimeSeriesStore, MonotonicityEnforced) {
+  TimeSeriesStore store;
+  store.append("s", {5.0, 1.0});
+  EXPECT_THROW(store.append("s", {4.0, 1.0}), std::invalid_argument);
+  EXPECT_NO_THROW(store.append("s", {5.0, 2.0}));  // ties allowed
+}
+
+TEST(TimeSeriesStore, RetentionCap) {
+  TimeSeriesStore store(3);
+  for (int i = 0; i < 10; ++i) {
+    store.append("s", {static_cast<double>(i), static_cast<double>(i)});
+  }
+  EXPECT_EQ(store.size("s"), 3U);
+  EXPECT_EQ(store.last_values("s", 3), (std::vector<double>{7, 8, 9}));
+}
+
+TEST(TimeSeriesStore, ClearAndNames) {
+  TimeSeriesStore store;
+  store.append("a", {0.0, 1.0});
+  store.append("b", {0.0, 2.0});
+  EXPECT_EQ(store.series_names(), (std::vector<std::string>{"a", "b"}));
+  store.clear("a");
+  EXPECT_FALSE(store.has_series("a"));
+  EXPECT_FALSE(store.latest("a").has_value());
+}
+
+TEST(PathAgent, SamplesBandwidthAndRtt) {
+  hp::netsim::Topology topo = hp::netsim::make_global_p4_lab();
+  const hp::netsim::Path tunnel1 = topo.path_through({"MIA", "SAO", "AMS"});
+  hp::netsim::Simulator sim(std::move(topo));
+  TimeSeriesStore store;
+  PathAgentConfig config;
+  config.path_name = "tunnel1";
+  config.path = tunnel1;
+  config.interval_s = 1.0;
+  PathAgent agent(config, store);
+  agent.start(sim, 0.0);
+  sim.run_until(10.0);
+  EXPECT_GE(store.size("tunnel1.available_mbps"), 10U);
+  EXPECT_GE(store.size("tunnel1.rtt_ms"), 10U);
+  // Idle path: full bottleneck capacity available, propagation RTT.
+  EXPECT_DOUBLE_EQ(store.latest("tunnel1.available_mbps")->value, 20.0);
+  EXPECT_NEAR(store.latest("tunnel1.rtt_ms")->value, 44.0, 1e-9);
+}
+
+TEST(PathAgent, AvailabilityDropsUnderLoad) {
+  hp::netsim::Topology topo = hp::netsim::make_global_p4_lab();
+  const hp::netsim::Path tunnel1 = topo.path_through({"MIA", "SAO", "AMS"});
+  const hp::netsim::Path flow_path =
+      topo.path_through({"host1", "MIA", "SAO", "AMS", "host2"});
+  hp::netsim::Simulator sim(std::move(topo));
+  TimeSeriesStore store;
+  PathAgent agent({"tunnel1", tunnel1, 1.0}, store);
+  agent.start(sim, 0.0);
+  sim.add_flow(5.0, hp::netsim::FlowSpec{
+                        "tcp", flow_path, 12.0, 0});
+  sim.run_until(10.0);
+  // After the 12 Mbps flow starts, only 8 Mbps of tunnel 1 remains.
+  EXPECT_NEAR(store.latest("tunnel1.available_mbps")->value, 8.0, 1e-9);
+  const auto early = store.range("tunnel1.available_mbps", 0.0, 4.5);
+  ASSERT_FALSE(early.empty());
+  EXPECT_DOUBLE_EQ(early.back().value, 20.0);
+}
+
+TEST(PathAgent, JitterTracksRttChanges) {
+  hp::netsim::Topology topo = hp::netsim::make_global_p4_lab();
+  const hp::netsim::Path tunnel1 = topo.path_through({"MIA", "SAO", "AMS"});
+  const hp::netsim::Path flow_path =
+      topo.path_through({"host1", "MIA", "SAO", "AMS", "host2"});
+  hp::netsim::Simulator sim(std::move(topo));
+  TimeSeriesStore store;
+  PathAgent agent({"tunnel1", tunnel1, 1.0}, store);
+  agent.start(sim, 0.0);
+  // Idle network first: jitter must be ~0.
+  sim.run_until(5.0);
+  ASSERT_GE(store.size("tunnel1.jitter_ms"), 3U);
+  EXPECT_NEAR(store.latest("tunnel1.jitter_ms")->value, 0.0, 1e-9);
+  // A load step changes queueing delay once: a jitter spike appears at
+  // the step, then jitter settles back to ~0.
+  sim.add_flow(5.5, hp::netsim::FlowSpec{"tcp", flow_path, 18.0, 0});
+  sim.run_until(10.0);
+  double max_jitter = 0.0;
+  for (const auto& p : store.range("tunnel1.jitter_ms", 5.0, 10.0)) {
+    max_jitter = std::max(max_jitter, p.value);
+  }
+  EXPECT_GT(max_jitter, 1.0);
+  EXPECT_NEAR(store.latest("tunnel1.jitter_ms")->value, 0.0, 1e-9);
+}
+
+TEST(PathAgent, AvailableBandwidthHelper) {
+  hp::netsim::Topology topo = hp::netsim::make_global_p4_lab();
+  const hp::netsim::Path t3 =
+      topo.path_through({"MIA", "CAL", "CHI", "AMS"});
+  hp::netsim::Simulator sim(std::move(topo));
+  // Bottleneck of tunnel 3 is the 5 Mbps MIA-CAL / CAL-CHI pair.
+  EXPECT_DOUBLE_EQ(PathAgent::available_mbps(sim, t3), 5.0);
+}
+
+}  // namespace
+}  // namespace hp::telemetry
