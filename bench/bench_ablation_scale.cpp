@@ -7,17 +7,21 @@
 //   * routeID bit length (the PolKA header cost) for k-shortest paths,
 //   * CRT routeID computation time (control plane),
 //   * per-hop mod time (data plane -- should stay flat),
-//   * the k-path min-max LP solve time (optimizer).
+//   * the k-path min-max LP solve time (optimizer),
+//   * batched uint64 fast-path throughput across batch sizes.
 
 #include <chrono>
 #include <iomanip>
 #include <iostream>
 #include <random>
+#include <span>
 
 #include "core/objective.hpp"
 #include "netsim/paths.hpp"
 #include "polka/crc.hpp"
+#include "polka/fastpath.hpp"
 #include "polka/forwarding.hpp"
+#include "polka/label.hpp"
 
 namespace {
 
@@ -108,6 +112,58 @@ int main() {
               << crt_us << std::setw(17) << mod_ns << std::setw(14) << lp_us
               << '\n';
   }
+
+  // --- batched fast-path throughput vs batch size --------------------
+  // Fixed 40-router WAN; the shortest route packs into a uint64 label.
+  // Sweep the batch size to show where the flat arrays start paying
+  // (amortized dispatch + hot fold tables).
+  std::cout << "\nbatched uint64 fast path, 40-router WAN "
+               "(packets/sec by batch size):\n";
+  std::cout << "  batch      Mpkts/s    ns/pkt\n";
+  {
+    const std::size_t n = 40;
+    const Topology topo = make_wan(n, 40 * 31 + 7);
+    hp::polka::PolkaFabric fabric(hp::polka::ModEngine::kBitSerial);
+    for (NodeIndex i = 0; i < topo.node_count(); ++i) {
+      fabric.add_node(topo.node(i).name,
+                      static_cast<unsigned>(topo.outgoing(i).size()) + 1);
+    }
+    for (NodeIndex i = 0; i < topo.node_count(); ++i) {
+      const auto& out = topo.outgoing(i);
+      for (unsigned p = 0; p < out.size(); ++p) {
+        fabric.connect(i, p, topo.link(out[p]).to);
+      }
+    }
+    const auto paths = k_shortest_paths(topo, 0, n / 2, 3);
+    const auto nodes = path_nodes(topo, paths.front());
+    std::vector<std::size_t> fabric_path(nodes.begin(), nodes.end());
+    const unsigned egress =
+        static_cast<unsigned>(topo.outgoing(nodes.back()).size());
+    const auto route = fabric.route_for_path(fabric_path, egress);
+    const auto label = hp::polka::pack_label(route);
+    if (!label) {
+      std::cout << "  (route does not fit a 64-bit label; skipped)\n";
+    } else {
+      const auto& fast = fabric.compiled();
+      for (const std::size_t batch : {1U, 16U, 256U, 4096U, 65536U}) {
+        std::vector<hp::polka::RouteLabel> labels(batch, *label);
+        std::vector<hp::polka::PacketResult> results(batch);
+        // Keep total work roughly constant across batch sizes.
+        const int repeats = static_cast<int>(std::max<std::size_t>(
+            1, (1u << 18) / batch));
+        const double us = time_us(
+            [&] {
+              (void)fast.forward_batch(
+                  labels, 0, std::span<hp::polka::PacketResult>(results));
+            },
+            repeats);
+        const double ns_per_pkt = us * 1e3 / static_cast<double>(batch);
+        std::cout << "  " << std::setw(5) << batch << std::setw(13)
+                  << 1e3 / ns_per_pkt << std::setw(10) << ns_per_pkt << '\n';
+      }
+    }
+  }
+
   std::cout << "\nreading: the per-hop data-plane cost is *flat* in network "
                "size (it depends\nonly on the local nodeID degree and the "
                "routeID length), which is PolKA's\nscaling argument; header "

@@ -107,7 +107,6 @@ unsigned Controller::choose_tunnel(Objective objective) const {
 std::size_t Controller::handle_new_flow(const FlowRequest& request,
                                         double at_s, Objective objective) {
   const unsigned tunnel_id = choose_tunnel(objective);
-  const Tunnel& tunnel = polka_->tunnel(tunnel_id);
 
   // Program the edge: classification ACL, then the PBR binding.
   hp::freertr::AccessList acl;

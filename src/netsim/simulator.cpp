@@ -83,14 +83,19 @@ void Simulator::schedule_probes(const std::string& name, Path forward,
   }
   probe_series_[name];  // materialize the series
   // Self-rescheduling probe event: continues while within the horizon.
+  // The recursive closure captures itself weakly -- ownership lives in
+  // the queued events only, so the chain is freed with the queue.
   auto fire = std::make_shared<std::function<void(Simulator&, double)>>();
-  *fire = [name, path = std::move(forward), interval_s, fire](
+  std::weak_ptr<std::function<void(Simulator&, double)>> weak = fire;
+  *fire = [name, path = std::move(forward), interval_s, weak](
               Simulator& sim, double t) {
     sim.record_probe(name, path);
     // Reschedule unconditionally: events beyond the current horizon stay
     // queued and fire if a later run_until extends it.
     const double next = t + interval_s;
-    sim.push_event(next, [fire, next](Simulator& s) { (*fire)(s, next); });
+    if (auto self = weak.lock()) {
+      sim.push_event(next, [self, next](Simulator& s) { (*self)(s, next); });
+    }
   };
   push_event(start_s,
              [fire, start_s](Simulator& s) { (*fire)(s, start_s); });
@@ -103,8 +108,10 @@ void Simulator::set_sample_interval(double interval_s) {
   sample_interval_s_ = interval_s;
   if (sampler_scheduled_) return;
   sampler_scheduled_ = true;
+  // Weak self-capture for the same reason as in schedule_probes.
   auto fire = std::make_shared<std::function<void(Simulator&, double)>>();
-  *fire = [fire](Simulator& sim, double t) {
+  std::weak_ptr<std::function<void(Simulator&, double)>> weak = fire;
+  *fire = [weak](Simulator& sim, double t) {
     // Record flows and link utilizations at the tick.
     for (FlowState& f : sim.flows_) {
       if (f.ever_started) {
@@ -116,7 +123,9 @@ void Simulator::set_sample_interval(double interval_s) {
           Sample{t, sim.link_utilization(l)});
     }
     const double next = t + sim.sample_interval_s_;
-    sim.push_event(next, [fire, next](Simulator& s) { (*fire)(s, next); });
+    if (auto self = weak.lock()) {
+      sim.push_event(next, [self, next](Simulator& s) { (*self)(s, next); });
+    }
   };
   const double first = now_s_ + interval_s;
   push_event(first, [fire, first](Simulator& s) { (*fire)(s, first); });

@@ -82,4 +82,16 @@ FctStats collect_fct(const Simulator& sim, const std::vector<FlowId>& flows) {
   return stats;
 }
 
+std::size_t packet_count(const FlowSpec& spec, double mtu_bytes,
+                         std::size_t cap) {
+  if (mtu_bytes <= 0.0) {
+    throw std::invalid_argument("packet_count: mtu must be positive");
+  }
+  if (!std::isfinite(spec.size_mb)) return cap;  // long-lived flow
+  if (spec.size_mb <= 0.0) return 1;             // degenerate spec
+  const double packets = std::ceil(spec.size_mb * 1e6 / mtu_bytes);
+  if (packets >= static_cast<double>(cap)) return cap;
+  return std::max<std::size_t>(1, static_cast<std::size_t>(packets));
+}
+
 }  // namespace hp::netsim

@@ -56,4 +56,11 @@ struct FctStats {
 [[nodiscard]] FctStats collect_fct(const Simulator& sim,
                                    const std::vector<FlowId>& flows);
 
+/// Number of MTU-sized packets a flow's transfer occupies on the wire
+/// (at least 1).  `cap` bounds elephants and long-lived flows so
+/// data-plane replay drivers stay finite.
+[[nodiscard]] std::size_t packet_count(const FlowSpec& spec,
+                                       double mtu_bytes = 1500.0,
+                                       std::size_t cap = 1u << 20);
+
 }  // namespace hp::netsim

@@ -1,0 +1,110 @@
+#include "polka/fastpath.hpp"
+
+#include <stdexcept>
+
+#include "polka/forwarding.hpp"
+
+namespace hp::polka {
+
+void build_fold_table(const gf2::Poly& generator, std::uint64_t* out) {
+  const int d = generator.degree();
+  if (d < 1 || d > 32) {
+    throw std::invalid_argument(
+        "build_fold_table: generator degree must be in [1, 32]");
+  }
+  // Reduction is GF(2)-linear, so a 64-bit label reduces byte-wise:
+  // out[256*k + b] = (b * t^(8k)) mod g, and a remainder is the XOR of
+  // one constant per byte lane.  Exact polynomial arithmetic here; pure
+  // integer ops on the hot path.
+  for (unsigned k = 0; k < 8; ++k) {
+    const gf2::Poly lane = gf2::Poly::monomial(8 * k);
+    for (unsigned b = 0; b < 256; ++b) {
+      out[256 * k + b] = ((gf2::Poly(b) * lane) % generator).to_uint64();
+    }
+  }
+}
+
+LabelFoldEngine::LabelFoldEngine(const gf2::Poly& generator)
+    : table_(kFoldTableSize) {
+  build_fold_table(generator, table_.data());
+  degree_ = static_cast<unsigned>(generator.degree());
+}
+
+CompiledFabric::CompiledFabric(const PolkaFabric& fabric) {
+  const std::size_t n = fabric.node_count();
+  meta_.resize(n);
+  fold_.resize(n * kFoldTableSize);
+  std::size_t total_ports = 0;
+  for (std::size_t i = 0; i < n; ++i) total_ports += fabric.node(i).port_count;
+  next_.assign(total_ports, kNoNode);
+
+  std::uint32_t wiring_offset = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId& id = fabric.node(i);
+    build_fold_table(id.poly, fold_.data() + i * kFoldTableSize);
+    meta_[i].wiring_offset = wiring_offset;
+    meta_[i].port_count = id.port_count;
+    for (unsigned p = 0; p < id.port_count; ++p) {
+      const auto peer = fabric.neighbour(i, p);
+      next_[wiring_offset + p] =
+          peer ? static_cast<std::uint32_t>(*peer) : kNoNode;
+    }
+    wiring_offset += id.port_count;
+  }
+}
+
+PacketResult CompiledFabric::forward_one(RouteLabel label, std::size_t first,
+                                         std::size_t max_hops) const {
+  PacketResult r;
+  std::size_t current = first;
+  for (std::size_t hop = 0; hop < max_hops; ++hop) {
+    const std::uint32_t port = port_of(label, current);
+    r.egress_node = static_cast<std::uint32_t>(current);
+    r.egress_port = port;
+    ++r.hops;
+    const NodeMeta& m = meta_[current];
+    const std::uint32_t peer =
+        port < m.port_count ? next_[m.wiring_offset + port] : kNoNode;
+    if (peer == kNoNode) break;  // egress
+    current = peer;
+  }
+  return r;
+}
+
+std::size_t CompiledFabric::forward_batch(std::span<const RouteLabel> labels,
+                                          std::size_t first,
+                                          std::span<PacketResult> results,
+                                          std::size_t max_hops) const {
+  if (labels.size() != results.size()) {
+    throw std::invalid_argument("forward_batch: span length mismatch");
+  }
+  if (first >= meta_.size()) {
+    throw std::out_of_range("forward_batch: bad start node");
+  }
+  std::size_t mods = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    results[i] = forward_one(labels[i], first, max_hops);
+    mods += results[i].hops;
+  }
+  return mods;
+}
+
+std::size_t CompiledFabric::forward_batch(std::span<const RouteLabel> labels,
+                                          std::span<const std::uint32_t> firsts,
+                                          std::span<PacketResult> results,
+                                          std::size_t max_hops) const {
+  if (labels.size() != results.size() || labels.size() != firsts.size()) {
+    throw std::invalid_argument("forward_batch: span length mismatch");
+  }
+  std::size_t mods = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (firsts[i] >= meta_.size()) {
+      throw std::out_of_range("forward_batch: bad start node");
+    }
+    results[i] = forward_one(labels[i], firsts[i], max_hops);
+    mods += results[i].hops;
+  }
+  return mods;
+}
+
+}  // namespace hp::polka

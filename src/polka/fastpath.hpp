@@ -1,0 +1,129 @@
+#pragma once
+// Allocation-free batched fast path over a compiled PolKA fabric.
+//
+// PolkaFabric is the flexible control-plane object: nodes carry
+// gf2::Poly identifiers and remainders run through polynomial engines
+// that allocate per hop.  This header is the data plane:
+//
+//  * LabelFoldEngine - per-node precomputed reduction constants.  The
+//    remainder of a 64-bit label modulo the nodeID is rebuilt from the
+//    label's eight bytes with one table lookup each ("slice-by-8", a
+//    Barrett-style fold generalizing TableCrc): since reduction is
+//    linear over GF(2),  L mod g = XOR_k (byte_k(L) * t^(8k) mod g),
+//    and each term is a precomputed constant.  Eight independent loads
+//    and XORs per mod, no state recurrence, no allocation, any
+//    generator degree up to 32.
+//
+//  * CompiledFabric - an immutable view of a PolkaFabric with the fold
+//    tables and port wiring flattened into contiguous arrays, plus
+//    batch forwarding entry points whose inner loops touch only those
+//    arrays and caller-provided spans.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gf2/poly.hpp"
+#include "polka/label.hpp"
+
+namespace hp::polka {
+
+class PolkaFabric;
+
+/// Number of 64-bit constants in one node's fold table (8 byte lanes x
+/// 256 byte values).
+inline constexpr std::size_t kFoldTableSize = 8 * 256;
+
+/// Fill `out` (kFoldTableSize entries) with the reduction constants of
+/// `generator`: out[256*k + b] = (b * t^(8k)) mod generator.  The
+/// generator degree must be in [1, 32] (throws std::invalid_argument) so
+/// every remainder -- and therefore every port index -- fits 32 bits.
+void build_fold_table(const gf2::Poly& generator, std::uint64_t* out);
+
+/// Remainder of a packed label given a node's fold table.
+[[nodiscard]] inline std::uint64_t fold_remainder(
+    const std::uint64_t* table, std::uint64_t label) noexcept {
+  std::uint64_t r = table[label & 0xFF];
+  r ^= table[256 * 1 + ((label >> 8) & 0xFF)];
+  r ^= table[256 * 2 + ((label >> 16) & 0xFF)];
+  r ^= table[256 * 3 + ((label >> 24) & 0xFF)];
+  r ^= table[256 * 4 + ((label >> 32) & 0xFF)];
+  r ^= table[256 * 5 + ((label >> 40) & 0xFF)];
+  r ^= table[256 * 6 + ((label >> 48) & 0xFF)];
+  r ^= table[256 * 7 + ((label >> 56) & 0xFF)];
+  return r;
+}
+
+/// One node's reduction constants as a standalone engine (the uint64
+/// counterpart of BitSerialCrc / TableCrc, asserted equal by tests).
+class LabelFoldEngine {
+ public:
+  explicit LabelFoldEngine(const gf2::Poly& generator);
+
+  /// label mod generator, as packed coefficient bits.
+  [[nodiscard]] std::uint64_t remainder(std::uint64_t label) const noexcept {
+    return fold_remainder(table_.data(), label);
+  }
+
+  [[nodiscard]] unsigned degree() const noexcept { return degree_; }
+
+ private:
+  std::vector<std::uint64_t> table_;  // kFoldTableSize entries
+  unsigned degree_ = 0;
+};
+
+/// Immutable flattened view of a PolkaFabric for batch forwarding.
+class CompiledFabric {
+ public:
+  /// Port value marking "no neighbour" in the flattened wiring.
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+  /// Compile the fabric's current nodes and wiring.  Throws
+  /// std::invalid_argument if any nodeID degree exceeds 32.
+  explicit CompiledFabric(const PolkaFabric& fabric);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return meta_.size();
+  }
+
+  /// One data-plane mod: the output port of `label` at `node`.
+  [[nodiscard]] std::uint32_t port_of(RouteLabel label,
+                                      std::size_t node) const noexcept {
+    return static_cast<std::uint32_t>(
+        fold_remainder(fold_.data() + node * kFoldTableSize, label.bits));
+  }
+
+  /// Walk one packet from `first` until it egresses (its computed port
+  /// is unwired) or `max_hops` is reached.  Agrees hop-for-hop with
+  /// PolkaFabric::forward on the same fabric.
+  [[nodiscard]] PacketResult forward_one(RouteLabel label, std::size_t first,
+                                         std::size_t max_hops = 64) const;
+
+  /// Stream a batch of packets, all injected at `first`; results[i]
+  /// receives labels[i]'s outcome.  The spans must have equal length
+  /// (throws std::invalid_argument).  No allocation; returns the total
+  /// number of mod operations performed.
+  std::size_t forward_batch(std::span<const RouteLabel> labels,
+                            std::size_t first,
+                            std::span<PacketResult> results,
+                            std::size_t max_hops = 64) const;
+
+  /// Batch with a per-packet injection node (mixed-ingress traffic,
+  /// e.g. replaying a workload across many tunnels).
+  std::size_t forward_batch(std::span<const RouteLabel> labels,
+                            std::span<const std::uint32_t> firsts,
+                            std::span<PacketResult> results,
+                            std::size_t max_hops = 64) const;
+
+ private:
+  struct NodeMeta {
+    std::uint32_t wiring_offset = 0;  ///< into next_
+    std::uint32_t port_count = 0;
+  };
+
+  std::vector<NodeMeta> meta_;
+  std::vector<std::uint64_t> fold_;  // kFoldTableSize entries per node
+  std::vector<std::uint32_t> next_;  // flattened wiring_, kNoNode = unwired
+};
+
+}  // namespace hp::polka

@@ -1,10 +1,16 @@
 #include "polka/forwarding.hpp"
 
+#include <array>
+#include <algorithm>
 #include <stdexcept>
+
+#include "polka/fastpath.hpp"
 
 namespace hp::polka {
 
 PolkaFabric::PolkaFabric(ModEngine engine) : engine_(engine) {}
+
+PolkaFabric::~PolkaFabric() = default;
 
 std::size_t PolkaFabric::add_node(const std::string& name,
                                   unsigned port_count) {
@@ -18,6 +24,7 @@ std::size_t PolkaFabric::add_node(const std::string& name,
   nodes_.push_back(std::move(id));
   wiring_.emplace_back(port_count, kUnwired);
   by_name_.emplace(name, idx);
+  compiled_.reset();
   return idx;
 }
 
@@ -30,6 +37,7 @@ void PolkaFabric::connect(std::size_t from, unsigned port, std::size_t to) {
     throw std::out_of_range("PolkaFabric::connect: bad port");
   }
   ports[port] = to;
+  compiled_.reset();
 }
 
 std::size_t PolkaFabric::index_of(const std::string& name) const {
@@ -108,6 +116,78 @@ std::optional<unsigned> PolkaFabric::port_between(std::size_t from,
     if (ports[p] == to) return p;
   }
   return std::nullopt;
+}
+
+std::optional<std::size_t> PolkaFabric::neighbour(std::size_t node,
+                                                  unsigned port) const {
+  const auto& ports = wiring_.at(node);
+  if (port >= ports.size() || ports[port] == kUnwired) return std::nullopt;
+  return ports[port];
+}
+
+const CompiledFabric& PolkaFabric::compiled() const {
+  if (!compiled_) {
+    compiled_ = std::make_shared<const CompiledFabric>(*this);
+  }
+  return *compiled_;
+}
+
+std::size_t PolkaFabric::forward_batch(std::span<const RouteId> routes,
+                                       std::size_t first,
+                                       std::span<PacketResult> results,
+                                       std::size_t max_hops) const {
+  if (routes.size() != results.size()) {
+    throw std::invalid_argument(
+        "PolkaFabric::forward_batch: span length mismatch");
+  }
+  const CompiledFabric& fast = compiled();
+  std::size_t mods = 0;
+  // Pack-and-stream in fixed-size chunks so the loop owns no heap
+  // memory regardless of batch size.
+  constexpr std::size_t kChunk = 256;
+  std::array<RouteLabel, kChunk> labels;
+  std::array<PacketResult, kChunk> chunk_results;
+  std::size_t done = 0;
+  while (done < routes.size()) {
+    const std::size_t n = std::min(kChunk, routes.size() - done);
+    std::size_t packed = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto label = pack_label(routes[done + i]);
+      if (label) {
+        labels[packed++] = *label;
+      } else {
+        // Oversized routeID: polynomial slow path, same result shape.
+        const Trace trace = forward(routes[done + i], first, max_hops);
+        PacketResult& r = results[done + i];
+        r = PacketResult{};
+        if (!trace.nodes.empty()) {
+          r.egress_node = static_cast<std::uint32_t>(trace.nodes.back());
+          r.egress_port = trace.ports.back();
+          r.hops = static_cast<std::uint32_t>(trace.nodes.size());
+        }
+        mods += trace.mod_operations;
+      }
+    }
+    if (packed == n) {
+      // Common case: the whole chunk fits the fast path; write results
+      // straight through.
+      mods += fast.forward_batch(
+          std::span<const RouteLabel>(labels.data(), n),
+          first, results.subspan(done, n), max_hops);
+    } else if (packed > 0) {
+      mods += fast.forward_batch(
+          std::span<const RouteLabel>(labels.data(), packed), first,
+          std::span<PacketResult>(chunk_results.data(), packed), max_hops);
+      std::size_t next_fast = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (pack_label(routes[done + i])) {
+          results[done + i] = chunk_results[next_fast++];
+        }
+      }
+    }
+    done += n;
+  }
+  return mods;
 }
 
 }  // namespace hp::polka

@@ -7,16 +7,21 @@
 // packet to the neighbour on that port.  No per-node route tables exist.
 
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "polka/crc.hpp"
+#include "polka/label.hpp"
 #include "polka/node_id.hpp"
 #include "polka/route.hpp"
 
 namespace hp::polka {
+
+class CompiledFabric;
 
 /// How a node computes routeID mod nodeID in the data plane.
 enum class ModEngine {
@@ -29,6 +34,14 @@ enum class ModEngine {
 class PolkaFabric {
  public:
   explicit PolkaFabric(ModEngine engine = ModEngine::kTable);
+  ~PolkaFabric();  // out of line: compiled_ is incomplete here
+
+  PolkaFabric(const PolkaFabric&) = default;
+  PolkaFabric& operator=(const PolkaFabric&) = default;
+  PolkaFabric(PolkaFabric&&) noexcept = default;
+  PolkaFabric& operator=(PolkaFabric&&) noexcept = default;
+
+  [[nodiscard]] ModEngine engine() const noexcept { return engine_; }
 
   /// Add a core node with `port_count` output ports; returns its index.
   /// Node names must be unique (throws std::invalid_argument).
@@ -76,6 +89,28 @@ class PolkaFabric {
   [[nodiscard]] std::optional<unsigned> port_between(std::size_t from,
                                                      std::size_t to) const;
 
+  /// The neighbour wired to `port` of `node`, if any.
+  [[nodiscard]] std::optional<std::size_t> neighbour(std::size_t node,
+                                                     unsigned port) const;
+
+  // --- batched uint64 fast path ---------------------------------------
+
+  /// The flattened data-plane view of this fabric, compiled on first use
+  /// and cached until the topology next changes (add_node / connect).
+  [[nodiscard]] const CompiledFabric& compiled() const;
+
+  /// Forward a batch of packets, all injected at `first`, through the
+  /// compiled fast path; results[i] receives routes[i]'s outcome (spans
+  /// must match in length, throws std::invalid_argument).  Routes are
+  /// packed into 64-bit labels in fixed-size chunks -- no heap
+  /// allocation in the loop; a route too long to pack (degree >= 64)
+  /// transparently takes the scalar slow path.  Returns the total
+  /// number of mod operations.
+  std::size_t forward_batch(std::span<const RouteId> routes,
+                            std::size_t first,
+                            std::span<PacketResult> results,
+                            std::size_t max_hops = 64) const;
+
  private:
   [[nodiscard]] unsigned compute_port(const RouteId& route,
                                       std::size_t node) const;
@@ -88,6 +123,9 @@ class PolkaFabric {
   std::vector<std::vector<std::size_t>> wiring_;
   std::vector<BitSerialCrc> bit_engines_;
   std::vector<TableCrc> table_engines_;
+  /// Lazily-built flattened view; shared so copies of an unchanged
+  /// fabric reuse the same tables.  Reset by add_node / connect.
+  mutable std::shared_ptr<const CompiledFabric> compiled_;
 
   static constexpr std::size_t kUnwired = static_cast<std::size_t>(-1);
 };

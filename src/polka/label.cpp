@@ -1,0 +1,25 @@
+#include "polka/label.hpp"
+
+#include <stdexcept>
+
+namespace hp::polka {
+
+std::optional<RouteLabel> pack_label(const RouteId& route) {
+  if (route.value.degree() >= 64) return std::nullopt;
+  return RouteLabel{route.value.to_uint64()};
+}
+
+RouteLabel pack_label_checked(const RouteId& route) {
+  const auto label = pack_label(route);
+  if (!label) {
+    throw std::domain_error(
+        "pack_label_checked: routeID degree >= 64 does not fit a label");
+  }
+  return *label;
+}
+
+RouteId unpack_label(RouteLabel label) {
+  return RouteId{gf2::Poly(label.bits)};
+}
+
+}  // namespace hp::polka

@@ -1,0 +1,50 @@
+#pragma once
+// Packed 64-bit route labels: the wire form of a routeID.
+//
+// A RouteId is a gf2::Poly of arbitrary degree, which is the right shape
+// for the control plane but allocates and chases pointers.  Real PolKA
+// headers carry a fixed-width label; RouteLabel is that form -- the
+// coefficient bits of a routeID packed into one uint64.  The packing is
+// exact whenever the CRT degree bound (sum of nodeID degrees along the
+// path) stays below 64, which holds for every path the fast path cares
+// about; longer routes fall back to the polynomial slow path.  Labels
+// are trivially copyable so batches live in flat contiguous arrays.
+
+#include <cstdint>
+#include <optional>
+
+#include "polka/route.hpp"
+
+namespace hp::polka {
+
+/// A routeID packed into 64 coefficient bits (bit i => t^i).
+struct RouteLabel {
+  std::uint64_t bits = 0;
+
+  friend bool operator==(RouteLabel, RouteLabel) noexcept = default;
+};
+
+/// Outcome of one packet's walk through the fast path.  Mirrors the tail
+/// of PolkaFabric::Trace without recording intermediate hops, so batch
+/// results stay fixed-size and allocation-free.
+struct PacketResult {
+  std::uint32_t egress_node = 0;  ///< last node visited
+  std::uint32_t egress_port = 0;  ///< port computed at that node
+  std::uint32_t hops = 0;         ///< nodes visited == mod operations
+
+  friend bool operator==(const PacketResult&, const PacketResult&) noexcept =
+      default;
+};
+
+/// Pack a routeID into its wire form; nullopt when it does not fit
+/// (degree >= 64) and the polynomial slow path must be used.
+[[nodiscard]] std::optional<RouteLabel> pack_label(const RouteId& route);
+
+/// Pack a routeID that is known to fit; throws std::domain_error when it
+/// does not.
+[[nodiscard]] RouteLabel pack_label_checked(const RouteId& route);
+
+/// Expand a wire label back into a routeID (exact inverse of packing).
+[[nodiscard]] RouteId unpack_label(RouteLabel label);
+
+}  // namespace hp::polka

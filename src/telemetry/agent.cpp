@@ -34,6 +34,10 @@ void PathAgent::start(hp::netsim::Simulator& sim, double start_s) {
   const double interval = config_.interval_s;
   // Previous RTT for the jitter delta; shared by the recurring closure.
   auto prev_rtt = std::make_shared<double>(-1.0);
+  // Weak self-capture: ownership of the recurring closure lives in the
+  // scheduled events only, so the chain is freed with the simulator.
+  std::weak_ptr<std::function<void(hp::netsim::Simulator&, double)>> weak =
+      fire;
   *fire = [=](hp::netsim::Simulator& s, double t) {
     const double rtt = s.path_rtt_ms(path);
     store->append(bw_series, Point{t, available_mbps(s, path)});
@@ -43,10 +47,12 @@ void PathAgent::start(hp::netsim::Simulator& sim, double start_s) {
     }
     *prev_rtt = rtt;
     const double next = t + interval;
-    s.schedule_callback(next,
-                        [fire, next](hp::netsim::Simulator& s2) {
-                          (*fire)(s2, next);
-                        });
+    if (auto self = weak.lock()) {
+      s.schedule_callback(next,
+                          [self, next](hp::netsim::Simulator& s2) {
+                            (*self)(s2, next);
+                          });
+    }
   };
   sim.schedule_callback(start_s, [fire, start_s](hp::netsim::Simulator& s) {
     (*fire)(s, start_s);

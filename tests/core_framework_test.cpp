@@ -179,7 +179,7 @@ TEST(Framework, PredictiveFallsBackBeforeTraining) {
   // Untrained Hecate: kPredictedBandwidth degrades to the reactive
   // choice instead of failing.
   EXPECT_NO_THROW(
-      runtime.controller().choose_tunnel(Objective::kPredictedBandwidth));
+      (void)runtime.controller().choose_tunnel(Objective::kPredictedBandwidth));
 }
 
 TEST(Framework, DashboardRendersOccupation) {

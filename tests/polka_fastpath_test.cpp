@@ -1,0 +1,243 @@
+// Unit tests for the batched uint64 fast path: label packing, the
+// slice-by-8 fold engine against the polynomial reference engines, the
+// compiled fabric walks, the oversized-route fallback, and the
+// PolkaService batch/replay wiring.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+
+#include "core/polka_service.hpp"
+#include "freertr/router_service.hpp"
+#include "gf2/irreducible.hpp"
+#include "netsim/topology.hpp"
+#include "netsim/workload.hpp"
+#include "polka/crc.hpp"
+#include "polka/fastpath.hpp"
+#include "polka/forwarding.hpp"
+#include "polka/label.hpp"
+
+namespace hp::polka {
+namespace {
+
+using hp::gf2::Poly;
+
+TEST(RouteLabel, PackUnpackRoundTrip) {
+  const RouteId route{Poly(0xDEADBEEFCAFE1234ull)};
+  const auto label = pack_label(route);
+  ASSERT_TRUE(label.has_value());
+  EXPECT_EQ(label->bits, 0xDEADBEEFCAFE1234ull);
+  EXPECT_EQ(unpack_label(*label).value, route.value);
+  EXPECT_EQ(pack_label_checked(route), *label);
+}
+
+TEST(RouteLabel, OversizedRouteDoesNotPack) {
+  const RouteId route{Poly::monomial(64)};
+  EXPECT_FALSE(pack_label(route).has_value());
+  EXPECT_THROW((void)pack_label_checked(route), std::domain_error);
+}
+
+TEST(LabelFoldEngine, MatchesPolynomialEnginesOnRandomInputs) {
+  std::mt19937_64 rng(2024);
+  // The first irreducible generator of each degree 2..12 against random
+  // labels.
+  for (unsigned d = 2; d <= 12; ++d) {
+    const Poly g = hp::gf2::irreducible_of_degree(d).front();
+    const LabelFoldEngine fold(g);
+    const BitSerialCrc bit_serial(g);
+    const TableCrc table(g);
+    EXPECT_EQ(fold.degree(), d);
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::uint64_t bits = rng();
+      const Poly dividend(bits);
+      const std::uint64_t want = (dividend % g).to_uint64();
+      EXPECT_EQ(fold.remainder(bits), want) << "d=" << d;
+      EXPECT_EQ(bit_serial.remainder(dividend).to_uint64(), want) << "d=" << d;
+      EXPECT_EQ(table.remainder_bits(dividend), want) << "d=" << d;
+    }
+  }
+}
+
+TEST(LabelFoldEngine, RejectsUnusableDegrees) {
+  EXPECT_THROW(LabelFoldEngine(Poly(1)), std::invalid_argument);  // degree 0
+  EXPECT_THROW(LabelFoldEngine(Poly::monomial(33)), std::invalid_argument);
+}
+
+/// Chain fabric r0 -> r1 -> ... -> r{n-1}, egress on port 0 of the last.
+PolkaFabric make_chain(std::size_t n) {
+  PolkaFabric fabric(ModEngine::kTable);
+  for (std::size_t i = 0; i < n; ++i) {
+    fabric.add_node("r" + std::to_string(i), 4);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) fabric.connect(i, 1, i + 1);
+  return fabric;
+}
+
+TEST(CompiledFabric, WalkMatchesScalarForward) {
+  const PolkaFabric fabric = make_chain(8);
+  std::vector<std::size_t> path(8);
+  for (std::size_t i = 0; i < 8; ++i) path[i] = i;
+  const RouteId route = fabric.route_for_path(path, 0U);
+
+  const auto trace = fabric.forward(route, 0);
+  ASSERT_EQ(trace.nodes.size(), 8u);
+
+  const CompiledFabric& fast = fabric.compiled();
+  EXPECT_EQ(fast.node_count(), 8u);
+  const auto result = fast.forward_one(pack_label_checked(route), 0);
+  EXPECT_EQ(result.egress_node, trace.nodes.back());
+  EXPECT_EQ(result.egress_port, trace.ports.back());
+  EXPECT_EQ(result.hops, trace.nodes.size());
+}
+
+TEST(CompiledFabric, CompiledViewIsCachedAndInvalidated) {
+  PolkaFabric fabric = make_chain(3);
+  const CompiledFabric* before = &fabric.compiled();
+  EXPECT_EQ(before, &fabric.compiled());  // cached
+  fabric.add_node("extra", 2);
+  const CompiledFabric& after = fabric.compiled();
+  EXPECT_EQ(after.node_count(), 4u);  // rebuilt with the new node
+}
+
+TEST(CompiledFabric, BatchMatchesPerPacketWalks) {
+  const PolkaFabric fabric = make_chain(6);
+  std::vector<std::size_t> path(6);
+  for (std::size_t i = 0; i < 6; ++i) path[i] = i;
+
+  std::vector<RouteLabel> labels;
+  std::vector<PacketResult> expected;
+  const CompiledFabric& fast = fabric.compiled();
+  for (unsigned egress = 0; egress < 4; ++egress) {
+    const RouteId route = fabric.route_for_path(path, egress);
+    const RouteLabel label = pack_label_checked(route);
+    labels.push_back(label);
+    expected.push_back(fast.forward_one(label, 0));
+  }
+  std::vector<PacketResult> got(labels.size());
+  const std::size_t mods =
+      fast.forward_batch(labels, 0, std::span<PacketResult>(got));
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(mods, 4u * 6u);
+
+  // Mixed-ingress overload.
+  std::vector<std::uint32_t> firsts(labels.size(), 0);
+  firsts.back() = 2;
+  expected.back() = fast.forward_one(labels.back(), 2);
+  const std::size_t mods2 = fast.forward_batch(
+      labels, std::span<const std::uint32_t>(firsts),
+      std::span<PacketResult>(got));
+  EXPECT_EQ(got, expected);
+  EXPECT_LT(mods2, mods);  // the re-injected packet walks fewer hops
+}
+
+TEST(CompiledFabric, BatchValidatesArguments) {
+  const PolkaFabric fabric = make_chain(3);
+  const CompiledFabric& fast = fabric.compiled();
+  std::vector<RouteLabel> labels(2);
+  std::vector<PacketResult> results(3);
+  EXPECT_THROW((void)fast.forward_batch(labels, 0,
+                                        std::span<PacketResult>(results)),
+               std::invalid_argument);
+  results.resize(2);
+  EXPECT_THROW((void)fast.forward_batch(labels, 99,
+                                        std::span<PacketResult>(results)),
+               std::out_of_range);
+}
+
+TEST(PolkaFabricBatch, OversizedRoutesFallBackToScalar) {
+  // 24 nodes of 8 ports: nodeID degrees sum far past 64, so a full-path
+  // routeID cannot pack into a label.
+  PolkaFabric fabric(ModEngine::kTable);
+  const std::size_t n = 24;
+  for (std::size_t i = 0; i < n; ++i) {
+    fabric.add_node("r" + std::to_string(i), 8);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) fabric.connect(i, 1, i + 1);
+  std::vector<std::size_t> path(n);
+  for (std::size_t i = 0; i < n; ++i) path[i] = i;
+  const RouteId long_route = fabric.route_for_path(path, 0U);
+  EXPECT_FALSE(pack_label(long_route).has_value());
+
+  // Short route that does pack, to exercise the mixed-chunk repack.
+  std::vector<std::size_t> short_path{0, 1, 2};
+  const RouteId short_route = fabric.route_for_path(short_path, 0U);
+  ASSERT_TRUE(pack_label(short_route).has_value());
+
+  const std::vector<RouteId> routes{short_route, long_route, short_route};
+  std::vector<PacketResult> got(routes.size());
+  const std::size_t mods =
+      fabric.forward_batch(routes, 0, std::span<PacketResult>(got));
+
+  std::size_t want_mods = 0;
+  for (std::size_t i = 0; i < routes.size(); ++i) {
+    const auto trace = fabric.forward(routes[i], 0);
+    EXPECT_EQ(got[i].egress_node, trace.nodes.back()) << i;
+    EXPECT_EQ(got[i].egress_port, trace.ports.back()) << i;
+    EXPECT_EQ(got[i].hops, trace.nodes.size()) << i;
+    want_mods += trace.mod_operations;
+  }
+  EXPECT_EQ(mods, want_mods);
+}
+
+TEST(WorkloadPackets, PacketCountShapes) {
+  hp::netsim::FlowSpec spec;
+  spec.size_mb = 1.5;  // 1.5e6 bytes / 1500 = 1000 packets
+  EXPECT_EQ(hp::netsim::packet_count(spec), 1000u);
+  spec.size_mb = 1e-9;
+  EXPECT_EQ(hp::netsim::packet_count(spec), 1u);  // at least one packet
+  spec.size_mb = -1.0;
+  EXPECT_EQ(hp::netsim::packet_count(spec), 1u);  // degenerate spec
+  spec.size_mb = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(hp::netsim::packet_count(spec, 1500.0, 4096), 4096u);  // capped
+  spec.size_mb = 1e9;
+  EXPECT_EQ(hp::netsim::packet_count(spec, 1500.0, 4096), 4096u);
+  EXPECT_THROW((void)hp::netsim::packet_count(spec, 0.0),
+               std::invalid_argument);
+}
+
+/// PolkaService over the paper's Fig 9 topology with two tunnels.
+struct ServiceHarness {
+  hp::netsim::Topology topo = hp::netsim::make_global_p4_lab();
+  hp::freertr::RouterConfigService edge{"MIA"};
+  hp::core::PolkaService service{topo, edge};
+
+  ServiceHarness() {
+    service.define_tunnel(1, {"MIA", "SAO", "AMS"}, "host2", "10.0.0.2");
+    service.define_tunnel(2, {"MIA", "CHI", "AMS"}, "host2", "10.0.0.2");
+  }
+};
+
+TEST(PolkaServiceBatch, ForwardBatchMatchesScalarReference) {
+  ServiceHarness h;
+  const auto report = h.service.forward_batch(1000);
+  EXPECT_EQ(report.packets, 2000u);  // 1000 per tunnel
+  EXPECT_EQ(report.mismatches, 0u);
+  // Both tunnels are 3 routers long => 3 mods per packet.
+  EXPECT_EQ(report.mod_operations, 2000u * 3u);
+}
+
+TEST(PolkaServiceBatch, ReplayWorkloadStreamsEveryFlowPacket) {
+  ServiceHarness h;
+  const auto path = h.topo.path_through({"host1", "MIA", "SAO", "AMS"});
+  hp::netsim::WorkloadParams params;
+  params.duration_s = 30.0;
+  params.arrival_rate_per_s = 1.0;
+  const auto flows = hp::netsim::generate_workload({path}, params);
+  ASSERT_FALSE(flows.empty());
+
+  std::size_t want_packets = 0;
+  for (const auto& f : flows) {
+    want_packets += hp::netsim::packet_count(f.spec);
+  }
+  const auto report = h.service.replay_workload(flows, 64);
+  EXPECT_EQ(report.packets, want_packets);
+  EXPECT_EQ(report.mismatches, 0u);
+  EXPECT_EQ(report.mod_operations, want_packets * 3u);
+
+  EXPECT_THROW((void)h.service.replay_workload(flows, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp::polka
