@@ -1,0 +1,124 @@
+// Scenario sweep: aggregate data-plane packets/sec across topology
+// family x size x traffic pattern x runner thread count.
+//
+// Two sweeps:
+//  * Threads -- a >= 256-node generated topology (fat-tree k=16, 320
+//    switches) replayed with 1..8 worker threads; items/sec is the
+//    aggregate forwarding rate, expected to scale well past 2x from
+//    1 -> 4 threads since workers share only immutable compiled state.
+//  * Families -- every built-in registry scenario at 1 and 4 threads,
+//    so a perf regression in any generator/pattern combination shows
+//    up in CI's bench-smoke artifact.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/topologies.hpp"
+#include "scenario/traffic.hpp"
+
+namespace {
+
+namespace scenario = hp::scenario;
+
+struct PreparedScenario {
+  std::unique_ptr<scenario::BuiltFabric> fabric;
+  scenario::PacketStream stream;
+  std::size_t node_count = 0;
+};
+
+/// Build (once) and cache a fabric + stream; streams here carry no
+/// failure schedule, so replays do not mutate them.
+PreparedScenario& prepared(const std::string& key,
+                           const scenario::ScenarioSpec& spec) {
+  static std::map<std::string, PreparedScenario> cache;
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  PreparedScenario p;
+  auto topo = scenario::build_topology(spec);
+  p.node_count = topo.node_count();
+  p.fabric = std::make_unique<scenario::BuiltFabric>(std::move(topo));
+  p.stream = scenario::generate_traffic(*p.fabric, spec.traffic);
+  (void)p.fabric->compiled();  // compile outside the timed region
+  return cache.emplace(key, std::move(p)).first->second;
+}
+
+scenario::ScenarioSpec threads_spec() {
+  scenario::ScenarioSpec spec;
+  spec.name = "fat_tree_k16/uniform";
+  spec.family = scenario::TopologyFamily::kFatTree;
+  spec.a = 16;  // 320 switches >= 256 nodes
+  spec.traffic.pattern = scenario::TrafficPattern::kUniformRandom;
+  spec.traffic.packets = 1 << 18;
+  spec.traffic.max_pairs = 1024;
+  spec.traffic.seed = 17;
+  return spec;
+}
+
+void BM_ScenarioThreads(benchmark::State& state) {
+  const auto spec = threads_spec();
+  PreparedScenario& p = prepared(spec.name, spec);
+  scenario::RunnerOptions options;
+  options.threads = static_cast<unsigned>(state.range(0));
+  const scenario::ScenarioRunner runner(options);
+  std::size_t wrong = 0;
+  for (auto _ : state) {
+    const auto report = runner.run(*p.fabric, p.stream);
+    wrong += report.wrong_egress;
+    benchmark::DoNotOptimize(report.mod_operations);
+  }
+  if (wrong != 0) state.SkipWithError("egress mismatches");
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.stream.size()));
+  state.SetLabel(std::to_string(p.node_count) + " nodes, " +
+                 std::to_string(p.stream.size()) + " pkts, " +
+                 std::to_string(options.threads) + " threads");
+}
+
+void BM_ScenarioFamily(benchmark::State& state,
+                       const scenario::ScenarioSpec* spec, unsigned threads) {
+  PreparedScenario& p = prepared(spec->name, *spec);
+  scenario::RunnerOptions options;
+  options.threads = threads;
+  const scenario::ScenarioRunner runner(options);
+  for (auto _ : state) {
+    const auto report = runner.run(*p.fabric, p.stream);
+    benchmark::DoNotOptimize(report.mod_operations);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(p.stream.size()));
+  state.SetLabel(std::to_string(p.node_count) + " nodes");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("BM_ScenarioThreads", BM_ScenarioThreads)
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4)
+      ->Arg(8)
+      ->UseRealTime()
+      ->Unit(benchmark::kMillisecond);
+  for (const scenario::ScenarioSpec& spec : scenario::builtin_scenarios()) {
+    for (const unsigned threads : {1u, 4u}) {
+      benchmark::RegisterBenchmark(
+          ("BM_Scenario/" + spec.name + "/t" + std::to_string(threads))
+              .c_str(),
+          [&spec, threads](benchmark::State& state) {
+            BM_ScenarioFamily(state, &spec, threads);
+          })
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Scenario sweep CLI: list the registry, replay a named scenario, or
+// sweep everything, with optional thread counts and a link failure.
+//
+//   scenario_sweep --list
+//   scenario_sweep --scenario torus4x4/hotspot --threads 4
+//   scenario_sweep --scenario ring12/uniform --fail r0:r1@0.5
+//   scenario_sweep                 # sweep all scenarios at 1 and 4 threads
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+
+namespace scenario = hp::scenario;
+
+namespace {
+
+void print_report(const std::string& name, unsigned threads,
+                  const scenario::ScenarioReport& report) {
+  std::printf("%-28s t=%u  %9zu pkts  %10zu mods  %5zu wrong  %5zu dropped"
+              "  %4zu rerouted  %8.2f Mpkt/s\n",
+              name.c_str(), threads, report.packets, report.mod_operations,
+              report.wrong_egress, report.dropped_packets,
+              report.rerouted_pairs, report.packets_per_sec() / 1e6);
+}
+
+int run_one(const scenario::ScenarioSpec& spec,
+            const scenario::RunnerOptions& options) {
+  // Build once so a failure schedule acts on the same fabric/stream.
+  scenario::BuiltFabric fabric(scenario::build_topology(spec));
+  scenario::PacketStream stream = scenario::generate_traffic(fabric, spec.traffic);
+  const auto report = scenario::ScenarioRunner(options).run(fabric, stream);
+  print_report(spec.name, options.threads, report);
+  return report.wrong_egress == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string name;
+  scenario::RunnerOptions options;
+  std::vector<std::string> failures;
+  bool list = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--scenario") {
+      name = next();
+    } else if (arg == "--threads") {
+      options.threads = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--fail") {
+      failures.emplace_back(next());  // "<nodeA>:<nodeB>@<fraction>"
+    } else {
+      std::fprintf(stderr,
+                   "usage: scenario_sweep [--list] [--scenario NAME] "
+                   "[--threads N] [--fail a:b@frac]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  if (list) {
+    for (const auto& spec : scenario::builtin_scenarios()) {
+      std::printf("%s\n", spec.name.c_str());
+    }
+    return 0;
+  }
+
+  if (!name.empty()) {
+    const scenario::ScenarioSpec* spec = scenario::find_scenario(name);
+    if (spec == nullptr) {
+      std::fprintf(stderr, "unknown scenario %s (try --list)\n", name.c_str());
+      return 2;
+    }
+    // Failure schedule entries resolve against the spec's topology.
+    const auto topo = scenario::build_topology(*spec);
+    for (const std::string& f : failures) {
+      const auto colon = f.find(':');
+      const auto at = f.find('@');
+      if (colon == std::string::npos || at == std::string::npos || at < colon) {
+        std::fprintf(stderr, "bad --fail %s (want a:b@frac)\n", f.c_str());
+        return 2;
+      }
+      scenario::LinkFailure failure;
+      try {
+        failure.a = topo.index_of(f.substr(0, colon));
+        failure.b = topo.index_of(f.substr(colon + 1, at - colon - 1));
+      } catch (const std::out_of_range& e) {
+        std::fprintf(stderr, "bad --fail %s: %s\n", f.c_str(), e.what());
+        return 2;
+      }
+      char* end = nullptr;
+      failure.at_fraction = std::strtod(f.c_str() + at + 1, &end);
+      if (end == f.c_str() + at + 1 || *end != '\0' ||
+          failure.at_fraction < 0.0 || failure.at_fraction > 1.0) {
+        std::fprintf(stderr, "bad --fail %s: fraction must be in [0,1]\n",
+                     f.c_str());
+        return 2;
+      }
+      options.failures.push_back(failure);
+    }
+    if (options.threads == 0) options.threads = 1;
+    try {
+      return run_one(*spec, options);
+    } catch (const std::exception& e) {
+      // e.g. a --fail pair that exists but is not linked.
+      std::fprintf(stderr, "scenario failed: %s\n", e.what());
+      return 2;
+    }
+  }
+
+  int status = 0;
+  for (const auto& spec : scenario::builtin_scenarios()) {
+    for (const unsigned threads : {1u, 4u}) {
+      scenario::RunnerOptions sweep = options;
+      sweep.threads = threads;
+      sweep.failures.clear();
+      status |= run_one(spec, sweep);
+    }
+  }
+  return status;
+}

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "scenario/runner.hpp"
+
 namespace hp::core {
 
 using hp::netsim::LinkIndex;
@@ -207,7 +209,7 @@ BatchForwardReport PolkaService::forward_batch(
 
 BatchForwardReport PolkaService::replay_workload(
     const std::vector<hp::netsim::ScheduledFlow>& flows,
-    std::size_t batch_size, double mtu_bytes) const {
+    std::size_t batch_size, double mtu_bytes, unsigned threads) const {
   if (tunnels_.empty()) {
     throw std::logic_error("replay_workload: no tunnels defined");
   }
@@ -237,13 +239,62 @@ BatchForwardReport PolkaService::replay_workload(
     lanes.push_back(lane);
   }
 
+  // Oversized routeID: walk one flow's packets on the polynomial slow
+  // path (shared by the threaded and streaming branches below).
+  BatchForwardReport report;
+  auto walk_slow_lane = [&](const TunnelLane& lane, std::size_t packets) {
+    for (std::size_t i = 0; i < packets; ++i) {
+      const auto trace = fabric_.forward(*lane.route, lane.first);
+      report.mod_operations += trace.mod_operations;
+      if (trace.nodes.empty() ||
+          trace.nodes.back() != lane.expected.egress_node ||
+          trace.ports.back() != lane.expected.egress_port) {
+        ++report.mismatches;
+      }
+    }
+    report.packets += packets;
+  };
+
+  if (threads > 1) {
+    // Materialize the label stream and shard it across workers via the
+    // scenario engine's replay primitive.
+    std::vector<hp::polka::RouteLabel> labels;
+    std::vector<std::uint32_t> firsts;
+    std::vector<std::uint32_t> lane_index;
+    std::vector<hp::polka::PacketResult> expected(lanes.size());
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      expected[i] = lanes[i].expected;
+    }
+    std::size_t next_lane = 0;
+    for (const auto& flow : flows) {
+      const std::size_t lane_id = next_lane;
+      const TunnelLane& lane = lanes[lane_id];
+      next_lane = (next_lane + 1) % lanes.size();
+      const std::size_t packets =
+          hp::netsim::packet_count(flow.spec, mtu_bytes);
+      if (!lane.label) {
+        walk_slow_lane(lane, packets);
+        continue;
+      }
+      labels.insert(labels.end(), packets, *lane.label);
+      firsts.insert(firsts.end(), packets, lane.first);
+      lane_index.insert(lane_index.end(), packets,
+                        static_cast<std::uint32_t>(lane_id));
+    }
+    const auto sharded = hp::scenario::replay_shards(
+        fast, labels, firsts, lane_index, expected, {}, threads, batch_size);
+    report.packets += sharded.packets;
+    report.mod_operations += sharded.mod_operations;
+    report.mismatches += sharded.wrong_egress;
+    return report;
+  }
+
   // Reusable batch buffers: the replay loop itself never allocates.
   std::vector<hp::polka::RouteLabel> labels(batch_size);
   std::vector<std::uint32_t> firsts(batch_size);
   std::vector<hp::polka::PacketResult> results(batch_size);
   std::vector<std::uint32_t> lane_of(batch_size);
 
-  BatchForwardReport report;
   std::size_t fill = 0;
   auto flush = [&] {
     if (fill == 0) return;
@@ -265,17 +316,7 @@ BatchForwardReport PolkaService::replay_workload(
     next_lane = (next_lane + 1) % lanes.size();
     std::size_t packets = hp::netsim::packet_count(flow.spec, mtu_bytes);
     if (!lane.label) {
-      // Oversized routeID: walk this flow's packets on the slow path.
-      for (std::size_t i = 0; i < packets; ++i) {
-        const auto trace = fabric_.forward(*lane.route, lane.first);
-        report.mod_operations += trace.mod_operations;
-        if (trace.nodes.empty() ||
-            trace.nodes.back() != lane.expected.egress_node ||
-            trace.ports.back() != lane.expected.egress_port) {
-          ++report.mismatches;
-        }
-      }
-      report.packets += packets;
+      walk_slow_lane(lane, packets);
       continue;
     }
     while (packets > 0) {

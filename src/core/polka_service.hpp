@@ -103,10 +103,15 @@ class PolkaService {
   /// bytes become MTU-sized packets carrying its tunnel's label
   /// (tunnels assigned round-robin), streamed through the compiled
   /// fabric in chunks of `batch_size` with per-packet ingress nodes.
+  /// With `threads` > 1 the packet stream is materialized (16 bytes
+  /// per packet -- size workloads accordingly) and sharded across that
+  /// many workers via the scenario engine's replay primitive;
+  /// oversized routeIDs always take the single-threaded scalar path.
   /// This is how traffic workloads report data-plane packets/sec.
   [[nodiscard]] BatchForwardReport replay_workload(
       const std::vector<hp::netsim::ScheduledFlow>& flows,
-      std::size_t batch_size = 256, double mtu_bytes = 1500.0) const;
+      std::size_t batch_size = 256, double mtu_bytes = 1500.0,
+      unsigned threads = 1) const;
 
  private:
   const hp::netsim::Topology* topo_;

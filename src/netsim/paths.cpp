@@ -71,6 +71,63 @@ std::optional<Path> dijkstra(const Topology& topo, NodeIndex src,
 
 }  // namespace
 
+PathTree shortest_path_tree(const Topology& topo, NodeIndex src,
+                            PathMetric metric,
+                            const std::vector<LinkIndex>& banned) {
+  const std::size_t n = topo.node_count();
+  if (src >= n) {
+    throw std::out_of_range("shortest_path_tree: bad node index");
+  }
+  std::vector<char> is_banned(topo.link_count(), 0);
+  for (const LinkIndex l : banned) {
+    if (l < is_banned.size()) is_banned[l] = 1;
+  }
+  PathTree tree;
+  tree.src = src;
+  tree.dist.assign(n, std::numeric_limits<double>::infinity());
+  tree.via.assign(n, kInvalidIndex);
+  using QueueEntry = std::pair<double, NodeIndex>;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>>
+      frontier;
+  tree.dist[src] = 0.0;
+  frontier.emplace(0.0, src);
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > tree.dist[u]) continue;
+    if (u != src && topo.node(u).kind == NodeKind::kHost) continue;
+    for (const LinkIndex l : topo.outgoing(u)) {
+      if (is_banned[l]) continue;
+      const Link& link = topo.link(l);
+      const double nd = d + link_weight(link, metric);
+      if (nd < tree.dist[link.to]) {
+        tree.dist[link.to] = nd;
+        tree.via[link.to] = l;
+        frontier.emplace(nd, link.to);
+      }
+    }
+  }
+  return tree;
+}
+
+std::optional<Path> tree_path(const PathTree& tree, const Topology& topo,
+                              NodeIndex dst) {
+  if (dst >= tree.via.size()) {
+    throw std::out_of_range("tree_path: bad node index");
+  }
+  if (dst == tree.src) return Path{};
+  if (tree.via[dst] == kInvalidIndex) return std::nullopt;
+  Path path;
+  for (NodeIndex cur = dst; cur != tree.src;) {
+    const LinkIndex l = tree.via[cur];
+    if (l == kInvalidIndex) return std::nullopt;
+    path.push_back(l);
+    cur = topo.link(l).from;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
 std::optional<Path> shortest_path(const Topology& topo, NodeIndex src,
                                   NodeIndex dst, PathMetric metric) {
   if (src >= topo.node_count() || dst >= topo.node_count()) {

@@ -32,6 +32,30 @@ enum class PathMetric {
     const Topology& topo, NodeIndex src, NodeIndex dst,
     PathMetric metric = PathMetric::kDelay);
 
+/// A full single-source shortest-path tree: one Dijkstra run answering
+/// every destination, the shape the scenario engine's all-pairs route
+/// compiler needs (per-pair shortest_path calls would be quadratic in
+/// Dijkstra runs on dense generated topologies).
+struct PathTree {
+  NodeIndex src = kInvalidIndex;
+  std::vector<double> dist;    ///< total weight; infinity = unreachable
+  std::vector<LinkIndex> via;  ///< last link on the path; kInvalidIndex at src
+};
+
+/// Dijkstra to every destination.  Host nodes never transit (same rule
+/// as shortest_path); links in `banned` are skipped, which is how the
+/// scenario engine routes around scheduled link failures.
+[[nodiscard]] PathTree shortest_path_tree(
+    const Topology& topo, NodeIndex src,
+    PathMetric metric = PathMetric::kDelay,
+    const std::vector<LinkIndex>& banned = {});
+
+/// Extract the src -> dst path from a tree; nullopt when unreachable,
+/// empty path when dst == src.
+[[nodiscard]] std::optional<Path> tree_path(const PathTree& tree,
+                                            const Topology& topo,
+                                            NodeIndex dst);
+
 /// Yen's algorithm: up to `k` loopless shortest paths, best first.
 /// Returns fewer when the graph has fewer distinct simple paths.
 [[nodiscard]] std::vector<Path> k_shortest_paths(

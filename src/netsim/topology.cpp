@@ -34,6 +34,10 @@ LinkIndex Topology::add_duplex_link(NodeIndex a, NodeIndex b,
   outgoing_[a].push_back(fwd);
   links_.push_back(Link{b, a, capacity_mbps, delay_ms, loss_rate});
   outgoing_[b].push_back(fwd + 1);
+  // emplace keeps the first link for parallel duplicates, matching the
+  // linear-scan behaviour link_between had before the hash existed.
+  adjacency_.emplace(node_pair_key(a, b), fwd);
+  adjacency_.emplace(node_pair_key(b, a), fwd + 1);
   return fwd;
 }
 
@@ -47,10 +51,12 @@ NodeIndex Topology::index_of(const std::string& name) const {
 
 std::optional<LinkIndex> Topology::link_between(NodeIndex a,
                                                 NodeIndex b) const {
-  for (const LinkIndex l : outgoing_.at(a)) {
-    if (links_[l].to == b) return l;
+  if (a >= nodes_.size()) {
+    throw std::out_of_range("Topology: bad node index");
   }
-  return std::nullopt;
+  const auto it = adjacency_.find(node_pair_key(a, b));
+  if (it == adjacency_.end()) return std::nullopt;
+  return it->second;
 }
 
 Path Topology::path_through(const std::vector<std::string>& names) const {

@@ -11,6 +11,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace hp::netsim {
@@ -19,6 +20,21 @@ using NodeIndex = std::size_t;
 using LinkIndex = std::size_t;
 
 inline constexpr std::size_t kInvalidIndex = static_cast<std::size_t>(-1);
+
+/// Pack an ordered node pair into one hash/map key (topologies stay
+/// below 2^32 nodes; every layer keying on pairs shares this helper).
+[[nodiscard]] inline std::uint64_t node_pair_key(NodeIndex from,
+                                                 NodeIndex to) noexcept {
+  return (static_cast<std::uint64_t>(from) << 32) |
+         static_cast<std::uint64_t>(to & 0xFFFFFFFFu);
+}
+
+/// Inverse of node_pair_key.
+[[nodiscard]] inline std::pair<NodeIndex, NodeIndex> node_pair_from_key(
+    std::uint64_t key) noexcept {
+  return {static_cast<NodeIndex>(key >> 32),
+          static_cast<NodeIndex>(key & 0xFFFFFFFFu)};
+}
 
 /// Role of a node (hosts terminate flows; routers forward).
 enum class NodeKind { kRouter, kHost };
@@ -96,6 +112,9 @@ class Topology {
   std::vector<Link> links_;
   std::vector<std::vector<LinkIndex>> outgoing_;
   std::unordered_map<std::string, NodeIndex> by_name_;
+  /// (from << 32 | to) -> first directed link, so link_between stays
+  /// O(1) on the dense generated topologies (node count < 2^32).
+  std::unordered_map<std::uint64_t, LinkIndex> adjacency_;
 };
 
 /// The Fig 9 topology: a subset of the Global P4 Lab with routers

@@ -24,7 +24,7 @@ std::size_t PolkaFabric::add_node(const std::string& name,
   nodes_.push_back(std::move(id));
   wiring_.emplace_back(port_count, kUnwired);
   by_name_.emplace(name, idx);
-  compiled_.reset();
+  compiled_.ptr.reset();
   return idx;
 }
 
@@ -37,7 +37,7 @@ void PolkaFabric::connect(std::size_t from, unsigned port, std::size_t to) {
     throw std::out_of_range("PolkaFabric::connect: bad port");
   }
   ports[port] = to;
-  compiled_.reset();
+  compiled_.ptr.reset();
 }
 
 std::size_t PolkaFabric::index_of(const std::string& name) const {
@@ -126,10 +126,10 @@ std::optional<std::size_t> PolkaFabric::neighbour(std::size_t node,
 }
 
 const CompiledFabric& PolkaFabric::compiled() const {
-  if (!compiled_) {
-    compiled_ = std::make_shared<const CompiledFabric>(*this);
+  if (!compiled_.ptr) {
+    compiled_.ptr = std::make_shared<const CompiledFabric>(*this);
   }
-  return *compiled_;
+  return *compiled_.ptr;
 }
 
 std::size_t PolkaFabric::forward_batch(std::span<const RouteId> routes,

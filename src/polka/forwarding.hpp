@@ -36,6 +36,10 @@ class PolkaFabric {
   explicit PolkaFabric(ModEngine engine = ModEngine::kTable);
   ~PolkaFabric();  // out of line: compiled_ is incomplete here
 
+  // Copies do not inherit the compiled_ cache (see CompiledCache): a
+  // copy that carried the source's flattened view would keep serving
+  // the source's wiring if any mutator forgot to invalidate it.  Each
+  // copy recompiles lazily on first fast-path use instead.
   PolkaFabric(const PolkaFabric&) = default;
   PolkaFabric& operator=(const PolkaFabric&) = default;
   PolkaFabric(PolkaFabric&&) noexcept = default;
@@ -123,9 +127,25 @@ class PolkaFabric {
   std::vector<std::vector<std::size_t>> wiring_;
   std::vector<BitSerialCrc> bit_engines_;
   std::vector<TableCrc> table_engines_;
-  /// Lazily-built flattened view; shared so copies of an unchanged
-  /// fabric reuse the same tables.  Reset by add_node / connect.
-  mutable std::shared_ptr<const CompiledFabric> compiled_;
+
+  /// Cache holder whose copies start empty, so the fabric's defaulted
+  /// copy operations never carry a (potentially soon-stale) compiled
+  /// view -- and adding fabric members later cannot reintroduce the
+  /// hazard by missing a hand-written copy constructor.
+  struct CompiledCache {
+    CompiledCache() = default;
+    CompiledCache(const CompiledCache&) noexcept {}
+    CompiledCache& operator=(const CompiledCache&) noexcept {
+      ptr.reset();
+      return *this;
+    }
+    CompiledCache(CompiledCache&&) noexcept = default;
+    CompiledCache& operator=(CompiledCache&&) noexcept = default;
+
+    std::shared_ptr<const CompiledFabric> ptr;
+  };
+  /// Lazily-built flattened view.  Reset by add_node / connect.
+  mutable CompiledCache compiled_;
 
   static constexpr std::size_t kUnwired = static_cast<std::size_t>(-1);
 };

@@ -13,6 +13,12 @@ unsigned min_degree_for_ports(unsigned port_count) {
   return d;
 }
 
+NodeIdAllocator::DegreePool& NodeIdAllocator::pool(unsigned degree) {
+  auto [it, inserted] = pools_.try_emplace(degree);
+  if (inserted) it->second.candidates = gf2::irreducible_of_degree(degree);
+  return it->second;
+}
+
 NodeId NodeIdAllocator::allocate(std::string name, unsigned port_count,
                                  unsigned min_degree) {
   if (port_count == 0) {
@@ -20,13 +26,11 @@ NodeId NodeIdAllocator::allocate(std::string name, unsigned port_count,
   }
   const unsigned need = std::max(min_degree, min_degree_for_ports(port_count));
   for (unsigned d = need; d <= need + 16; ++d) {
-    for (const gf2::Poly& f : gf2::irreducible_of_degree(d)) {
-      if (std::ranges::find(used_, f) == used_.end()) {
-        used_.push_back(f);
-        NodeId id{std::move(name), f, port_count};
-        nodes_.push_back(id);
-        return id;
-      }
+    DegreePool& p = pool(d);
+    if (p.next < p.candidates.size()) {
+      NodeId id{std::move(name), p.candidates[p.next++], port_count};
+      nodes_.push_back(id);
+      return id;
     }
   }
   throw std::runtime_error("NodeIdAllocator: exhausted candidate degrees");

@@ -9,6 +9,7 @@
 // which is the allocation policy used here (and in the PolKA paper).
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,8 +39,18 @@ class NodeIdAllocator {
   }
 
  private:
+  /// Candidates of one degree are consumed strictly front to back, so a
+  /// cursor replaces the old linear membership scan and the per-call
+  /// re-enumeration -- allocation stays O(1) amortized, which matters
+  /// when the scenario engine builds fabrics of hundreds of nodes.
+  struct DegreePool {
+    std::vector<gf2::Poly> candidates;
+    std::size_t next = 0;
+  };
+  DegreePool& pool(unsigned degree);
+
   std::vector<NodeId> nodes_;
-  std::vector<gf2::Poly> used_;
+  std::map<unsigned, DegreePool> pools_;
 };
 
 /// Degree needed so that all port indices 0..port_count-1 are valid

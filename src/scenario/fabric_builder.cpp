@@ -1,0 +1,122 @@
+#include "scenario/fabric_builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hp::scenario {
+
+namespace {
+
+using netsim::kInvalidIndex;
+using netsim::NodeIndex;
+
+}  // namespace
+
+BuiltFabric::BuiltFabric(netsim::Topology topo, polka::ModEngine engine)
+    : topo_(std::move(topo)), fabric_(engine) {
+  topo_to_fabric_.assign(topo_.node_count(), kInvalidIndex);
+  // First pass: distinct router neighbours of every router, in
+  // outgoing-link order, so port numbering is deterministic.
+  std::vector<std::vector<NodeIndex>> neighbours(topo_.node_count());
+  for (NodeIndex n = 0; n < topo_.node_count(); ++n) {
+    if (topo_.node(n).kind != netsim::NodeKind::kRouter) continue;
+    for (const netsim::LinkIndex l : topo_.outgoing(n)) {
+      const NodeIndex peer = topo_.link(l).to;
+      if (topo_.node(peer).kind != netsim::NodeKind::kRouter) continue;
+      if (std::ranges::find(neighbours[n], peer) == neighbours[n].end()) {
+        neighbours[n].push_back(peer);
+      }
+    }
+  }
+  for (NodeIndex n = 0; n < topo_.node_count(); ++n) {
+    if (topo_.node(n).kind != netsim::NodeKind::kRouter) continue;
+    const unsigned ports = static_cast<unsigned>(neighbours[n].size()) + 1;
+    topo_to_fabric_[n] = fabric_.add_node(topo_.node(n).name, ports);
+    fabric_to_topo_.push_back(n);
+  }
+  for (NodeIndex n = 0; n < topo_.node_count(); ++n) {
+    if (topo_to_fabric_[n] == kInvalidIndex) continue;
+    unsigned port = 0;
+    for (const NodeIndex peer : neighbours[n]) {
+      fabric_.connect(topo_to_fabric_[n], port++, topo_to_fabric_[peer]);
+    }
+  }
+}
+
+std::size_t BuiltFabric::fabric_index(NodeIndex topo_node) const {
+  if (topo_node >= topo_to_fabric_.size() ||
+      topo_to_fabric_[topo_node] == kInvalidIndex) {
+    throw std::invalid_argument("BuiltFabric: node is not a router");
+  }
+  return topo_to_fabric_[topo_node];
+}
+
+unsigned BuiltFabric::egress_port(std::size_t fabric_node) const {
+  return fabric_.node(fabric_node).port_count - 1;
+}
+
+const CompiledRoute* BuiltFabric::route(NodeIndex src, NodeIndex dst) {
+  if (src == dst) {
+    throw std::invalid_argument("BuiltFabric::route: src == dst");
+  }
+  const std::uint64_t key = netsim::node_pair_key(src, dst);
+  if (const auto it = routes_.find(key); it != routes_.end()) {
+    return &it->second;
+  }
+  (void)fabric_index(src);  // validates both endpoints are routers
+  (void)fabric_index(dst);
+  auto tree_it = trees_.find(src);
+  if (tree_it == trees_.end()) {
+    tree_it = trees_
+                  .emplace(src, netsim::shortest_path_tree(
+                                    topo_, src, netsim::PathMetric::kHopCount,
+                                    banned_links_))
+                  .first;
+  }
+  const auto path = netsim::tree_path(tree_it->second, topo_, dst);
+  if (!path) return nullptr;
+
+  CompiledRoute route;
+  route.path = *path;
+  std::vector<std::size_t> fabric_path;
+  fabric_path.reserve(path->size() + 1);
+  for (const NodeIndex n : netsim::path_nodes(topo_, *path)) {
+    fabric_path.push_back(topo_to_fabric_[n]);
+  }
+  const std::size_t egress_node = fabric_path.back();
+  route.id = fabric_.route_for_path(fabric_path, egress_port(egress_node));
+  route.label = polka::pack_label(route.id);
+  route.ingress = static_cast<std::uint32_t>(fabric_path.front());
+  route.expected.egress_node = static_cast<std::uint32_t>(egress_node);
+  route.expected.egress_port = egress_port(egress_node);
+  route.expected.hops = static_cast<std::uint32_t>(fabric_path.size());
+  return &routes_.emplace(key, std::move(route)).first->second;
+}
+
+std::vector<std::pair<NodeIndex, NodeIndex>> BuiltFabric::fail_link(
+    NodeIndex a, NodeIndex b) {
+  const auto fwd = topo_.link_between(a, b);
+  const auto rev = topo_.link_between(b, a);
+  if (!fwd || !rev) {
+    throw std::invalid_argument("BuiltFabric::fail_link: no such link");
+  }
+  banned_links_.push_back(*fwd);
+  banned_links_.push_back(*rev);
+  trees_.clear();  // every cached tree may now route through a dead link
+
+  std::vector<std::pair<NodeIndex, NodeIndex>> affected;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    const bool crosses =
+        std::ranges::find(it->second.path, *fwd) != it->second.path.end() ||
+        std::ranges::find(it->second.path, *rev) != it->second.path.end();
+    if (crosses) {
+      affected.push_back(netsim::node_pair_from_key(it->first));
+      it = routes_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return affected;
+}
+
+}  // namespace hp::scenario

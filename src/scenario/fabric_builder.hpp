@@ -1,0 +1,104 @@
+#pragma once
+// FabricBuilder: turn any netsim::Topology into a wired PolkaFabric
+// with compiled per-pair routes.
+//
+// The router subgraph of the topology becomes the PolKA core: each
+// router gets one fabric port per distinct router neighbour plus one
+// extra, deliberately unwired, egress port (the host-facing side on
+// which a packet leaves the fabric).  Routes between router pairs are
+// shortest paths (hop count) computed from cached single-source
+// Dijkstra trees, CRT-encoded into routeIDs and packed into 64-bit
+// labels where they fit.  Scheduled link failures remove links from
+// path computation and invalidate exactly the routes that crossed
+// them, which is what lets the scenario runner recompile mid-run.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "netsim/paths.hpp"
+#include "netsim/topology.hpp"
+#include "polka/forwarding.hpp"
+#include "polka/label.hpp"
+
+namespace hp::scenario {
+
+/// A compiled router-to-router route through the fabric.
+struct CompiledRoute {
+  polka::RouteId id;                        ///< CRT routeID
+  std::optional<polka::RouteLabel> label;   ///< 64-bit form, when it fits
+  std::uint32_t ingress = 0;                ///< fabric index of the source
+  polka::PacketResult expected;             ///< egress node/port and hop count
+  netsim::Path path;                        ///< topology links traversed
+};
+
+/// A topology wired as a PolKA fabric, with route compilation on top.
+class BuiltFabric {
+ public:
+  explicit BuiltFabric(netsim::Topology topo,
+                       polka::ModEngine engine = polka::ModEngine::kTable);
+
+  [[nodiscard]] const netsim::Topology& topology() const noexcept {
+    return topo_;
+  }
+  [[nodiscard]] const polka::PolkaFabric& fabric() const noexcept {
+    return fabric_;
+  }
+  [[nodiscard]] const polka::CompiledFabric& compiled() const {
+    return fabric_.compiled();
+  }
+
+  /// Topology indices of the router nodes, in fabric-index order.
+  [[nodiscard]] const std::vector<netsim::NodeIndex>& routers() const noexcept {
+    return fabric_to_topo_;
+  }
+  [[nodiscard]] std::size_t router_count() const noexcept {
+    return fabric_to_topo_.size();
+  }
+
+  /// Fabric index of a router topology node (throws std::invalid_argument
+  /// for hosts).
+  [[nodiscard]] std::size_t fabric_index(netsim::NodeIndex topo_node) const;
+  [[nodiscard]] netsim::NodeIndex topo_index(std::size_t fabric_node) const {
+    return fabric_to_topo_.at(fabric_node);
+  }
+
+  /// The unwired host-facing port of a fabric node (always the last).
+  [[nodiscard]] unsigned egress_port(std::size_t fabric_node) const;
+
+  /// Compile (and cache) the shortest-hop route between two distinct
+  /// routers, given as topology indices.  Returns nullptr when `dst` is
+  /// unreachable from `src` (possible after link failures).  The
+  /// returned pointer stays valid until the route is invalidated by
+  /// fail_link.  Not thread-safe: compile every route before sharding
+  /// a replay across threads.
+  [[nodiscard]] const CompiledRoute* route(netsim::NodeIndex src,
+                                           netsim::NodeIndex dst);
+
+  /// Remove the duplex link a<->b from path computation (the fabric
+  /// wiring is untouched: ports still exist, packets simply route
+  /// around).  Throws std::invalid_argument when no such link exists.
+  /// Returns the (src, dst) pairs whose cached route crossed the link;
+  /// those cache entries are dropped and recompile on next lookup.
+  std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>> fail_link(
+      netsim::NodeIndex a, netsim::NodeIndex b);
+
+  /// Directed links currently excluded from path computation.
+  [[nodiscard]] const std::vector<netsim::LinkIndex>& failed_links()
+      const noexcept {
+    return banned_links_;
+  }
+
+ private:
+  netsim::Topology topo_;
+  polka::PolkaFabric fabric_;
+  std::vector<std::size_t> topo_to_fabric_;  // kInvalidIndex for hosts
+  std::vector<netsim::NodeIndex> fabric_to_topo_;
+  std::vector<netsim::LinkIndex> banned_links_;
+  std::unordered_map<netsim::NodeIndex, netsim::PathTree> trees_;
+  std::unordered_map<std::uint64_t, CompiledRoute> routes_;
+};
+
+}  // namespace hp::scenario

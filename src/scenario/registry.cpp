@@ -1,0 +1,92 @@
+#include "scenario/registry.hpp"
+
+#include <stdexcept>
+
+namespace hp::scenario {
+
+const char* to_string(TopologyFamily family) {
+  switch (family) {
+    case TopologyFamily::kFatTree:
+      return "fat_tree";
+    case TopologyFamily::kLeafSpine:
+      return "leaf_spine";
+    case TopologyFamily::kRing:
+      return "ring";
+    case TopologyFamily::kTorus:
+      return "torus";
+    case TopologyFamily::kRandomRegular:
+      return "random_regular";
+  }
+  return "unknown";
+}
+
+netsim::Topology build_topology(const ScenarioSpec& spec) {
+  switch (spec.family) {
+    case TopologyFamily::kFatTree:
+      return make_fat_tree(spec.a, spec.c != 0);
+    case TopologyFamily::kLeafSpine:
+      return make_leaf_spine(spec.a, spec.b, spec.c);
+    case TopologyFamily::kRing:
+      return make_ring(spec.a);
+    case TopologyFamily::kTorus:
+      return make_torus(spec.a, spec.b);
+    case TopologyFamily::kRandomRegular:
+      return make_random_regular(spec.a, spec.b, spec.topo_seed);
+  }
+  throw std::logic_error("build_topology: unknown family");
+}
+
+const std::vector<ScenarioSpec>& builtin_scenarios() {
+  static const std::vector<ScenarioSpec> scenarios = [] {
+    struct TopoEntry {
+      std::string name;
+      TopologyFamily family;
+      unsigned a, b, c;
+    };
+    // Sizes chosen so every shortest path packs into a 64-bit label
+    // (ring/torus diameters stay modest) yet routes are multi-hop.
+    const std::vector<TopoEntry> topologies = {
+        {"fat_tree_k4", TopologyFamily::kFatTree, 4, 0, 0},
+        {"leaf_spine_4x8", TopologyFamily::kLeafSpine, 4, 8, 2},
+        {"ring12", TopologyFamily::kRing, 12, 0, 0},
+        {"torus4x4", TopologyFamily::kTorus, 4, 4, 0},
+        {"rr16d4", TopologyFamily::kRandomRegular, 16, 4, 0},
+    };
+    const TrafficPattern patterns[] = {
+        TrafficPattern::kUniformRandom, TrafficPattern::kPermutation,
+        TrafficPattern::kHotspot, TrafficPattern::kElephantMice};
+    std::vector<ScenarioSpec> out;
+    for (const TopoEntry& topo : topologies) {
+      for (const TrafficPattern pattern : patterns) {
+        ScenarioSpec spec;
+        spec.name = topo.name + "/" + to_string(pattern);
+        spec.family = topo.family;
+        spec.a = topo.a;
+        spec.b = topo.b;
+        spec.c = topo.c;
+        spec.traffic.pattern = pattern;
+        spec.traffic.packets = 1 << 14;
+        spec.traffic.seed = 11;
+        out.push_back(std::move(spec));
+      }
+    }
+    return out;
+  }();
+  return scenarios;
+}
+
+const ScenarioSpec* find_scenario(std::string_view name) {
+  for (const ScenarioSpec& spec : builtin_scenarios()) {
+    if (spec.name == name) return &spec;
+  }
+  return nullptr;
+}
+
+ScenarioReport run_scenario(const ScenarioSpec& spec,
+                            const RunnerOptions& options) {
+  BuiltFabric fabric(build_topology(spec));
+  PacketStream stream = generate_traffic(fabric, spec.traffic);
+  return ScenarioRunner(options).run(fabric, stream);
+}
+
+}  // namespace hp::scenario

@@ -1,0 +1,56 @@
+#pragma once
+// Named scenario registry: topology family x traffic pattern specs.
+//
+// A ScenarioSpec is a declarative recipe -- which generator, which
+// size, which traffic matrix -- that benches, examples and fuzz tests
+// consume by name.  The built-in registry crosses every topology
+// family with every traffic pattern at sizes small enough for CI yet
+// large enough to exercise multi-hop routing.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "scenario/fabric_builder.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/topologies.hpp"
+#include "scenario/traffic.hpp"
+
+namespace hp::scenario {
+
+enum class TopologyFamily {
+  kFatTree,        ///< a = k, with hosts when c != 0
+  kLeafSpine,      ///< a = spines, b = leaves, c = hosts per leaf
+  kRing,           ///< a = n
+  kTorus,          ///< a = rows, b = cols
+  kRandomRegular,  ///< a = n, b = degree
+};
+
+[[nodiscard]] const char* to_string(TopologyFamily family);
+
+struct ScenarioSpec {
+  std::string name;  ///< "<topology>/<pattern>", e.g. "ring12/hotspot"
+  TopologyFamily family = TopologyFamily::kRing;
+  unsigned a = 0;
+  unsigned b = 0;
+  unsigned c = 0;
+  std::uint64_t topo_seed = 7;  ///< kRandomRegular only
+  TrafficParams traffic;
+};
+
+/// Instantiate the spec's topology.
+[[nodiscard]] netsim::Topology build_topology(const ScenarioSpec& spec);
+
+/// Every built-in scenario: 5 topology families x 4 traffic patterns.
+[[nodiscard]] const std::vector<ScenarioSpec>& builtin_scenarios();
+
+/// Lookup by exact name; nullptr when absent.
+[[nodiscard]] const ScenarioSpec* find_scenario(std::string_view name);
+
+/// Build the topology and fabric, generate the traffic and replay it.
+/// The one-call path for benches and CLIs.
+[[nodiscard]] ScenarioReport run_scenario(const ScenarioSpec& spec,
+                                          const RunnerOptions& options = {});
+
+}  // namespace hp::scenario

@@ -1,0 +1,191 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+namespace hp::scenario {
+
+namespace {
+
+/// One worker's walk over its slice: fill private batch buffers
+/// (skipping dead pairs), stream them through the compiled fabric and
+/// check each result against its pair's expectation.
+void replay_slice(const polka::CompiledFabric& fabric,
+                  std::span<const polka::RouteLabel> labels,
+                  std::span<const std::uint32_t> ingress,
+                  std::span<const std::uint32_t> index,
+                  std::span<const polka::PacketResult> expected,
+                  std::span<const std::uint8_t> alive, std::size_t batch_size,
+                  std::size_t max_hops, ScenarioReport& out) {
+  std::vector<polka::RouteLabel> batch_labels(batch_size);
+  std::vector<std::uint32_t> batch_firsts(batch_size);
+  std::vector<std::uint32_t> batch_index(batch_size);
+  std::vector<polka::PacketResult> batch_results(batch_size);
+  std::size_t fill = 0;
+  auto flush = [&] {
+    if (fill == 0) return;
+    out.mod_operations += fabric.forward_batch(
+        std::span<const polka::RouteLabel>(batch_labels.data(), fill),
+        std::span<const std::uint32_t>(batch_firsts.data(), fill),
+        std::span<polka::PacketResult>(batch_results.data(), fill), max_hops);
+    for (std::size_t i = 0; i < fill; ++i) {
+      if (batch_results[i] != expected[batch_index[i]]) ++out.wrong_egress;
+    }
+    out.packets += fill;
+    fill = 0;
+  };
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (!alive.empty() && !alive[index[i]]) {
+      ++out.dropped_packets;
+      continue;
+    }
+    batch_labels[fill] = labels[i];
+    batch_firsts[fill] = ingress[i];
+    batch_index[fill] = index[i];
+    ++fill;
+    if (fill == batch_size) flush();
+  }
+  flush();
+}
+
+}  // namespace
+
+ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
+                             std::span<const polka::RouteLabel> labels,
+                             std::span<const std::uint32_t> ingress,
+                             std::span<const std::uint32_t> index,
+                             std::span<const polka::PacketResult> expected,
+                             std::span<const std::uint8_t> alive,
+                             unsigned threads, std::size_t batch_size,
+                             std::size_t max_hops) {
+  if (labels.size() != ingress.size() || labels.size() != index.size()) {
+    throw std::invalid_argument("replay_shards: span length mismatch");
+  }
+  if (batch_size == 0) {
+    throw std::invalid_argument("replay_shards: batch_size must be > 0");
+  }
+  const std::size_t total = labels.size();
+  std::size_t workers = std::max<unsigned>(threads, 1);
+  workers = std::min(workers, std::max<std::size_t>(total, 1));
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ScenarioReport> partial(workers);
+  if (workers == 1) {
+    replay_slice(fabric, labels, ingress, index, expected, alive, batch_size,
+                 max_hops, partial[0]);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      const std::size_t begin = total * w / workers;
+      const std::size_t end = total * (w + 1) / workers;
+      pool.emplace_back([&, w, begin, end] {
+        replay_slice(fabric, labels.subspan(begin, end - begin),
+                     ingress.subspan(begin, end - begin),
+                     index.subspan(begin, end - begin), expected, alive,
+                     batch_size, max_hops, partial[w]);
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+  ScenarioReport report;
+  for (const ScenarioReport& p : partial) {
+    report.packets += p.packets;
+    report.mod_operations += p.mod_operations;
+    report.wrong_egress += p.wrong_egress;
+    report.dropped_packets += p.dropped_packets;
+  }
+  report.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return report;
+}
+
+ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
+                                   PacketStream& stream) const {
+  const std::size_t total = stream.size();
+  // Compile the flattened view before any thread is spawned: the lazy
+  // compiled() cache is not thread-safe to build concurrently.
+  const polka::CompiledFabric& fast = fabric.compiled();
+
+  // Epoch boundaries from the failure schedule.
+  std::vector<LinkFailure> failures = options_.failures;
+  std::ranges::stable_sort(failures, {}, &LinkFailure::at_fraction);
+  std::vector<std::uint8_t> alive(stream.pairs.size(), 1);
+  // Contiguous copy of the per-pair expectations (TrafficPair embeds
+  // them with a stride); refreshed whenever a failure rewrites one.
+  std::vector<polka::PacketResult> expected(stream.pairs.size());
+  for (std::size_t i = 0; i < stream.pairs.size(); ++i) {
+    expected[i] = stream.pairs[i].expected;
+  }
+
+  ScenarioReport report;
+  std::size_t done = 0;
+  std::size_t next_failure = 0;
+  while (done < total || next_failure < failures.size()) {
+    std::size_t end = total;
+    if (next_failure < failures.size()) {
+      const double f = std::clamp(failures[next_failure].at_fraction, 0.0, 1.0);
+      end = std::min<std::size_t>(
+          total, static_cast<std::size_t>(std::llround(
+                     f * static_cast<double>(total))));
+      end = std::max(end, done);
+    }
+    if (end > done) {
+      const std::size_t count = end - done;
+      const ScenarioReport epoch = replay_shards(
+          fast,
+          std::span<const polka::RouteLabel>(stream.labels.data() + done,
+                                             count),
+          std::span<const std::uint32_t>(stream.ingress.data() + done, count),
+          std::span<const std::uint32_t>(stream.pair.data() + done, count),
+          expected, alive, options_.threads, options_.batch_size,
+          options_.max_hops);
+      report.packets += epoch.packets;
+      report.mod_operations += epoch.mod_operations;
+      report.wrong_egress += epoch.wrong_egress;
+      report.dropped_packets += epoch.dropped_packets;
+      report.seconds += epoch.seconds;
+      done = end;
+    }
+    if (next_failure < failures.size()) {
+      const LinkFailure& failure = failures[next_failure++];
+      const auto affected = fabric.fail_link(failure.a, failure.b);
+      if (affected.empty()) continue;
+      // Recompile each affected pair once (streams intern each pair
+      // once), then relabel the stream tail in a single pass.
+      std::unordered_map<std::uint64_t, std::uint32_t> lane_of;
+      for (std::uint32_t lane = 0; lane < stream.pairs.size(); ++lane) {
+        lane_of.emplace(netsim::node_pair_key(stream.pairs[lane].src,
+                                              stream.pairs[lane].dst),
+                        lane);
+      }
+      std::unordered_map<std::uint32_t, polka::RouteLabel> new_label;
+      for (const auto& [src, dst] : affected) {
+        const auto it = lane_of.find(netsim::node_pair_key(src, dst));
+        if (it == lane_of.end() || !alive[it->second]) continue;
+        const std::uint32_t lane = it->second;
+        const CompiledRoute* route = fabric.route(src, dst);
+        if (route && route->label) {
+          ++report.rerouted_pairs;
+          stream.pairs[lane].expected = route->expected;
+          expected[lane] = route->expected;
+          new_label.emplace(lane, *route->label);
+        } else {
+          alive[lane] = 0;  // unroutable: remaining packets drop
+        }
+      }
+      for (std::size_t i = done; i < total && !new_label.empty(); ++i) {
+        const auto it = new_label.find(stream.pair[i]);
+        if (it != new_label.end()) stream.labels[i] = it->second;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace hp::scenario

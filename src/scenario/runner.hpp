@@ -1,0 +1,85 @@
+#pragma once
+// ScenarioRunner: sharded multi-threaded replay of a packet stream.
+//
+// The stream's parallel arrays are cut into one contiguous slice per
+// worker thread; each worker drives CompiledFabric::forward_batch over
+// its slice with private scratch buffers and counters, which are merged
+// after join.  The compiled fabric is immutable during a replay, so
+// workers share it without synchronization.  An optional link-failure
+// schedule splits the stream into epochs: at each failure point the
+// affected routes are recompiled against the degraded topology and the
+// not-yet-replayed packets of those pairs get their new labels (packets
+// whose pair loses connectivity -- or whose detour outgrows the 64-bit
+// label -- are dropped and counted).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "polka/fastpath.hpp"
+#include "polka/label.hpp"
+#include "scenario/fabric_builder.hpp"
+#include "scenario/traffic.hpp"
+
+namespace hp::scenario {
+
+/// One scheduled duplex-link failure.
+struct LinkFailure {
+  double at_fraction = 0.5;   ///< stream position in [0, 1)
+  netsim::NodeIndex a = 0;    ///< topology endpoints of the duplex link
+  netsim::NodeIndex b = 0;
+};
+
+struct RunnerOptions {
+  unsigned threads = 1;          ///< worker count (0 behaves as 1)
+  std::size_t batch_size = 1024; ///< packets per forward_batch call
+  std::size_t max_hops = 64;
+  std::vector<LinkFailure> failures;  ///< applied in at_fraction order
+};
+
+/// Merged counters of one replay.
+struct ScenarioReport {
+  std::size_t packets = 0;         ///< packets actually forwarded
+  std::size_t mod_operations = 0;  ///< data-plane work (== total hops)
+  std::size_t wrong_egress = 0;    ///< egress diverged from the pair's plan
+  std::size_t rerouted_pairs = 0;  ///< pairs recompiled after failures
+  std::size_t dropped_packets = 0; ///< pair unroutable after a failure
+  double seconds = 0.0;            ///< wall clock of the forwarding epochs
+
+  [[nodiscard]] double packets_per_sec() const noexcept {
+    return seconds > 0.0 ? static_cast<double>(packets) / seconds : 0.0;
+  }
+};
+
+/// Low-level sharded replay of parallel label/ingress arrays.  Each
+/// packet's expectation is expected[index[i]]; `alive`, when nonempty,
+/// is indexed the same way and marks packets to skip (counted as
+/// dropped).  This is the primitive both ScenarioRunner and
+/// core::PolkaService build on.
+ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
+                             std::span<const polka::RouteLabel> labels,
+                             std::span<const std::uint32_t> ingress,
+                             std::span<const std::uint32_t> index,
+                             std::span<const polka::PacketResult> expected,
+                             std::span<const std::uint8_t> alive,
+                             unsigned threads, std::size_t batch_size,
+                             std::size_t max_hops = 64);
+
+/// Replays a stream over its fabric, applying the failure schedule.
+/// The stream is mutated in place when failures rewrite labels.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(RunnerOptions options = {})
+      : options_(std::move(options)) {}
+
+  [[nodiscard]] const RunnerOptions& options() const noexcept {
+    return options_;
+  }
+
+  ScenarioReport run(BuiltFabric& fabric, PacketStream& stream) const;
+
+ private:
+  RunnerOptions options_;
+};
+
+}  // namespace hp::scenario

@@ -1,0 +1,213 @@
+#include "scenario/topologies.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace hp::scenario {
+
+namespace {
+
+using netsim::NodeIndex;
+using netsim::Topology;
+
+void core_link(Topology& topo, NodeIndex a, NodeIndex b,
+               const LinkProfile& links) {
+  topo.add_duplex_link(a, b, links.core_capacity_mbps, links.core_delay_ms);
+}
+
+void host_link(Topology& topo, NodeIndex host, NodeIndex router,
+               const LinkProfile& links) {
+  topo.add_duplex_link(host, router, links.host_capacity_mbps,
+                       links.host_delay_ms);
+}
+
+/// Union-find connectivity check over an edge list.
+bool is_connected(unsigned n, const std::vector<std::pair<unsigned, unsigned>>&
+                                  edges) {
+  std::vector<unsigned> parent(n);
+  std::iota(parent.begin(), parent.end(), 0u);
+  auto find = [&](unsigned x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  };
+  unsigned components = n;
+  for (const auto& [a, b] : edges) {
+    const unsigned ra = find(a);
+    const unsigned rb = find(b);
+    if (ra != rb) {
+      parent[ra] = rb;
+      --components;
+    }
+  }
+  return components == 1;
+}
+
+}  // namespace
+
+netsim::Topology make_fat_tree(unsigned k, bool with_hosts,
+                               const LinkProfile& links) {
+  if (k < 2 || k % 2 != 0) {
+    throw std::invalid_argument("make_fat_tree: k must be even and >= 2");
+  }
+  const unsigned half = k / 2;
+  Topology topo;
+  std::vector<NodeIndex> core(half * half);
+  for (unsigned i = 0; i < core.size(); ++i) {
+    core[i] = topo.add_node("core" + std::to_string(i));
+  }
+  for (unsigned p = 0; p < k; ++p) {
+    std::vector<NodeIndex> agg(half);
+    std::vector<NodeIndex> edge(half);
+    const std::string pod = "p" + std::to_string(p);
+    for (unsigned i = 0; i < half; ++i) {
+      agg[i] = topo.add_node(pod + "a" + std::to_string(i));
+    }
+    for (unsigned i = 0; i < half; ++i) {
+      edge[i] = topo.add_node(pod + "e" + std::to_string(i));
+    }
+    // Aggregation switch i serves core group i (core switches are laid
+    // out as half groups of half, one group per aggregation position).
+    for (unsigned i = 0; i < half; ++i) {
+      for (unsigned j = 0; j < half; ++j) {
+        core_link(topo, agg[i], core[i * half + j], links);
+      }
+    }
+    for (unsigned i = 0; i < half; ++i) {
+      for (unsigned j = 0; j < half; ++j) {
+        core_link(topo, edge[i], agg[j], links);
+      }
+    }
+    if (with_hosts) {
+      for (unsigned i = 0; i < half; ++i) {
+        for (unsigned j = 0; j < half; ++j) {
+          const NodeIndex h = topo.add_node(
+              pod + "e" + std::to_string(i) + "h" + std::to_string(j),
+              netsim::NodeKind::kHost);
+          host_link(topo, h, edge[i], links);
+        }
+      }
+    }
+  }
+  return topo;
+}
+
+netsim::Topology make_leaf_spine(unsigned spines, unsigned leaves,
+                                 unsigned hosts_per_leaf,
+                                 const LinkProfile& links) {
+  if (spines == 0 || leaves == 0) {
+    throw std::invalid_argument("make_leaf_spine: need >= 1 spine and leaf");
+  }
+  Topology topo;
+  std::vector<NodeIndex> spine(spines);
+  for (unsigned i = 0; i < spines; ++i) {
+    spine[i] = topo.add_node("spine" + std::to_string(i));
+  }
+  for (unsigned i = 0; i < leaves; ++i) {
+    const NodeIndex leaf = topo.add_node("leaf" + std::to_string(i));
+    for (unsigned s = 0; s < spines; ++s) {
+      core_link(topo, leaf, spine[s], links);
+    }
+    for (unsigned h = 0; h < hosts_per_leaf; ++h) {
+      const NodeIndex host =
+          topo.add_node("leaf" + std::to_string(i) + "h" + std::to_string(h),
+                        netsim::NodeKind::kHost);
+      host_link(topo, host, leaf, links);
+    }
+  }
+  return topo;
+}
+
+netsim::Topology make_ring(unsigned n, const LinkProfile& links) {
+  if (n < 3) throw std::invalid_argument("make_ring: need n >= 3");
+  Topology topo;
+  std::vector<NodeIndex> nodes(n);
+  for (unsigned i = 0; i < n; ++i) {
+    nodes[i] = topo.add_node("r" + std::to_string(i));
+  }
+  for (unsigned i = 0; i < n; ++i) {
+    core_link(topo, nodes[i], nodes[(i + 1) % n], links);
+  }
+  return topo;
+}
+
+netsim::Topology make_torus(unsigned rows, unsigned cols,
+                            const LinkProfile& links) {
+  if (rows < 2 || cols < 2 || rows * cols < 3) {
+    throw std::invalid_argument("make_torus: need rows, cols >= 2");
+  }
+  Topology topo;
+  std::vector<NodeIndex> nodes(static_cast<std::size_t>(rows) * cols);
+  auto at = [&](unsigned r, unsigned c) -> NodeIndex& {
+    return nodes[static_cast<std::size_t>(r) * cols + c];
+  };
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      at(r, c) =
+          topo.add_node("r" + std::to_string(r) + "c" + std::to_string(c));
+    }
+  }
+  for (unsigned r = 0; r < rows; ++r) {
+    for (unsigned c = 0; c < cols; ++c) {
+      // Right and down neighbours cover every grid link once; the wrap
+      // link of a size-2 dimension would duplicate a grid link.
+      if (c + 1 < cols) core_link(topo, at(r, c), at(r, c + 1), links);
+      if (r + 1 < rows) core_link(topo, at(r, c), at(r + 1, c), links);
+      if (c + 1 == cols && cols > 2) core_link(topo, at(r, c), at(r, 0), links);
+      if (r + 1 == rows && rows > 2) core_link(topo, at(r, c), at(0, c), links);
+    }
+  }
+  return topo;
+}
+
+netsim::Topology make_random_regular(unsigned n, unsigned degree,
+                                     std::uint64_t seed,
+                                     const LinkProfile& links) {
+  if (degree < 3 || degree >= n) {
+    throw std::invalid_argument(
+        "make_random_regular: need 3 <= degree < n (degree 2 is make_ring)");
+  }
+  if ((static_cast<std::uint64_t>(n) * degree) % 2 != 0) {
+    throw std::invalid_argument("make_random_regular: n * degree must be even");
+  }
+  std::mt19937_64 rng(seed);
+  // Configuration model: shuffle n*degree stubs and pair them off;
+  // reject pairings with self-loops or parallel edges, and graphs that
+  // come out disconnected.  For degree >= 3 both rejections are rare.
+  std::vector<unsigned> stubs(static_cast<std::size_t>(n) * degree);
+  for (unsigned v = 0; v < n; ++v) {
+    std::fill_n(stubs.begin() + static_cast<std::size_t>(v) * degree, degree,
+                v);
+  }
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    std::shuffle(stubs.begin(), stubs.end(), rng);
+    std::vector<std::pair<unsigned, unsigned>> edges;
+    edges.reserve(stubs.size() / 2);
+    std::vector<std::vector<unsigned>> seen(n);
+    bool ok = true;
+    for (std::size_t i = 0; ok && i + 1 < stubs.size(); i += 2) {
+      const unsigned a = stubs[i];
+      const unsigned b = stubs[i + 1];
+      if (a == b ||
+          std::ranges::find(seen[a], b) != seen[a].end()) {
+        ok = false;
+        break;
+      }
+      seen[a].push_back(b);
+      seen[b].push_back(a);
+      edges.emplace_back(a, b);
+    }
+    if (!ok || !is_connected(n, edges)) continue;
+    Topology topo;
+    for (unsigned v = 0; v < n; ++v) topo.add_node("r" + std::to_string(v));
+    for (const auto& [a, b] : edges) core_link(topo, a, b, links);
+    return topo;
+  }
+  throw std::runtime_error(
+      "make_random_regular: no simple connected pairing found");
+}
+
+}  // namespace hp::scenario

@@ -1,0 +1,62 @@
+#pragma once
+// Parametric topology generators for the scenario engine.
+//
+// The repo's seed exercises exactly one topology -- the 7-node Global
+// P4 Lab subset of Fig 9.  Scaling the system "from 10s to 100s of
+// routers" (Section II-A) needs families of topologies produced on
+// demand: the data-centre shapes (fat-tree, leaf-spine), the
+// regular-lattice shapes (ring, torus) and seeded random-regular
+// graphs.  Every generator emits a plain netsim::Topology, so paths,
+// the flow simulator and the PolKA fabric builder all work unchanged.
+
+#include <cstdint>
+
+#include "netsim/topology.hpp"
+
+namespace hp::scenario {
+
+/// Link parameters applied uniformly by the generators.
+struct LinkProfile {
+  double core_capacity_mbps = 100.0;
+  double core_delay_ms = 1.0;
+  double host_capacity_mbps = 1000.0;
+  double host_delay_ms = 0.1;
+};
+
+/// Canonical k-ary fat-tree: k pods of k/2 edge + k/2 aggregation
+/// switches, (k/2)^2 core switches; every edge switch optionally hangs
+/// k/2 hosts.  k must be even and >= 2 (throws std::invalid_argument).
+/// Switch count is 5k^2/4; host count k^3/4 when `with_hosts`.
+/// Names: "core<i>", "p<p>a<i>", "p<p>e<i>", "p<p>e<i>h<j>".
+[[nodiscard]] netsim::Topology make_fat_tree(unsigned k,
+                                             bool with_hosts = false,
+                                             const LinkProfile& links = {});
+
+/// Two-tier leaf-spine Clos: every leaf connects to every spine;
+/// each leaf optionally hangs `hosts_per_leaf` hosts.  Throws
+/// std::invalid_argument when spines or leaves is zero.
+/// Names: "spine<i>", "leaf<i>", "leaf<i>h<j>".
+[[nodiscard]] netsim::Topology make_leaf_spine(unsigned spines,
+                                               unsigned leaves,
+                                               unsigned hosts_per_leaf = 0,
+                                               const LinkProfile& links = {});
+
+/// Ring of n >= 3 routers ("r<i>"), each linked to its two neighbours.
+[[nodiscard]] netsim::Topology make_ring(unsigned n,
+                                         const LinkProfile& links = {});
+
+/// rows x cols torus ("r<row>c<col>"): grid with wraparound links.  A
+/// dimension of size 2 skips its wrap link (it would duplicate the grid
+/// link); rows * cols must be >= 3 and both dimensions >= 2.
+[[nodiscard]] netsim::Topology make_torus(unsigned rows, unsigned cols,
+                                          const LinkProfile& links = {});
+
+/// Connected random d-regular graph on n routers ("r<i>") via the
+/// configuration model with rejection, deterministic in `seed`.
+/// Requires 3 <= degree < n and n * degree even; throws
+/// std::invalid_argument otherwise (degree 2 is make_ring).
+[[nodiscard]] netsim::Topology make_random_regular(
+    unsigned n, unsigned degree, std::uint64_t seed,
+    const LinkProfile& links = {});
+
+}  // namespace hp::scenario

@@ -10,6 +10,8 @@
 
 #include "polka/fastpath.hpp"
 #include "polka/forwarding.hpp"
+#include "scenario/fabric_builder.hpp"
+#include "scenario/registry.hpp"
 
 namespace hp::polka {
 namespace {
@@ -187,6 +189,72 @@ TEST_P(EngineParityFuzz, ScalarEnginesAndBatchAgree) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, EngineParityFuzz, ::testing::Range(0, 10));
+
+/// Scenario-generated topologies: on every family, random router pairs'
+/// compiled routes must walk identically through the scalar fabric and
+/// the batched fast path, ending at the intended destination's egress
+/// port.
+class GeneratedTopologyParityFuzz
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(GeneratedTopologyParityFuzz, CompiledRoutesAgreeWithScalarWalks) {
+  const hp::scenario::ScenarioSpec* spec =
+      hp::scenario::find_scenario(GetParam());
+  ASSERT_NE(spec, nullptr);
+  hp::scenario::BuiltFabric built(hp::scenario::build_topology(*spec));
+  const CompiledFabric& fast = built.compiled();
+  const auto& routers = built.routers();
+  ASSERT_GE(routers.size(), 2u);
+
+  std::mt19937_64 rng(0xC0FFEEull + routers.size());
+  std::vector<RouteLabel> labels;
+  std::vector<std::uint32_t> firsts;
+  std::vector<PacketResult> expected;
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto src = routers[rng() % routers.size()];
+    const auto dst = routers[rng() % routers.size()];
+    if (src == dst) continue;
+    const hp::scenario::CompiledRoute* route = built.route(src, dst);
+    ASSERT_NE(route, nullptr);  // generated families are connected
+    ASSERT_TRUE(route->label.has_value());
+
+    // Scalar reference walk agrees with the planned egress...
+    const auto trace = built.fabric().forward(route->id, route->ingress);
+    ASSERT_FALSE(trace.nodes.empty());
+    EXPECT_EQ(trace.nodes.back(), route->expected.egress_node);
+    EXPECT_EQ(trace.ports.back(), route->expected.egress_port);
+    EXPECT_EQ(trace.nodes.size(), route->expected.hops);
+    EXPECT_EQ(trace.nodes.back(), built.fabric_index(dst));
+    EXPECT_EQ(trace.ports.back(),
+              built.egress_port(built.fabric_index(dst)));
+
+    // ...and so does the compiled walk.
+    EXPECT_EQ(fast.forward_one(*route->label, route->ingress),
+              route->expected);
+
+    labels.push_back(*route->label);
+    firsts.push_back(route->ingress);
+    expected.push_back(route->expected);
+  }
+  ASSERT_FALSE(labels.empty());
+  std::vector<PacketResult> got(labels.size());
+  (void)fast.forward_batch(labels,
+                           std::span<const std::uint32_t>(firsts),
+                           std::span<PacketResult>(got));
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, GeneratedTopologyParityFuzz,
+    ::testing::Values("fat_tree_k4/uniform", "leaf_spine_4x8/uniform",
+                      "ring12/uniform", "torus4x4/uniform", "rr16d4/uniform"),
+    [](const auto& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '/' || c == '-') c = '_';
+      }
+      return name;
+    });
 
 }  // namespace
 }  // namespace hp::polka

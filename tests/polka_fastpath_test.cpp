@@ -64,6 +64,46 @@ TEST(LabelFoldEngine, RejectsUnusableDegrees) {
   EXPECT_THROW(LabelFoldEngine(Poly::monomial(33)), std::invalid_argument);
 }
 
+TEST(LabelFoldEngine, Degree32BoundaryMatchesExactDivision) {
+  // Degree 32 is the largest allowed generator (remainders and port
+  // indices must fit 32 bits).  Check the fold against exact Euclidean
+  // division right at that boundary, including labels whose top byte
+  // lane is saturated, and one step past it.
+  // The enumerator caps at degree 24, so scan for the first degree-32
+  // irreducible directly (density ~1/32; a handful of Rabin tests).
+  Poly g;
+  for (std::uint64_t bits = 1;; bits += 2) {
+    g = Poly::monomial(32) + Poly(bits);
+    if (hp::gf2::is_irreducible(g)) break;
+  }
+  ASSERT_EQ(g.degree(), 32);
+  const LabelFoldEngine fold(g);
+  EXPECT_EQ(fold.degree(), 32u);
+
+  std::mt19937_64 rng(32);
+  const std::uint64_t fixed[] = {0ull, 1ull, g.to_uint64(),
+                                 0xFFFFFFFFFFFFFFFFull, 0xFF00000000000000ull};
+  for (const std::uint64_t bits : fixed) {
+    EXPECT_EQ(fold.remainder(bits), (Poly(bits) % g).to_uint64()) << bits;
+  }
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::uint64_t bits = rng();
+    const std::uint64_t want = (Poly(bits) % g).to_uint64();
+    EXPECT_EQ(fold.remainder(bits), want);
+    EXPECT_LE(want, 0xFFFFFFFFull);  // remainder degree < 32
+  }
+
+  // build_fold_table itself: accepts 32, rejects 33, and its lane-0
+  // entries are plain remainders of the byte value.
+  std::vector<std::uint64_t> table(kFoldTableSize);
+  build_fold_table(g, table.data());
+  for (unsigned b = 0; b < 256; ++b) {
+    EXPECT_EQ(table[b], b);  // deg(b) < 32 => b mod g == b
+  }
+  EXPECT_THROW(build_fold_table(Poly::monomial(33), table.data()),
+               std::invalid_argument);
+}
+
 /// Chain fabric r0 -> r1 -> ... -> r{n-1}, egress on port 0 of the last.
 PolkaFabric make_chain(std::size_t n) {
   PolkaFabric fabric(ModEngine::kTable);
@@ -237,6 +277,22 @@ TEST(PolkaServiceBatch, ReplayWorkloadStreamsEveryFlowPacket) {
 
   EXPECT_THROW((void)h.service.replay_workload(flows, 0),
                std::invalid_argument);
+}
+
+TEST(PolkaServiceBatch, ThreadedReplayMatchesSingleThreaded) {
+  ServiceHarness h;
+  const auto path = h.topo.path_through({"host1", "MIA", "SAO", "AMS"});
+  hp::netsim::WorkloadParams params;
+  params.duration_s = 30.0;
+  params.arrival_rate_per_s = 1.0;
+  const auto flows = hp::netsim::generate_workload({path}, params);
+  ASSERT_FALSE(flows.empty());
+
+  const auto single = h.service.replay_workload(flows, 64);
+  const auto sharded = h.service.replay_workload(flows, 64, 1500.0, 4);
+  EXPECT_EQ(sharded.packets, single.packets);
+  EXPECT_EQ(sharded.mod_operations, single.mod_operations);
+  EXPECT_EQ(sharded.mismatches, 0u);
 }
 
 }  // namespace

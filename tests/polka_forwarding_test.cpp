@@ -6,6 +6,7 @@
 
 #include <random>
 
+#include "polka/fastpath.hpp"
 #include "polka/port_switching.hpp"
 
 namespace hp::polka {
@@ -128,6 +129,45 @@ TEST(PortListLabel, FieldWidthValidation) {
   EXPECT_THROW(PortListLabel({1}, 17), std::invalid_argument);
   EXPECT_THROW(PortListLabel({16}, 4), std::invalid_argument);
   EXPECT_NO_THROW(PortListLabel({15}, 4));
+}
+
+TEST(PolkaFabricCopy, RewiredCopyDoesNotServeStaleCompiledView) {
+  // Regression: a defaulted copy carried the source's cached compiled_
+  // view; a copy that is then rewired must recompile, not keep serving
+  // the source's wiring through the fast path.
+  PolkaFabric original = make_chain(ModEngine::kTable);
+  const RouteId route = original.route_for_path({0, 1, 2, 3}, 0U);
+  (void)original.compiled();  // warm the cache that the copy must drop
+
+  PolkaFabric rewired = original;
+  const auto d = rewired.add_node("E", 4);
+  rewired.connect(2, 1, d);  // C's "right" port now points at E, not D
+
+  // Scalar and compiled walks agree on the rewired copy...
+  const auto trace = rewired.forward(route, 0);
+  const auto got =
+      rewired.compiled().forward_one(pack_label_checked(route), 0);
+  EXPECT_EQ(got.egress_node, trace.nodes.back());
+  EXPECT_EQ(got.egress_port, trace.ports.back());
+  EXPECT_EQ(got.hops, trace.nodes.size());
+  // ...and the packet now traverses E where it used to traverse D.
+  EXPECT_EQ(trace.nodes[3], d);
+
+  // The original is untouched: same cached view, same walk as before.
+  const auto original_walk =
+      original.compiled().forward_one(pack_label_checked(route), 0);
+  EXPECT_EQ(original_walk.egress_node, 3u);  // D
+  EXPECT_EQ(original.node_count(), 4u);
+
+  // Copy assignment drops the cache the same way.
+  PolkaFabric assigned(ModEngine::kTable);
+  assigned.add_node("solo", 2);
+  assigned = rewired;
+  EXPECT_EQ(assigned.compiled().node_count(), 5u);
+  const auto assigned_walk =
+      assigned.compiled().forward_one(pack_label_checked(route), 0);
+  EXPECT_EQ(assigned_walk.egress_node, got.egress_node);
+  EXPECT_EQ(assigned_walk.egress_port, got.egress_port);
 }
 
 TEST(PortListLabel, LabelShrinksPolkaDoesNot) {

@@ -1,0 +1,144 @@
+// Structural checks of the parametric topology generators: node/link
+// counts, degree regularity, connectivity and parameter validation.
+
+#include "scenario/topologies.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netsim/paths.hpp"
+
+namespace hp::scenario {
+namespace {
+
+using netsim::NodeIndex;
+using netsim::NodeKind;
+using netsim::Topology;
+
+/// Routers reachable from router 0 (hosts never transit).
+std::size_t reachable_routers(const Topology& topo) {
+  const auto tree =
+      netsim::shortest_path_tree(topo, 0, netsim::PathMetric::kHopCount);
+  std::size_t count = 0;
+  for (NodeIndex n = 0; n < topo.node_count(); ++n) {
+    if (topo.node(n).kind == NodeKind::kRouter &&
+        std::isfinite(tree.dist[n])) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t router_count(const Topology& topo) {
+  std::size_t count = 0;
+  for (NodeIndex n = 0; n < topo.node_count(); ++n) {
+    if (topo.node(n).kind == NodeKind::kRouter) ++count;
+  }
+  return count;
+}
+
+TEST(FatTree, CanonicalCounts) {
+  for (const unsigned k : {2u, 4u, 8u}) {
+    const Topology topo = make_fat_tree(k);
+    // 5k^2/4 switches: (k/2)^2 core + k pods x (k/2 agg + k/2 edge).
+    EXPECT_EQ(topo.node_count(), 5u * k * k / 4u) << k;
+    // Links: core-agg k^2/2 x k/2... each pod wires (k/2)^2 agg-core +
+    // (k/2)^2 edge-agg duplex pairs.
+    EXPECT_EQ(topo.link_count(), 2u * (2u * k * (k / 2u) * (k / 2u))) << k;
+    EXPECT_EQ(reachable_routers(topo), topo.node_count()) << k;
+  }
+}
+
+TEST(FatTree, HostsHangOffEdgeSwitches) {
+  const unsigned k = 4;
+  const Topology topo = make_fat_tree(k, /*with_hosts=*/true);
+  EXPECT_EQ(topo.node_count(), 5u * k * k / 4u + k * k * k / 4u);
+  EXPECT_EQ(router_count(topo), 5u * k * k / 4u);
+  EXPECT_TRUE(topo.has_node("p0e0h0"));
+  EXPECT_EQ(topo.node(topo.index_of("p0e0h0")).kind, NodeKind::kHost);
+  // A host's single link reaches its edge switch.
+  EXPECT_TRUE(topo.link_between(topo.index_of("p0e0h0"), topo.index_of("p0e0"))
+                  .has_value());
+}
+
+TEST(FatTree, RejectsOddOrTinyK) {
+  EXPECT_THROW((void)make_fat_tree(0), std::invalid_argument);
+  EXPECT_THROW((void)make_fat_tree(3), std::invalid_argument);
+}
+
+TEST(LeafSpine, FullBipartiteCore) {
+  const Topology topo = make_leaf_spine(4, 8, 2);
+  EXPECT_EQ(topo.node_count(), 4u + 8u + 16u);
+  EXPECT_EQ(router_count(topo), 12u);
+  EXPECT_EQ(topo.link_count(), 2u * (4u * 8u + 16u));
+  for (unsigned l = 0; l < 8; ++l) {
+    for (unsigned s = 0; s < 4; ++s) {
+      EXPECT_TRUE(topo.link_between(topo.index_of("leaf" + std::to_string(l)),
+                                    topo.index_of("spine" + std::to_string(s)))
+                      .has_value());
+    }
+  }
+  EXPECT_THROW((void)make_leaf_spine(0, 3), std::invalid_argument);
+}
+
+TEST(Ring, EveryNodeHasTwoNeighbours) {
+  const Topology topo = make_ring(12);
+  EXPECT_EQ(topo.node_count(), 12u);
+  EXPECT_EQ(topo.link_count(), 24u);
+  for (NodeIndex n = 0; n < 12; ++n) {
+    EXPECT_EQ(topo.outgoing(n).size(), 2u) << n;
+  }
+  EXPECT_EQ(reachable_routers(topo), 12u);
+  EXPECT_THROW((void)make_ring(2), std::invalid_argument);
+}
+
+TEST(Torus, WraparoundDegreeFour) {
+  const Topology topo = make_torus(4, 5);
+  EXPECT_EQ(topo.node_count(), 20u);
+  EXPECT_EQ(topo.link_count(), 2u * 2u * 20u);  // 2 duplex links per node
+  for (NodeIndex n = 0; n < 20; ++n) {
+    EXPECT_EQ(topo.outgoing(n).size(), 4u) << n;
+  }
+  EXPECT_EQ(reachable_routers(topo), 20u);
+}
+
+TEST(Torus, SizeTwoDimensionSkipsWrapDuplicates) {
+  const Topology topo = make_torus(2, 3);
+  // Rows of size 2: vertical wrap would duplicate the grid link.
+  for (NodeIndex n = 0; n < 6; ++n) {
+    EXPECT_EQ(topo.outgoing(n).size(), 3u) << n;
+  }
+  EXPECT_THROW((void)make_torus(1, 5), std::invalid_argument);
+}
+
+TEST(RandomRegular, SimpleConnectedAndRegular) {
+  for (const std::uint64_t seed : {1ull, 2ull, 99ull}) {
+    const Topology topo = make_random_regular(16, 4, seed);
+    EXPECT_EQ(topo.node_count(), 16u);
+    EXPECT_EQ(topo.link_count(), 2u * (16u * 4u / 2u));
+    for (NodeIndex n = 0; n < 16; ++n) {
+      EXPECT_EQ(topo.outgoing(n).size(), 4u) << "seed=" << seed;
+      EXPECT_FALSE(topo.link_between(n, n).has_value());
+    }
+    EXPECT_EQ(reachable_routers(topo), 16u) << "seed=" << seed;
+  }
+  // Determinism in the seed.
+  const Topology a = make_random_regular(12, 3, 7);
+  const Topology b = make_random_regular(12, 3, 7);
+  for (NodeIndex n = 0; n < 12; ++n) {
+    ASSERT_EQ(a.outgoing(n).size(), b.outgoing(n).size());
+    for (std::size_t i = 0; i < a.outgoing(n).size(); ++i) {
+      EXPECT_EQ(a.link(a.outgoing(n)[i]).to, b.link(b.outgoing(n)[i]).to);
+    }
+  }
+}
+
+TEST(RandomRegular, ParameterValidation) {
+  EXPECT_THROW((void)make_random_regular(8, 2, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_random_regular(4, 4, 1), std::invalid_argument);
+  EXPECT_THROW((void)make_random_regular(5, 3, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp::scenario
