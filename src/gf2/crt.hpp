@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "gf2/poly.hpp"
+#include "gf2/poly64.hpp"
 
 namespace hp::gf2 {
 
@@ -30,22 +31,64 @@ struct Congruence {
 [[nodiscard]] Poly crt(const std::vector<Congruence>& system);
 
 /// Incremental CRT combiner: fold congruences in one at a time.  Useful
-/// when building a routeID hop by hop (e.g. extending a tunnel).
+/// when building a routeID hop by hop (e.g. extending a tunnel, or
+/// descending a shortest-path tree in the scenario route compiler).
+///
+/// While the accumulated modulus fits 128 coefficient bits the state
+/// lives in the fixed-width gf2::fixed kernels -- no heap allocation
+/// per fold -- and spills to arbitrary-degree Poly arithmetic past that
+/// bound.  The Poly views returned by solution()/modulus() are
+/// materialized lazily from the fixed state.  Copies are cheap while on
+/// the fast path, which the tree compiler relies on (one copy per DFS
+/// descent).
 class CrtAccumulator {
  public:
   /// Current combined solution (zero before any congruence is added).
-  [[nodiscard]] const Poly& solution() const noexcept { return solution_; }
+  [[nodiscard]] const Poly& solution() const;
 
   /// Product of the moduli folded so far (one initially).
-  [[nodiscard]] const Poly& modulus() const noexcept { return modulus_; }
+  [[nodiscard]] const Poly& modulus() const;
 
   /// Fold in one more congruence; the new modulus must be coprime with
   /// the accumulated product (throws std::domain_error otherwise).
   void add(const Congruence& c);
 
+  /// The solution of the accumulated system with `c` folded in, without
+  /// mutating this accumulator: what add(c) followed by solution()
+  /// would return.  This is the tree compiler's per-destination step --
+  /// on the fixed-width path it runs with a single allocation (the
+  /// returned Poly) instead of copying the whole accumulator.
+  [[nodiscard]] Poly solution_with(const Congruence& c) const;
+
+  /// Word forms of add / solution_with for congruences whose modulus
+  /// fits 64 coefficient bits (every PolKA nodeID does): identical
+  /// semantics, but the hot path never materializes a Poly operand.
+  /// modulus_bits must be nonzero (throws std::domain_error).
+  void add(std::uint64_t residue_bits, std::uint64_t modulus_bits);
+  [[nodiscard]] Poly solution_with(std::uint64_t residue_bits,
+                                   std::uint64_t modulus_bits) const;
+
  private:
-  Poly solution_{};
-  Poly modulus_{1};
+  /// Fixed-width fold scalar: the k with new solution == solution XOR
+  /// modulus * k; nullopt when the modulus is not coprime.  Only valid
+  /// while !wide_; r and m are the congruence's words, m nonzero.
+  [[nodiscard]] std::optional<fixed::Poly64> fast_fold_k(
+      fixed::Poly64 r, fixed::Poly64 m) const;
+
+  void materialize() const;
+  void spill();
+
+  // Fixed-width state, authoritative while wide_ == false.
+  fixed::Poly128 fast_solution_{};
+  fixed::Poly128 fast_modulus_{1, 0};
+  int fast_degree_ = 0;  ///< degree of fast_modulus_
+  bool wide_ = false;
+
+  // Wide state once spilled; before that, a lazily refreshed view of
+  // the fixed-width words (stale_ marks it out of date).
+  mutable Poly solution_{};
+  mutable Poly modulus_{1};
+  mutable bool stale_ = false;
 };
 
 }  // namespace hp::gf2

@@ -41,6 +41,13 @@ Poly Poly::monomial(unsigned k) {
   return p;
 }
 
+Poly Poly::from_words(std::span<const std::uint64_t> words) {
+  Poly p;
+  p.words_.assign(words.begin(), words.end());
+  p.normalize();
+  return p;
+}
+
 int Poly::degree() const noexcept {
   if (words_.empty()) return -1;
   const std::uint64_t top = words_.back();
@@ -276,10 +283,16 @@ Egcd extended_gcd(const Poly& a, const Poly& b) {
 }
 
 Poly inverse_mod(const Poly& a, const Poly& m) {
-  const Egcd e = extended_gcd(a % m, m);
-  if (!e.g.is_one()) {
+  auto inv = try_inverse_mod(a, m);
+  if (!inv) {
     throw std::domain_error("inverse_mod: element not invertible");
   }
+  return *std::move(inv);
+}
+
+std::optional<Poly> try_inverse_mod(const Poly& a, const Poly& m) {
+  Egcd e = extended_gcd(a % m, m);
+  if (!e.g.is_one()) return std::nullopt;
   return e.u % m;
 }
 

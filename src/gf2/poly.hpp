@@ -15,6 +15,8 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -46,6 +48,11 @@ class Poly {
 
   /// The monomial t^k.
   static Poly monomial(unsigned k);
+
+  /// Polynomial from little-endian 64-bit coefficient words (word i
+  /// covers t^(64i) .. t^(64i+63)); trailing zero words are allowed.
+  /// One allocation -- the cheap bridge from the fixed-width kernels.
+  static Poly from_words(std::span<const std::uint64_t> words);
 
   /// Degree, or -1 for the zero polynomial.
   [[nodiscard]] int degree() const noexcept;
@@ -135,6 +142,12 @@ struct Egcd {
 /// Inverse of `a` modulo `m`; throws std::domain_error when
 /// gcd(a, m) != 1 (no inverse exists).
 [[nodiscard]] Poly inverse_mod(const Poly& a, const Poly& m);
+
+/// Inverse of `a` modulo `m` when it exists, nullopt when gcd(a, m) != 1.
+/// The non-throwing coprimality probe for hot paths (CRT folds one of
+/// these per hop); `m` must still be nonzero (throws std::domain_error).
+[[nodiscard]] std::optional<Poly> try_inverse_mod(const Poly& a,
+                                                  const Poly& m);
 
 /// a * b mod m without forming the full product's intermediate growth
 /// beyond one reduction (convenience; semantically (a*b) % m).

@@ -1,0 +1,127 @@
+#pragma once
+// Fixed-width GF(2) kernels: one- and two-word polynomials.
+//
+// gf2::Poly is the right shape for arbitrary-degree control-plane math,
+// but every operation walks a heap-allocated word vector.  Route
+// compilation folds millions of tiny congruences whose operands fit in
+// one or two machine words; these kernels are the allocation-free fast
+// path the CrtAccumulator runs on until the accumulated modulus
+// outgrows 128 coefficient bits (at which point it spills to Poly).
+//
+// Representation matches Poly: bit i is the coefficient of t^i.  All
+// routines are branch-light shift-XOR loops over set bits -- portable
+// carry-less multiplication with no intrinsics required.
+
+#include <bit>
+#include <cstdint>
+#include <optional>
+
+namespace hp::gf2::fixed {
+
+/// A polynomial of degree <= 63 packed into one word.
+using Poly64 = std::uint64_t;
+
+/// A polynomial of degree <= 127 packed into two little-endian words.
+struct Poly128 {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  friend constexpr bool operator==(Poly128, Poly128) noexcept = default;
+  constexpr Poly128& operator^=(Poly128 o) noexcept {
+    lo ^= o.lo;
+    hi ^= o.hi;
+    return *this;
+  }
+  friend constexpr Poly128 operator^(Poly128 a, Poly128 b) noexcept {
+    return Poly128{a.lo ^ b.lo, a.hi ^ b.hi};
+  }
+};
+
+/// Degree, or -1 for the zero polynomial (same convention as Poly).
+[[nodiscard]] constexpr int degree(Poly64 a) noexcept {
+  return a == 0 ? -1 : 63 - std::countl_zero(a);
+}
+
+[[nodiscard]] constexpr int degree(Poly128 a) noexcept {
+  return a.hi != 0 ? 64 + degree(a.hi) : degree(a.lo);
+}
+
+/// Carry-less 64x64 -> 128 multiply (shift-XOR over the set bits of b).
+[[nodiscard]] constexpr Poly128 clmul(Poly64 a, Poly64 b) noexcept {
+  Poly128 r{};
+  while (b != 0) {
+    const int i = std::countr_zero(b);
+    b &= b - 1;
+    r.lo ^= a << i;
+    if (i != 0) r.hi ^= a >> (64 - i);
+  }
+  return r;
+}
+
+/// Remainder of a modulo m; m must be nonzero.
+[[nodiscard]] constexpr Poly64 mod(Poly64 a, Poly64 m) noexcept {
+  const int dm = degree(m);
+  for (int da = degree(a); da >= dm; da = degree(a)) {
+    a ^= m << (da - dm);
+  }
+  return a;
+}
+
+/// Remainder of a two-word polynomial modulo a one-word m (nonzero).
+[[nodiscard]] constexpr Poly64 mod(Poly128 a, Poly64 m) noexcept {
+  const int dm = degree(m);
+  while (a.hi != 0) {
+    // Clear the top set bit: XOR in m aligned under it.  The shift is
+    // always >= 1 because dm <= 63 while the bit sits at >= 64.
+    const int shift = 64 + degree(a.hi) - dm;
+    if (shift >= 64) {
+      a.hi ^= m << (shift - 64);
+    } else {
+      a.lo ^= m << shift;
+      a.hi ^= m >> (64 - shift);
+    }
+  }
+  return mod(a.lo, m);
+}
+
+/// (a * b) mod m without touching the heap.
+[[nodiscard]] constexpr Poly64 mulmod(Poly64 a, Poly64 b, Poly64 m) noexcept {
+  return mod(clmul(a, b), m);
+}
+
+/// Product of a two-word by a one-word polynomial.  The true degree sum
+/// must stay <= 127 (callers check the bound before taking the fast
+/// path); bits past t^127 are silently lost otherwise.
+[[nodiscard]] constexpr Poly128 mul(Poly128 a, Poly64 b) noexcept {
+  Poly128 r = clmul(a.lo, b);
+  r.hi ^= clmul(a.hi, b).lo;
+  return r;
+}
+
+/// Inverse of a modulo m via polynomial extended Euclid on words;
+/// nullopt when gcd(a, m) != 1.  Mirrors gf2::try_inverse_mod exactly
+/// (including inverse 0 modulo the unit polynomial 1).
+[[nodiscard]] constexpr std::optional<Poly64> try_inverse(Poly64 a,
+                                                          Poly64 m) noexcept {
+  a = mod(a, m);
+  Poly64 r0 = m, r1 = a;
+  Poly64 u0 = 0, u1 = 1;  // invariant: r_i == u_i * a  (mod m)
+  while (r1 != 0) {
+    Poly64 q = 0, r = r0;
+    const int d1 = degree(r1);
+    for (int dr = degree(r); dr >= d1; dr = degree(r)) {
+      q ^= Poly64{1} << (dr - d1);
+      r ^= r1 << (dr - d1);
+    }
+    // deg q + deg u1 <= deg m - 1, so the product never leaves one word.
+    const Poly64 u2 = u0 ^ clmul(q, u1).lo;
+    r0 = r1;
+    r1 = r;
+    u0 = u1;
+    u1 = u2;
+  }
+  if (degree(r0) != 0) return std::nullopt;  // gcd is not the unit
+  return mod(u0, m);
+}
+
+}  // namespace hp::gf2::fixed

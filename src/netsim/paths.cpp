@@ -128,6 +128,16 @@ std::optional<Path> tree_path(const PathTree& tree, const Topology& topo,
   return path;
 }
 
+std::vector<std::vector<NodeIndex>> tree_children(const PathTree& tree,
+                                                  const Topology& topo) {
+  std::vector<std::vector<NodeIndex>> children(tree.via.size());
+  for (NodeIndex c = 0; c < tree.via.size(); ++c) {
+    if (c == tree.src || tree.via[c] == kInvalidIndex) continue;
+    children[topo.link(tree.via[c]).from].push_back(c);
+  }
+  return children;
+}
+
 std::optional<Path> shortest_path(const Topology& topo, NodeIndex src,
                                   NodeIndex dst, PathMetric metric) {
   if (src >= topo.node_count() || dst >= topo.node_count()) {

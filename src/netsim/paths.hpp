@@ -56,6 +56,14 @@ struct PathTree {
                                             const Topology& topo,
                                             NodeIndex dst);
 
+/// Children lists of a shortest-path tree, indexed by node: children[v]
+/// holds every node whose tree parent is v, in ascending node order
+/// (unreachable nodes appear in no list).  One pass over `via`, so a
+/// full top-down tree walk -- the shape the scenario engine's
+/// tree-incremental route compiler descends -- costs O(n) total.
+[[nodiscard]] std::vector<std::vector<NodeIndex>> tree_children(
+    const PathTree& tree, const Topology& topo);
+
 /// Yen's algorithm: up to `k` loopless shortest paths, best first.
 /// Returns fewer when the graph has fewer distinct simple paths.
 [[nodiscard]] std::vector<Path> k_shortest_paths(

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <thread>
+
+#include "gf2/crt.hpp"
+#include "polka/route.hpp"
+#include "scenario/shard.hpp"
 
 namespace hp::scenario {
 
@@ -16,16 +21,17 @@ BuiltFabric::BuiltFabric(netsim::Topology topo, polka::ModEngine engine)
     : topo_(std::move(topo)), fabric_(engine) {
   topo_to_fabric_.assign(topo_.node_count(), kInvalidIndex);
   // First pass: distinct router neighbours of every router, in
-  // outgoing-link order, so port numbering is deterministic.
+  // outgoing-link order, so port numbering is deterministic.  A hash
+  // set backs the dedup so high-degree nodes stay O(d), not O(d^2).
   std::vector<std::vector<NodeIndex>> neighbours(topo_.node_count());
+  std::unordered_set<NodeIndex> seen;
   for (NodeIndex n = 0; n < topo_.node_count(); ++n) {
     if (topo_.node(n).kind != netsim::NodeKind::kRouter) continue;
+    seen.clear();
     for (const netsim::LinkIndex l : topo_.outgoing(n)) {
       const NodeIndex peer = topo_.link(l).to;
       if (topo_.node(peer).kind != netsim::NodeKind::kRouter) continue;
-      if (std::ranges::find(neighbours[n], peer) == neighbours[n].end()) {
-        neighbours[n].push_back(peer);
-      }
+      if (seen.insert(peer).second) neighbours[n].push_back(peer);
     }
   }
   for (NodeIndex n = 0; n < topo_.node_count(); ++n) {
@@ -41,6 +47,11 @@ BuiltFabric::BuiltFabric(netsim::Topology topo, polka::ModEngine engine)
       fabric_.connect(topo_to_fabric_[n], port++, topo_to_fabric_[peer]);
     }
   }
+  node_bits_.resize(fabric_.node_count());
+  for (std::size_t f = 0; f < fabric_.node_count(); ++f) {
+    const gf2::Poly& id = fabric_.node(f).poly;
+    node_bits_[f] = id.degree() <= 63 ? id.to_uint64() : 0;
+  }
 }
 
 std::size_t BuiltFabric::fabric_index(NodeIndex topo_node) const {
@@ -55,27 +66,58 @@ unsigned BuiltFabric::egress_port(std::size_t fabric_node) const {
   return fabric_.node(fabric_node).port_count - 1;
 }
 
+const netsim::PathTree& BuiltFabric::tree_for(NodeIndex src) {
+  auto it = trees_.find(src);
+  if (it == trees_.end()) {
+    it = trees_
+             .emplace(src, netsim::shortest_path_tree(
+                               topo_, src, netsim::PathMetric::kHopCount,
+                               banned_links_))
+             .first;
+    ++stats_.trees_built;
+  }
+  return it->second;
+}
+
+CompiledRoute& BuiltFabric::store_route(RouteKey key, CompiledRoute&& route) {
+  const auto [it, inserted] = routes_.try_emplace(key);
+  if (!inserted) unindex_route(key, it->second.path);
+  it->second = std::move(route);
+  for (const netsim::LinkIndex l : it->second.path) {
+    routes_by_link_[l].push_back(key);
+  }
+  ++stats_.routes_compiled;
+  return it->second;
+}
+
+void BuiltFabric::unindex_route(RouteKey key, const netsim::Path& path) {
+  for (const netsim::LinkIndex l : path) {
+    if (const auto it = routes_by_link_.find(l); it != routes_by_link_.end()) {
+      auto& keys = it->second;
+      if (const auto pos = std::ranges::find(keys, key); pos != keys.end()) {
+        *pos = keys.back();
+        keys.pop_back();
+      }
+      if (keys.empty()) routes_by_link_.erase(it);
+    }
+  }
+}
+
 const CompiledRoute* BuiltFabric::route(NodeIndex src, NodeIndex dst) {
   if (src == dst) {
     throw std::invalid_argument("BuiltFabric::route: src == dst");
   }
-  const std::uint64_t key = netsim::node_pair_key(src, dst);
+  const RouteKey key = netsim::node_pair_key(src, dst);
   if (const auto it = routes_.find(key); it != routes_.end()) {
     return &it->second;
   }
   (void)fabric_index(src);  // validates both endpoints are routers
   (void)fabric_index(dst);
-  auto tree_it = trees_.find(src);
-  if (tree_it == trees_.end()) {
-    tree_it = trees_
-                  .emplace(src, netsim::shortest_path_tree(
-                                    topo_, src, netsim::PathMetric::kHopCount,
-                                    banned_links_))
-                  .first;
-  }
-  const auto path = netsim::tree_path(tree_it->second, topo_, dst);
+  const auto path = netsim::tree_path(tree_for(src), topo_, dst);
   if (!path) return nullptr;
 
+  // Per-path baseline: re-derives the whole congruence system for this
+  // one destination (one CRT fold per hop plus the egress fold).
   CompiledRoute route;
   route.path = *path;
   std::vector<std::size_t> fabric_path;
@@ -90,7 +132,180 @@ const CompiledRoute* BuiltFabric::route(NodeIndex src, NodeIndex dst) {
   route.expected.egress_node = static_cast<std::uint32_t>(egress_node);
   route.expected.egress_port = egress_port(egress_node);
   route.expected.hops = static_cast<std::uint32_t>(fabric_path.size());
-  return &routes_.emplace(key, std::move(route)).first->second;
+  stats_.crt_steps += fabric_path.size();
+  return &store_route(key, std::move(route));
+}
+
+void BuiltFabric::compile_tree_routes(const netsim::PathTree& tree,
+                                      const std::vector<char>* descend,
+                                      const std::vector<char>* emit,
+                                      std::vector<KeyedRoute>& out,
+                                      std::size_t& crt_steps) const {
+  const auto children = netsim::tree_children(tree, topo_);
+  const NodeIndex src = tree.src;
+  const std::size_t fsrc = topo_to_fabric_[src];
+
+  struct Frame {
+    NodeIndex node;
+    std::size_t next_child;
+    gf2::CrtAccumulator acc;  ///< congruences at src .. parent(node)
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{src, 0, {}});
+  netsim::Path links;  // tree links from src to the current node
+
+  while (!stack.empty()) {
+    // Pick this frame's next compilable child (routers only -- hosts
+    // hang off the tree as leaves -- and, when pruning, marked nodes).
+    Frame& frame = stack.back();
+    const auto& kids = children[frame.node];
+    NodeIndex child = kInvalidIndex;
+    while (frame.next_child < kids.size()) {
+      const NodeIndex c = kids[frame.next_child++];
+      if (topo_to_fabric_[c] == kInvalidIndex) continue;
+      if (descend != nullptr && !(*descend)[c]) continue;
+      child = c;
+      break;
+    }
+    if (child == kInvalidIndex) {
+      if (frame.node != src) links.pop_back();
+      stack.pop_back();
+      continue;
+    }
+
+    // Descend: one CRT step covers every destination under `child`.
+    const std::size_t fv = topo_to_fabric_[frame.node];
+    const std::size_t fc = topo_to_fabric_[child];
+    const auto port = fabric_.port_between(fv, fc);
+    if (!port) {
+      throw std::logic_error(
+          "BuiltFabric: tree edge between routers is not wired");
+    }
+    gf2::CrtAccumulator acc = frame.acc;
+    if (node_bits_[fv] != 0) {
+      acc.add(*port, node_bits_[fv]);
+    } else {
+      acc.add(gf2::Congruence{polka::port_polynomial(*port),
+                              fabric_.node(fv).poly});
+    }
+    ++crt_steps;
+    links.push_back(tree.via[child]);
+
+    if (emit == nullptr || (*emit)[child]) {
+      // The destination adds only its egress congruence.
+      ++crt_steps;
+      CompiledRoute route;
+      route.id = polka::RouteId{
+          node_bits_[fc] != 0
+              ? acc.solution_with(egress_port(fc), node_bits_[fc])
+              : acc.solution_with(
+                    gf2::Congruence{polka::port_polynomial(egress_port(fc)),
+                                    fabric_.node(fc).poly})};
+      route.label = polka::pack_label(route.id);
+      route.ingress = static_cast<std::uint32_t>(fsrc);
+      route.expected.egress_node = static_cast<std::uint32_t>(fc);
+      route.expected.egress_port = egress_port(fc);
+      route.expected.hops = static_cast<std::uint32_t>(links.size() + 1);
+      route.path = links;
+      out.emplace_back(netsim::node_pair_key(src, child), std::move(route));
+    }
+    stack.push_back(Frame{child, 0, std::move(acc)});
+  }
+}
+
+std::size_t BuiltFabric::compile_all_pairs(unsigned threads) {
+  const std::size_t sources = fabric_to_topo_.size();
+  struct SourceCompile {
+    std::optional<netsim::PathTree> fresh;  ///< built when not cached
+    std::vector<KeyedRoute> routes;
+    std::size_t crt_steps = 0;
+  };
+  std::vector<SourceCompile> per_source(sources);
+
+  // Workers only read shared state (trees_ is not mutated while they
+  // run); new trees and routes are collected per source and merged
+  // single-threaded after the join.
+  auto compile_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const NodeIndex src = fabric_to_topo_[i];
+      SourceCompile& out = per_source[i];
+      out.routes.reserve(fabric_to_topo_.size());
+      const netsim::PathTree* tree;
+      if (const auto it = trees_.find(src); it != trees_.end()) {
+        tree = &it->second;
+      } else {
+        out.fresh = netsim::shortest_path_tree(
+            topo_, src, netsim::PathMetric::kHopCount, banned_links_);
+        tree = &*out.fresh;
+      }
+      compile_tree_routes(*tree, nullptr, nullptr, out.routes, out.crt_steps);
+    }
+  };
+
+  std::size_t workers = std::max(1u, threads);
+  workers = std::min<std::size_t>(workers, std::max<std::size_t>(sources, 1));
+  if (workers <= 1) {
+    compile_range(0, sources);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      const auto [begin, end] = shard_bounds(sources, w, workers);
+      if (begin == end) continue;
+      pool.emplace_back([&compile_range, begin = begin, end = end] {
+        compile_range(begin, end);
+      });
+    }
+    for (auto& t : pool) t.join();
+  }
+
+  std::size_t written = 0;
+  routes_.reserve(sources * (sources - (sources > 0)));
+  for (std::size_t i = 0; i < sources; ++i) {
+    SourceCompile& out = per_source[i];
+    if (out.fresh) {
+      trees_.insert_or_assign(fabric_to_topo_[i], std::move(*out.fresh));
+      ++stats_.trees_built;
+    }
+    stats_.crt_steps += out.crt_steps;
+    for (auto& [key, route] : out.routes) {
+      store_route(key, std::move(route));
+      ++written;
+    }
+  }
+  return written;
+}
+
+std::size_t BuiltFabric::compile_subtree(NodeIndex src,
+                                         std::span<const NodeIndex> dsts) {
+  (void)fabric_index(src);  // validates src is a router
+  const netsim::PathTree& tree = tree_for(src);
+
+  // Mark the union of tree paths src -> dst; the DFS below descends
+  // only into marked branches, so CRT work scales with that union, not
+  // with the whole tree.
+  std::vector<char> descend(topo_.node_count(), 0);
+  std::vector<char> emit(topo_.node_count(), 0);
+  bool any = false;
+  for (const NodeIndex dst : dsts) {
+    if (dst == src || dst >= topo_.node_count()) continue;
+    if (topo_to_fabric_[dst] == kInvalidIndex) continue;
+    if (tree.via[dst] == kInvalidIndex) continue;  // unreachable now
+    emit[dst] = 1;
+    any = true;
+    for (NodeIndex cur = dst; cur != src && !descend[cur];
+         cur = topo_.link(tree.via[cur]).from) {
+      descend[cur] = 1;
+    }
+  }
+  if (!any) return 0;
+
+  std::vector<KeyedRoute> out;
+  std::size_t crt_steps = 0;
+  compile_tree_routes(tree, &descend, &emit, out, crt_steps);
+  stats_.crt_steps += crt_steps;
+  for (auto& [key, route] : out) store_route(key, std::move(route));
+  return out.size();
 }
 
 std::vector<std::pair<NodeIndex, NodeIndex>> BuiltFabric::fail_link(
@@ -102,19 +317,60 @@ std::vector<std::pair<NodeIndex, NodeIndex>> BuiltFabric::fail_link(
   }
   banned_links_.push_back(*fwd);
   banned_links_.push_back(*rev);
-  trees_.clear();  // every cached tree may now route through a dead link
 
-  std::vector<std::pair<NodeIndex, NodeIndex>> affected;
-  for (auto it = routes_.begin(); it != routes_.end();) {
-    const bool crosses =
-        std::ranges::find(it->second.path, *fwd) != it->second.path.end() ||
-        std::ranges::find(it->second.path, *rev) != it->second.path.end();
-    if (crosses) {
-      affected.push_back(netsim::node_pair_from_key(it->first));
-      it = routes_.erase(it);
-    } else {
-      ++it;
+  // The inverted index names exactly the crossing routes: O(affected),
+  // not O(routes * hops).  Sorted for a deterministic return order.
+  std::vector<RouteKey> keys;
+  for (const netsim::LinkIndex dead : {*fwd, *rev}) {
+    if (const auto it = routes_by_link_.find(dead);
+        it != routes_by_link_.end()) {
+      keys.insert(keys.end(), it->second.begin(), it->second.end());
     }
+  }
+  std::ranges::sort(keys);
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  // Batch-evict: filter each touched link's key list once against the
+  // evicted set, instead of a per-route linear scan (which would make
+  // a mass eviction quadratic in the keys-per-link).
+  const std::unordered_set<RouteKey> evicted(keys.begin(), keys.end());
+  std::vector<netsim::LinkIndex> touched;
+  std::vector<std::pair<NodeIndex, NodeIndex>> affected;
+  affected.reserve(keys.size());
+  for (const RouteKey key : keys) {
+    const auto it = routes_.find(key);
+    touched.insert(touched.end(), it->second.path.begin(),
+                   it->second.path.end());
+    routes_.erase(it);
+    affected.push_back(netsim::node_pair_from_key(key));
+  }
+  std::ranges::sort(touched);
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (const netsim::LinkIndex l : touched) {
+    const auto it = routes_by_link_.find(l);
+    if (it == routes_by_link_.end()) continue;
+    std::erase_if(it->second,
+                  [&](RouteKey k) { return evicted.contains(k); });
+    if (it->second.empty()) routes_by_link_.erase(it);
+  }
+
+  // Drop only the trees that routed through the dead link.  Every other
+  // cached tree remains a valid shortest-path tree: removing links it
+  // never used cannot create a shorter alternative.
+  for (auto it = trees_.begin(); it != trees_.end();) {
+    const bool uses = std::ranges::any_of(
+        it->second.via,
+        [&](netsim::LinkIndex l) { return l == *fwd || l == *rev; });
+    it = uses ? trees_.erase(it) : ++it;
+  }
+
+  // Subtree-scoped repair: recompile each source's severed destinations
+  // against its rebuilt tree.  Pairs the failure disconnected stay
+  // evicted and report unreachable from route().
+  std::unordered_map<NodeIndex, std::vector<NodeIndex>> by_source;
+  for (const auto& [src, dst] : affected) by_source[src].push_back(dst);
+  for (const auto& [src, dsts] : by_source) {
+    (void)compile_subtree(src, dsts);
   }
   return affected;
 }

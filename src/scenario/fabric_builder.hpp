@@ -7,14 +7,28 @@
 // extra, deliberately unwired, egress port (the host-facing side on
 // which a packet leaves the fabric).  Routes between router pairs are
 // shortest paths (hop count) computed from cached single-source
-// Dijkstra trees, CRT-encoded into routeIDs and packed into 64-bit
-// labels where they fit.  Scheduled link failures remove links from
-// path computation and invalidate exactly the routes that crossed
-// them, which is what lets the scenario runner recompile mid-run.
+// Dijkstra trees and CRT-encoded into routeIDs.
+//
+// Two compilation strategies coexist:
+//  - route() compiles one pair per call, folding one congruence per hop
+//    (the per-path baseline: O(depth) CRT steps per route);
+//  - compile_all_pairs() / compile_subtree() walk a source's tree once
+//    with a CrtAccumulator carried down the DFS.  Every tree edge v->c
+//    serves all destinations in c's subtree with the same port
+//    congruence at v, so descending adds exactly one CRT step and each
+//    destination needs only its final egress congruence: O(n) steps for
+//    a whole source instead of O(n * depth).
+//
+// Scheduled link failures remove links from path computation; a
+// link -> route-keys inverted index names the crossing routes in
+// O(affected), only the Dijkstra trees that used the dead link are
+// rebuilt, and the severed destinations are recompiled subtree-scoped.
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -32,6 +46,15 @@ struct CompiledRoute {
   std::uint32_t ingress = 0;                ///< fabric index of the source
   polka::PacketResult expected;             ///< egress node/port and hop count
   netsim::Path path;                        ///< topology links traversed
+};
+
+/// Counters behind the route compiler, exposed so tests and benches can
+/// assert *how much* work a call performed (e.g. that fail_link
+/// recompiled only the routes crossing the dead link).
+struct CompileStats {
+  std::size_t routes_compiled = 0;  ///< CompiledRoute entries written
+  std::size_t trees_built = 0;      ///< single-source Dijkstra runs
+  std::size_t crt_steps = 0;        ///< congruences folded into solutions
 };
 
 /// A topology wired as a PolKA fabric, with route compilation on top.
@@ -77,11 +100,30 @@ class BuiltFabric {
   [[nodiscard]] const CompiledRoute* route(netsim::NodeIndex src,
                                            netsim::NodeIndex dst);
 
+  /// Tree-incremental all-pairs compilation: one shortest-path-tree
+  /// walk per source, sharing CRT prefixes down the DFS -- O(n) CRT
+  /// steps per source where per-pair route() calls cost O(n * depth).
+  /// `threads` shards sources across workers (0 behaves as 1; the
+  /// merge into the route cache stays single-threaded).  Returns the
+  /// number of routes written (every ordered reachable router pair).
+  std::size_t compile_all_pairs(unsigned threads = 1);
+
+  /// Recompile the routes src -> each of `dsts`, sharing prefix CRT
+  /// work along the source's tree and walking only branches that lead
+  /// to a requested destination.  Destinations equal to src, not
+  /// routers, or currently unreachable are skipped.  Returns the number
+  /// of routes written.  This is the primitive fail_link repairs with.
+  std::size_t compile_subtree(netsim::NodeIndex src,
+                              std::span<const netsim::NodeIndex> dsts);
+
   /// Remove the duplex link a<->b from path computation (the fabric
   /// wiring is untouched: ports still exist, packets simply route
   /// around).  Throws std::invalid_argument when no such link exists.
-  /// Returns the (src, dst) pairs whose cached route crossed the link;
-  /// those cache entries are dropped and recompile on next lookup.
+  /// Returns the (src, dst) pairs whose cached route crossed the link.
+  /// Crossing routes are recompiled in place, subtree-scoped (pairs the
+  /// failure disconnected are evicted and report unreachable from
+  /// route()); untouched routes, and Dijkstra trees that never used the
+  /// link, stay cached.
   std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>> fail_link(
       netsim::NodeIndex a, netsim::NodeIndex b);
 
@@ -91,14 +133,57 @@ class BuiltFabric {
     return banned_links_;
   }
 
+  [[nodiscard]] const CompileStats& compile_stats() const noexcept {
+    return stats_;
+  }
+  [[nodiscard]] std::size_t cached_route_count() const noexcept {
+    return routes_.size();
+  }
+  [[nodiscard]] std::size_t cached_tree_count() const noexcept {
+    return trees_.size();
+  }
+
  private:
+  using RouteKey = std::uint64_t;
+  using KeyedRoute = std::pair<RouteKey, CompiledRoute>;
+
+  /// Cached tree for `src`, built on first use (counts in stats_).
+  const netsim::PathTree& tree_for(netsim::NodeIndex src);
+
+  /// DFS down `tree` carrying a CrtAccumulator, emitting one route per
+  /// visited router destination.  `descend`, when given, prunes the
+  /// walk to marked nodes; `emit`, when given, selects which visited
+  /// nodes produce a route.  Thread-safe (touches no mutable state).
+  void compile_tree_routes(const netsim::PathTree& tree,
+                           const std::vector<char>* descend,
+                           const std::vector<char>* emit,
+                           std::vector<KeyedRoute>& out,
+                           std::size_t& crt_steps) const;
+
+  /// Insert or overwrite one cache entry, keeping the link index true;
+  /// returns the stored entry.
+  CompiledRoute& store_route(RouteKey key, CompiledRoute&& route);
+  void unindex_route(RouteKey key, const netsim::Path& path);
+
   netsim::Topology topo_;
   polka::PolkaFabric fabric_;
   std::vector<std::size_t> topo_to_fabric_;  // kInvalidIndex for hosts
   std::vector<netsim::NodeIndex> fabric_to_topo_;
+  /// Per fabric node: the nodeID's coefficient words when its degree
+  /// fits 64 bits (the common case), else 0 -- lets the compiler fold
+  /// congruences through the word-form CRT API without building Polys.
+  std::vector<std::uint64_t> node_bits_;
   std::vector<netsim::LinkIndex> banned_links_;
   std::unordered_map<netsim::NodeIndex, netsim::PathTree> trees_;
-  std::unordered_map<std::uint64_t, CompiledRoute> routes_;
+  std::unordered_map<RouteKey, CompiledRoute> routes_;
+  /// Inverted index: directed link -> keys of cached routes over it,
+  /// so fail_link names the crossing routes in O(affected) instead of
+  /// scanning every cached path.  Vector-backed: appends are the hot
+  /// path (every compiled hop), removals happen only on recompiles and
+  /// failures and swap-erase a linear scan.
+  std::unordered_map<netsim::LinkIndex, std::vector<RouteKey>>
+      routes_by_link_;
+  CompileStats stats_;
 };
 
 }  // namespace hp::scenario

@@ -7,6 +7,8 @@
 #include <thread>
 #include <unordered_map>
 
+#include "scenario/shard.hpp"
+
 namespace hp::scenario {
 
 namespace {
@@ -81,9 +83,8 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
     std::vector<std::thread> pool;
     pool.reserve(workers);
     for (std::size_t w = 0; w < workers; ++w) {
-      const std::size_t begin = total * w / workers;
-      const std::size_t end = total * (w + 1) / workers;
-      pool.emplace_back([&, w, begin, end] {
+      const auto [begin, end] = shard_bounds(total, w, workers);
+      pool.emplace_back([&, w, begin = begin, end = end] {
         replay_slice(fabric, labels.subspan(begin, end - begin),
                      ingress.subspan(begin, end - begin),
                      index.subspan(begin, end - begin), expected, alive,

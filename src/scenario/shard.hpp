@@ -1,0 +1,22 @@
+#pragma once
+// Contiguous shard arithmetic shared by every parallel stage.
+//
+// The runner cuts a packet stream into one slice per worker thread; the
+// route compiler cuts the per-source work list the same way.  Keeping
+// the slicing rule in one place means every subsystem agrees on shard
+// boundaries (each item lands in exactly one shard, sizes differ by at
+// most one) and the rule is tested once.
+
+#include <cstddef>
+#include <utility>
+
+namespace hp::scenario {
+
+/// Half-open [begin, end) bounds of shard `w` of `workers` over `total`
+/// items.  `workers` must be >= 1 and `w` < `workers`.
+[[nodiscard]] constexpr std::pair<std::size_t, std::size_t> shard_bounds(
+    std::size_t total, std::size_t w, std::size_t workers) noexcept {
+  return {total * w / workers, total * (w + 1) / workers};
+}
+
+}  // namespace hp::scenario

@@ -1,0 +1,202 @@
+// Fixed-width GF(2) kernels: fuzz parity against the arbitrary-degree
+// Poly reference, try_inverse_mod, and the CrtAccumulator fast path
+// (including the spill to Poly past 128 accumulated bits).
+
+#include "gf2/poly64.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "gf2/crt.hpp"
+#include "gf2/irreducible.hpp"
+#include "gf2/poly.hpp"
+
+namespace hp::gf2 {
+namespace {
+
+Poly from_words(std::uint64_t lo, std::uint64_t hi) {
+  return Poly(lo) + Poly(hi).shifted_left(64);
+}
+
+Poly from_p128(fixed::Poly128 a) { return from_words(a.lo, a.hi); }
+
+TEST(Poly64, DegreeMatchesPoly) {
+  EXPECT_EQ(fixed::degree(std::uint64_t{0}), -1);
+  EXPECT_EQ(fixed::degree(std::uint64_t{1}), 0);
+  EXPECT_EQ(fixed::degree(~std::uint64_t{0}), 63);
+  EXPECT_EQ(fixed::degree(fixed::Poly128{0, 1}), 64);
+  EXPECT_EQ(fixed::degree(fixed::Poly128{5, 0}), 2);
+  EXPECT_EQ(fixed::degree(fixed::Poly128{}), -1);
+}
+
+TEST(Poly64, ClmulFuzzMatchesPolyProduct) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    EXPECT_EQ(from_p128(fixed::clmul(a, b)), Poly(a) * Poly(b));
+  }
+}
+
+TEST(Poly64, ModFuzzMatchesPolyRemainder) {
+  std::mt19937_64 rng(11);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t m = rng() | 1;  // nonzero
+    EXPECT_EQ(Poly(fixed::mod(a, m)), Poly(a) % Poly(m));
+  }
+}
+
+TEST(Poly64, Mod128FuzzMatchesPolyRemainder) {
+  std::mt19937_64 rng(13);
+  for (int i = 0; i < 500; ++i) {
+    const fixed::Poly128 a{rng(), rng()};
+    // Exercise small and large moduli alike.
+    const std::uint64_t m = (rng() >> (rng() % 60)) | 1;
+    EXPECT_EQ(Poly(fixed::mod(a, m)), from_p128(a) % Poly(m));
+  }
+}
+
+TEST(Poly64, MulmodFuzzMatchesPoly) {
+  std::mt19937_64 rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng();
+    const std::uint64_t b = rng();
+    const std::uint64_t m = rng() | 1;
+    EXPECT_EQ(Poly(fixed::mulmod(a, b, m)), mulmod(Poly(a), Poly(b), Poly(m)));
+  }
+}
+
+TEST(Poly64, Mul128x64FuzzWithinDegreeBound) {
+  std::mt19937_64 rng(19);
+  for (int i = 0; i < 500; ++i) {
+    const fixed::Poly128 a{rng(), rng() >> (1 + rng() % 62)};
+    const int budget = 127 - fixed::degree(a);
+    ASSERT_GE(budget, 1);
+    const std::uint64_t b =
+        (rng() & ((std::uint64_t{1} << std::min(budget, 63)) - 1)) | 1;
+    EXPECT_EQ(from_p128(fixed::mul(a, b)), from_p128(a) * Poly(b));
+  }
+}
+
+TEST(Poly64, TryInverseFuzzMatchesTryInverseMod) {
+  std::mt19937_64 rng(23);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t a = rng() >> (rng() % 64);
+    const std::uint64_t m = (rng() >> (rng() % 56)) | 1;
+    const auto fast = fixed::try_inverse(a, m);
+    const auto wide = try_inverse_mod(Poly(a), Poly(m));
+    ASSERT_EQ(fast.has_value(), wide.has_value())
+        << "a=" << a << " m=" << m;
+    if (fast) {
+      EXPECT_EQ(Poly(*fast), *wide);
+      if (m != 1) {
+        EXPECT_TRUE((mulmod(Poly(a), Poly(*fast), Poly(m))).is_one());
+      }
+    }
+  }
+}
+
+TEST(Poly64, TryInverseUnitModulus) {
+  // Everything is congruent to 0 modulo the unit polynomial; the
+  // (degenerate) inverse is 0, exactly as inverse_mod returns.
+  EXPECT_EQ(fixed::try_inverse(42, 1), std::optional<fixed::Poly64>{0});
+  EXPECT_EQ(inverse_mod(Poly(42), Poly(1)), Poly{});
+}
+
+TEST(TryInverseMod, AgreesWithThrowingVersion) {
+  const Poly m = Poly(0b10011);  // t^4 + t + 1, irreducible
+  const auto inv = try_inverse_mod(Poly(0b110), m);
+  ASSERT_TRUE(inv.has_value());
+  EXPECT_EQ(*inv, inverse_mod(Poly(0b110), m));
+  // Shared factor t: no inverse, nullopt instead of a throw.
+  EXPECT_EQ(try_inverse_mod(Poly(0b10), Poly(0b110)), std::nullopt);
+  EXPECT_THROW((void)inverse_mod(Poly(0b10), Poly(0b110)), std::domain_error);
+}
+
+// Reference CRT fold in plain Poly arithmetic (the pre-fast-path
+// algorithm), used to pin down the accumulator bit-for-bit.
+struct ReferenceCrt {
+  Poly solution{};
+  Poly modulus{1};
+  void add(const Congruence& c) {
+    const Poly diff = (c.residue + solution) % c.modulus;
+    const Poly k = (diff * inverse_mod(modulus, c.modulus)) % c.modulus;
+    solution = (solution + modulus * k) % (modulus * c.modulus);
+    modulus = modulus * c.modulus;
+  }
+};
+
+TEST(CrtAccumulatorFast, MatchesReferenceWhileFixedWidth) {
+  std::mt19937_64 rng(31);
+  const auto moduli = first_irreducible(12, 2);  // degrees 2..5-ish
+  CrtAccumulator acc;
+  ReferenceCrt ref;
+  for (const Poly& m : moduli) {
+    if (ref.modulus.degree() + m.degree() > 127) break;
+    const std::uint64_t mask = (std::uint64_t{1} << m.degree()) - 1;
+    const Congruence c{Poly(rng() & mask), m};
+    acc.add(c);
+    ref.add(c);
+    // Interleaved reads exercise the lazy materialization every fold.
+    EXPECT_EQ(acc.solution(), ref.solution);
+    EXPECT_EQ(acc.modulus(), ref.modulus);
+  }
+}
+
+TEST(CrtAccumulatorFast, SpillsToPolyPast128BitsIdentically) {
+  std::mt19937_64 rng(37);
+  const auto moduli = first_irreducible(40, 4);  // plenty to cross 128 bits
+  CrtAccumulator acc;
+  ReferenceCrt ref;
+  int total_degree = 0;
+  for (const Poly& m : moduli) {
+    const std::uint64_t mask = (std::uint64_t{1} << m.degree()) - 1;
+    const Congruence c{Poly(rng() & mask), m};
+    acc.add(c);
+    ref.add(c);
+    total_degree += m.degree();
+    if (total_degree > 300) break;  // well past the spill point
+  }
+  ASSERT_GT(total_degree, 128);  // the accumulator did spill
+  EXPECT_EQ(acc.solution(), ref.solution);
+  EXPECT_EQ(acc.modulus(), ref.modulus);
+}
+
+TEST(CrtAccumulatorFast, WideResidueIsReducedOnTheFastPath) {
+  // Residue of degree >= 64 arriving while the accumulator is still
+  // fixed-width must be reduced through Poly, not truncated.
+  CrtAccumulator acc;
+  const Poly m(0b1011);  // t^3 + t + 1
+  const Poly wide_residue = Poly::monomial(70) + Poly(0b10);
+  acc.add(Congruence{wide_residue, m});
+  EXPECT_EQ(acc.solution(), wide_residue % m);
+}
+
+TEST(CrtAccumulatorFast, NonCoprimeThrowsOnBothPaths) {
+  {  // fixed-width path
+    CrtAccumulator acc;
+    acc.add(Congruence{Poly(0b1), Poly(0b111)});
+    EXPECT_THROW(acc.add(Congruence{Poly(0b10), Poly(0b111)}),
+                 std::domain_error);
+  }
+  {  // wide path: blow past 128 bits first with coprime moduli
+    CrtAccumulator acc;
+    const auto moduli = first_irreducible(10, 13);  // 10 x degree 13 = 130
+    for (const auto& m : moduli) acc.add(Congruence{Poly(0b1), m});
+    EXPECT_GT(acc.modulus().degree(), 127);
+    EXPECT_THROW(acc.add(Congruence{Poly(0b1), moduli.front()}),
+                 std::domain_error);
+  }
+}
+
+TEST(CrtAccumulatorFast, ZeroModulusThrows) {
+  CrtAccumulator acc;
+  EXPECT_THROW(acc.add(Congruence{Poly(0b1), Poly{}}), std::domain_error);
+}
+
+}  // namespace
+}  // namespace hp::gf2
