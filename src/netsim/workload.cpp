@@ -75,9 +75,12 @@ FctStats collect_fct(const Simulator& sim, const std::vector<FlowId>& flows) {
   double acc = 0.0;
   for (const double v : fcts) acc += v;
   stats.mean_fct_s = acc / static_cast<double>(fcts.size());
-  stats.p95_fct_s = fcts[std::min(fcts.size() - 1,
-                                  static_cast<std::size_t>(
-                                      0.95 * static_cast<double>(fcts.size())))];
+  // Nearest-rank p95: the ceil(0.95 * n)-th order statistic.  (Indexing
+  // with floor(0.95 * n) selects one statistic too high -- for n == 20
+  // it returned the maximum instead of the 19th value.)
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(0.95 * static_cast<double>(fcts.size())));
+  stats.p95_fct_s = fcts[std::min(fcts.size(), std::max<std::size_t>(rank, 1)) - 1];
   stats.max_fct_s = fcts.back();
   return stats;
 }

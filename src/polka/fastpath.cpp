@@ -65,10 +65,80 @@ PacketResult CompiledFabric::forward_one(RouteLabel label, std::size_t first,
     const NodeMeta& m = meta_[current];
     const std::uint32_t peer =
         port < m.port_count ? next_[m.wiring_offset + port] : kNoNode;
-    if (peer == kNoNode) break;  // egress
+    if (peer == kNoNode) return r;  // egress
     current = peer;
   }
+  // Hop budget exhausted with the packet still in flight: flag it so
+  // callers can tell a kill from a delivery.
+  r.ttl_expired = true;
   return r;
+}
+
+PacketResult CompiledFabric::forward_segmented(
+    std::span<const RouteLabel> labels, std::span<const std::uint32_t> waypoints,
+    std::size_t first, std::size_t max_hops) const {
+  PacketResult r;
+  if (labels.empty()) {
+    r.egress_node = static_cast<std::uint32_t>(first);
+    r.ttl_expired = true;
+    return r;
+  }
+  std::size_t seg = 0;
+  std::uint64_t bits = labels[0].bits;
+  std::size_t current = first;
+  for (std::size_t hop = 0; hop < max_hops; ++hop) {
+    // Waypoints are checked in route order; reaching the next one
+    // re-labels before this node's mod (a waypoint does exactly one
+    // fold, same as every other node, just with its fresh label).
+    if (seg < waypoints.size() && seg + 1 < labels.size() &&
+        current == waypoints[seg]) {
+      ++seg;
+      bits = labels[seg].bits;
+    }
+    const std::uint32_t port = port_of(RouteLabel{bits}, current);
+    r.egress_node = static_cast<std::uint32_t>(current);
+    r.egress_port = port;
+    ++r.hops;
+    const NodeMeta& m = meta_[current];
+    const std::uint32_t peer =
+        port < m.port_count ? next_[m.wiring_offset + port] : kNoNode;
+    if (peer == kNoNode) return r;  // egress
+    current = peer;
+  }
+  r.ttl_expired = true;
+  return r;
+}
+
+std::size_t CompiledFabric::forward_batch_segmented(
+    std::span<const RouteLabel> labels, std::span<const std::uint32_t> waypoints,
+    std::span<const SegmentRef> refs, std::span<const std::uint32_t> firsts,
+    std::span<PacketResult> results, std::size_t max_hops) const {
+  if (refs.size() != firsts.size() || refs.size() != results.size()) {
+    throw std::invalid_argument(
+        "forward_batch_segmented: span length mismatch");
+  }
+  for (const SegmentRef& ref : refs) {
+    if (ref.label_count == 0 ||
+        ref.first_label + std::size_t{ref.label_count} > labels.size() ||
+        ref.first_waypoint + std::size_t{ref.label_count} - 1 >
+            waypoints.size()) {
+      throw std::out_of_range(
+          "forward_batch_segmented: ref outside the segment pools");
+    }
+  }
+  std::size_t mods = 0;
+  for (std::size_t i = 0; i < refs.size(); ++i) {
+    if (firsts[i] >= meta_.size()) {
+      throw std::out_of_range("forward_batch_segmented: bad start node");
+    }
+    const SegmentRef& ref = refs[i];
+    results[i] = forward_segmented(
+        labels.subspan(ref.first_label, ref.label_count),
+        waypoints.subspan(ref.first_waypoint, ref.label_count - 1), firsts[i],
+        max_hops);
+    mods += results[i].hops;
+  }
+  return mods;
 }
 
 std::size_t CompiledFabric::forward_batch(std::span<const RouteLabel> labels,

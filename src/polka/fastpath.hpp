@@ -94,10 +94,35 @@ class CompiledFabric {
   }
 
   /// Walk one packet from `first` until it egresses (its computed port
-  /// is unwired) or `max_hops` is reached.  Agrees hop-for-hop with
-  /// PolkaFabric::forward on the same fabric.
+  /// is unwired) or `max_hops` is reached (then result.ttl_expired is
+  /// set).  Agrees hop-for-hop with PolkaFabric::forward on the same
+  /// fabric.
   [[nodiscard]] PacketResult forward_one(RouteLabel label, std::size_t first,
                                          std::size_t max_hops = 64) const;
+
+  /// Walk one packet carrying a multi-segment route: `labels` holds one
+  /// label per segment and `waypoints` (labels.size() - 1 entries) the
+  /// node at which each next label activates -- arriving at
+  /// waypoints[i] swaps labels[i + 1] in before the mod, so the whole
+  /// walk stays on the uint64 fold path no matter how long the route
+  /// is.  An empty `labels` span returns an immediately ttl-expired
+  /// result.  A single-label call is exactly forward_one.
+  [[nodiscard]] PacketResult forward_segmented(
+      std::span<const RouteLabel> labels,
+      std::span<const std::uint32_t> waypoints, std::size_t first,
+      std::size_t max_hops = 64) const;
+
+  /// Batch of multi-segment packets over pooled segment arrays:
+  /// packet i carries refs[i]'s slice of `labels`/`waypoints` and is
+  /// injected at firsts[i].  Spans refs/firsts/results must have equal
+  /// length and every ref must stay inside the pools (throws
+  /// std::invalid_argument / std::out_of_range).  Returns total mods.
+  std::size_t forward_batch_segmented(std::span<const RouteLabel> labels,
+                                      std::span<const std::uint32_t> waypoints,
+                                      std::span<const SegmentRef> refs,
+                                      std::span<const std::uint32_t> firsts,
+                                      std::span<PacketResult> results,
+                                      std::size_t max_hops = 64) const;
 
   /// Stream a batch of packets, all injected at `first`; results[i]
   /// receives labels[i]'s outcome.  The spans must have equal length

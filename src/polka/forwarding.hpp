@@ -80,14 +80,31 @@ class PolkaFabric {
     std::vector<std::size_t> nodes;  ///< nodes visited, in order
     std::vector<unsigned> ports;     ///< port taken at each visited node
     std::size_t mod_operations = 0;  ///< data-plane work performed
+    /// The hop limit cut the walk short -- the packet never egressed.
+    bool ttl_expired = false;
   };
 
   /// Forward a packet carrying `route` starting at node `first`, for at
   /// most `max_hops` hops (guards against misconfigured loops).  The
   /// trace ends when a node's computed port is unwired (egress) or the
-  /// hop limit is reached.
+  /// hop limit is reached (then ttl_expired is set).
   [[nodiscard]] Trace forward(const RouteId& route, std::size_t first,
                               std::size_t max_hops = 64) const;
+
+  /// Cut an explicit node-index path into a multi-segment route whose
+  /// every label fits 64 bits: transit congruences accumulate into one
+  /// segment while the CRT modulus stays within 64 coefficient bits;
+  /// when the next node would push it past, the segment is closed and
+  /// that node becomes a re-label waypoint.  The final segment carries
+  /// the egress congruence at the last node (cut there too when it does
+  /// not fit, leaving a final label of the bare egress-port bits).
+  /// Consecutive nodes must be wired (throws std::invalid_argument);
+  /// the egress port polynomial must fit the last node's degree (throws
+  /// std::domain_error, mirroring compute_route_id).  A path whose full
+  /// routeID already fits returns exactly one label, bit-identical to
+  /// pack_label(route_for_path(...)).
+  [[nodiscard]] SegmentedRoute segmented_route_for_path(
+      const std::vector<std::size_t>& node_path, unsigned egress_port) const;
 
   /// The port `from` uses to reach `to`, if wired.
   [[nodiscard]] std::optional<unsigned> port_between(std::size_t from,

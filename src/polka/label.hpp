@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "polka/route.hpp"
 
@@ -24,6 +25,37 @@ struct RouteLabel {
   friend bool operator==(RouteLabel, RouteLabel) noexcept = default;
 };
 
+/// A route too long for one 64-bit label, cut into segments that each
+/// do fit: labels[0] is active from the ingress, and when the packet
+/// arrives at fabric node waypoints[i] it swaps in labels[i + 1]
+/// *before* that node computes its port (the waypoint re-labels, every
+/// other node stays oblivious).  Invariant: waypoints.size() ==
+/// labels.size() - 1; a single-label route has no waypoints.  This is
+/// the wire form PolKA segment routing carries -- each segment stays on
+/// the uint64 fold fast path regardless of total path length.
+struct SegmentedRoute {
+  std::vector<RouteLabel> labels;
+  std::vector<std::uint32_t> waypoints;
+
+  [[nodiscard]] bool single_label() const noexcept {
+    return labels.size() == 1;
+  }
+
+  friend bool operator==(const SegmentedRoute&, const SegmentedRoute&) =
+      default;
+};
+
+/// One route's slice of pooled segment arrays (the flat storage batch
+/// replay consumes): labels [first_label, first_label + label_count),
+/// waypoints [first_waypoint, first_waypoint + label_count - 1).  A
+/// default-constructed ref (label_count == 1) means "single-label,
+/// nothing pooled".
+struct SegmentRef {
+  std::uint32_t first_label = 0;
+  std::uint32_t first_waypoint = 0;
+  std::uint32_t label_count = 1;
+};
+
 /// Outcome of one packet's walk through the fast path.  Mirrors the tail
 /// of PolkaFabric::Trace without recording intermediate hops, so batch
 /// results stay fixed-size and allocation-free.
@@ -31,6 +63,9 @@ struct PacketResult {
   std::uint32_t egress_node = 0;  ///< last node visited
   std::uint32_t egress_port = 0;  ///< port computed at that node
   std::uint32_t hops = 0;         ///< nodes visited == mod operations
+  /// The walk exhausted max_hops with the packet still in flight; the
+  /// egress fields are where it was killed, not a delivery.
+  bool ttl_expired = false;
 
   friend bool operator==(const PacketResult&, const PacketResult&) noexcept =
       default;

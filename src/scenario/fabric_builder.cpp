@@ -48,9 +48,11 @@ BuiltFabric::BuiltFabric(netsim::Topology topo, polka::ModEngine engine)
     }
   }
   node_bits_.resize(fabric_.node_count());
+  node_degree_.resize(fabric_.node_count());
   for (std::size_t f = 0; f < fabric_.node_count(); ++f) {
     const gf2::Poly& id = fabric_.node(f).poly;
     node_bits_[f] = id.degree() <= 63 ? id.to_uint64() : 0;
+    node_degree_[f] = id.degree();
   }
 }
 
@@ -117,7 +119,8 @@ const CompiledRoute* BuiltFabric::route(NodeIndex src, NodeIndex dst) {
   if (!path) return nullptr;
 
   // Per-path baseline: re-derives the whole congruence system for this
-  // one destination (one CRT fold per hop plus the egress fold).
+  // one destination (one CRT fold per hop plus the egress fold),
+  // cutting segments at the same 64-bit boundary as the tree compiler.
   CompiledRoute route;
   route.path = *path;
   std::vector<std::size_t> fabric_path;
@@ -126,8 +129,13 @@ const CompiledRoute* BuiltFabric::route(NodeIndex src, NodeIndex dst) {
     fabric_path.push_back(topo_to_fabric_[n]);
   }
   const std::size_t egress_node = fabric_path.back();
-  route.id = fabric_.route_for_path(fabric_path, egress_port(egress_node));
-  route.label = polka::pack_label(route.id);
+  route.segments =
+      fabric_.segmented_route_for_path(fabric_path, egress_port(egress_node));
+  if (route.segments.single_label()) {
+    // The lone label *is* the full-path CRT solution; no recompute.
+    route.label = route.segments.labels.front();
+    route.id = polka::unpack_label(*route.label);
+  }
   route.ingress = static_cast<std::uint32_t>(fabric_path.front());
   route.expected.egress_node = static_cast<std::uint32_t>(egress_node);
   route.expected.egress_port = egress_port(egress_node);
@@ -148,10 +156,12 @@ void BuiltFabric::compile_tree_routes(const netsim::PathTree& tree,
   struct Frame {
     NodeIndex node;
     std::size_t next_child;
-    gf2::CrtAccumulator acc;  ///< congruences at src .. parent(node)
+    gf2::CrtAccumulator acc;  ///< current segment's congruences so far
+    int seg_degree;           ///< accumulated modulus degree of acc (0 = empty)
+    polka::SegmentedRoute done;  ///< segments closed above this frame
   };
   std::vector<Frame> stack;
-  stack.push_back(Frame{src, 0, {}});
+  stack.push_back(Frame{src, 0, {}, 0, {}});
   netsim::Path links;  // tree links from src to the current node
 
   while (!stack.empty()) {
@@ -182,26 +192,55 @@ void BuiltFabric::compile_tree_routes(const netsim::PathTree& tree,
           "BuiltFabric: tree edge between routers is not wired");
     }
     gf2::CrtAccumulator acc = frame.acc;
+    int seg_degree = frame.seg_degree;
+    polka::SegmentedRoute done = frame.done;
+    if (seg_degree > 0 && seg_degree + node_degree_[fv] > 64) {
+      // This node would push the segment's modulus past 64 bits: close
+      // the segment (its label packs by construction) and re-label
+      // here.  The fresh accumulator keeps every deeper route on the
+      // fast path no matter how far the tree goes.
+      done.labels.push_back(
+          polka::pack_label_checked(polka::RouteId{acc.solution()}));
+      done.waypoints.push_back(static_cast<std::uint32_t>(fv));
+      acc = {};
+      seg_degree = 0;
+    }
     if (node_bits_[fv] != 0) {
       acc.add(*port, node_bits_[fv]);
     } else {
       acc.add(gf2::Congruence{polka::port_polynomial(*port),
                               fabric_.node(fv).poly});
     }
+    seg_degree += node_degree_[fv];
     ++crt_steps;
     links.push_back(tree.via[child]);
 
     if (emit == nullptr || (*emit)[child]) {
-      // The destination adds only its egress congruence.
-      ++crt_steps;
       CompiledRoute route;
-      route.id = polka::RouteId{
-          node_bits_[fc] != 0
-              ? acc.solution_with(egress_port(fc), node_bits_[fc])
-              : acc.solution_with(
-                    gf2::Congruence{polka::port_polynomial(egress_port(fc)),
-                                    fabric_.node(fc).poly})};
-      route.label = polka::pack_label(route.id);
+      route.segments = done;
+      if (seg_degree + node_degree_[fc] > 64) {
+        // The egress congruence does not fit the open segment either:
+        // the destination re-labels to a final bare-port label.
+        route.segments.labels.push_back(
+            polka::pack_label_checked(polka::RouteId{acc.solution()}));
+        route.segments.waypoints.push_back(static_cast<std::uint32_t>(fc));
+        route.segments.labels.push_back(
+            polka::RouteLabel{egress_port(fc)});
+      } else {
+        // The destination adds only its egress congruence.
+        ++crt_steps;
+        route.segments.labels.push_back(polka::pack_label_checked(
+            polka::RouteId{
+                node_bits_[fc] != 0
+                    ? acc.solution_with(egress_port(fc), node_bits_[fc])
+                    : acc.solution_with(gf2::Congruence{
+                          polka::port_polynomial(egress_port(fc)),
+                          fabric_.node(fc).poly})}));
+      }
+      if (route.segments.single_label()) {
+        route.label = route.segments.labels.front();
+        route.id = polka::unpack_label(*route.label);
+      }
       route.ingress = static_cast<std::uint32_t>(fsrc);
       route.expected.egress_node = static_cast<std::uint32_t>(fc);
       route.expected.egress_port = egress_port(fc);
@@ -209,7 +248,8 @@ void BuiltFabric::compile_tree_routes(const netsim::PathTree& tree,
       route.path = links;
       out.emplace_back(netsim::node_pair_key(src, child), std::move(route));
     }
-    stack.push_back(Frame{child, 0, std::move(acc)});
+    stack.push_back(Frame{child, 0, std::move(acc), seg_degree,
+                          std::move(done)});
   }
 }
 

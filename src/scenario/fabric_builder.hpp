@@ -19,6 +19,13 @@
 //    destination needs only its final egress congruence: O(n) steps for
 //    a whole source instead of O(n * depth).
 //
+// Both strategies cut multi-segment routes at the same boundary: while
+// descending (or walking a path), the moment the accumulated CRT
+// modulus would pass 64 coefficient bits the current segment is closed
+// into one <= 64-bit label, the node becomes a re-label waypoint, and a
+// fresh accumulator starts -- so deep ring/torus paths never leave the
+// uint64 fast path and the compiler never materializes a wide Poly.
+//
 // Scheduled link failures remove links from path computation; a
 // link -> route-keys inverted index names the crossing routes in
 // O(affected), only the Dijkstra trees that used the dead link are
@@ -40,9 +47,18 @@
 namespace hp::scenario {
 
 /// A compiled router-to-router route through the fabric.
+///
+/// Every route is carried by `segments`, whose labels each fit 64 bits
+/// (one label when the whole path's CRT modulus stays within 64
+/// coefficient bits, more with re-label waypoints otherwise), so every
+/// compiled route replays on the uint64 fast path.  `id` and `label`
+/// are the single-label forms: populated exactly when
+/// segments.single_label(), zero/nullopt for multi-segment routes (the
+/// full-path polynomial is never materialized for those).
 struct CompiledRoute {
-  polka::RouteId id;                        ///< CRT routeID
+  polka::RouteId id;                        ///< CRT routeID (single-label only)
   std::optional<polka::RouteLabel> label;   ///< 64-bit form, when it fits
+  polka::SegmentedRoute segments;           ///< fast-path wire form, always set
   std::uint32_t ingress = 0;                ///< fabric index of the source
   polka::PacketResult expected;             ///< egress node/port and hop count
   netsim::Path path;                        ///< topology links traversed
@@ -173,6 +189,9 @@ class BuiltFabric {
   /// fits 64 bits (the common case), else 0 -- lets the compiler fold
   /// congruences through the word-form CRT API without building Polys.
   std::vector<std::uint64_t> node_bits_;
+  /// Per fabric node: deg(nodeID), driving the segment-cut rule (a
+  /// segment closes when its accumulated modulus degree would pass 64).
+  std::vector<int> node_degree_;
   std::vector<netsim::LinkIndex> banned_links_;
   std::unordered_map<netsim::NodeIndex, netsim::PathTree> trees_;
   std::unordered_map<RouteKey, CompiledRoute> routes_;

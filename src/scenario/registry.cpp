@@ -43,8 +43,10 @@ const std::vector<ScenarioSpec>& builtin_scenarios() {
       TopologyFamily family;
       unsigned a, b, c;
     };
-    // Sizes chosen so every shortest path packs into a 64-bit label
-    // (ring/torus diameters stay modest) yet routes are multi-hop.
+    // CI-friendly sizes with multi-hop routes.  Since multi-segment
+    // routes landed, path length no longer limits a family (deep rings
+    // and tori re-label at waypoints and stay on the fast path; see
+    // bench_segment_routes) -- these stay small purely for test time.
     const std::vector<TopoEntry> topologies = {
         {"fat_tree_k4", TopologyFamily::kFatTree, 4, 0, 0},
         {"leaf_spine_4x8", TopologyFamily::kLeafSpine, 4, 8, 2},

@@ -15,19 +15,30 @@ namespace {
 
 /// One worker's walk over its slice: fill private batch buffers
 /// (skipping dead pairs), stream them through the compiled fabric and
-/// check each result against its pair's expectation.
+/// check each result against its pair's expectation.  Multi-segment
+/// lanes forward immediately through forward_segmented -- the same
+/// scalar uint64 fold walk the batch runs per packet, just carrying the
+/// lane's pooled labels.
 void replay_slice(const polka::CompiledFabric& fabric,
                   std::span<const polka::RouteLabel> labels,
                   std::span<const std::uint32_t> ingress,
                   std::span<const std::uint32_t> index,
                   std::span<const polka::PacketResult> expected,
-                  std::span<const std::uint8_t> alive, std::size_t batch_size,
+                  std::span<const std::uint8_t> alive,
+                  const SegmentTable& segments, std::size_t batch_size,
                   std::size_t max_hops, ScenarioReport& out) {
   std::vector<polka::RouteLabel> batch_labels(batch_size);
   std::vector<std::uint32_t> batch_firsts(batch_size);
   std::vector<std::uint32_t> batch_index(batch_size);
   std::vector<polka::PacketResult> batch_results(batch_size);
   std::size_t fill = 0;
+  auto score = [&](const polka::PacketResult& result, std::uint32_t lane) {
+    if (result.ttl_expired) {
+      ++out.ttl_expired;
+    } else if (result != expected[lane]) {
+      ++out.wrong_egress;
+    }
+  };
   auto flush = [&] {
     if (fill == 0) return;
     out.mod_operations += fabric.forward_batch(
@@ -35,19 +46,33 @@ void replay_slice(const polka::CompiledFabric& fabric,
         std::span<const std::uint32_t>(batch_firsts.data(), fill),
         std::span<polka::PacketResult>(batch_results.data(), fill), max_hops);
     for (std::size_t i = 0; i < fill; ++i) {
-      if (batch_results[i] != expected[batch_index[i]]) ++out.wrong_egress;
+      score(batch_results[i], batch_index[i]);
     }
     out.packets += fill;
     fill = 0;
   };
   for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (!alive.empty() && !alive[index[i]]) {
+    const std::uint32_t lane = index[i];
+    if (!alive.empty() && !alive[lane]) {
       ++out.dropped_packets;
+      continue;
+    }
+    if (!segments.refs.empty() && segments.refs[lane].label_count > 1) {
+      const polka::SegmentRef& ref = segments.refs[lane];
+      const polka::PacketResult result = fabric.forward_segmented(
+          segments.labels.subspan(ref.first_label, ref.label_count),
+          segments.waypoints.subspan(ref.first_waypoint, ref.label_count - 1),
+          ingress[i], max_hops);
+      out.mod_operations += result.hops;
+      ++out.packets;
+      ++out.segmented_packets;
+      out.segment_swaps += ref.label_count - 1;
+      score(result, lane);
       continue;
     }
     batch_labels[fill] = labels[i];
     batch_firsts[fill] = ingress[i];
-    batch_index[fill] = index[i];
+    batch_index[fill] = lane;
     ++fill;
     if (fill == batch_size) flush();
   }
@@ -62,13 +87,17 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
                              std::span<const std::uint32_t> index,
                              std::span<const polka::PacketResult> expected,
                              std::span<const std::uint8_t> alive,
-                             unsigned threads, std::size_t batch_size,
-                             std::size_t max_hops) {
+                             SegmentTable segments, unsigned threads,
+                             std::size_t batch_size, std::size_t max_hops) {
   if (labels.size() != ingress.size() || labels.size() != index.size()) {
     throw std::invalid_argument("replay_shards: span length mismatch");
   }
   if (batch_size == 0) {
     throw std::invalid_argument("replay_shards: batch_size must be > 0");
+  }
+  if (!segments.refs.empty() && segments.refs.size() < expected.size()) {
+    throw std::invalid_argument(
+        "replay_shards: segment refs do not cover every lane");
   }
   const std::size_t total = labels.size();
   std::size_t workers = std::max<unsigned>(threads, 1);
@@ -77,8 +106,8 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
   const auto start = std::chrono::steady_clock::now();
   std::vector<ScenarioReport> partial(workers);
   if (workers == 1) {
-    replay_slice(fabric, labels, ingress, index, expected, alive, batch_size,
-                 max_hops, partial[0]);
+    replay_slice(fabric, labels, ingress, index, expected, alive, segments,
+                 batch_size, max_hops, partial[0]);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
@@ -88,7 +117,7 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
         replay_slice(fabric, labels.subspan(begin, end - begin),
                      ingress.subspan(begin, end - begin),
                      index.subspan(begin, end - begin), expected, alive,
-                     batch_size, max_hops, partial[w]);
+                     segments, batch_size, max_hops, partial[w]);
       });
     }
     for (auto& t : pool) t.join();
@@ -99,6 +128,9 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
     report.mod_operations += p.mod_operations;
     report.wrong_egress += p.wrong_egress;
     report.dropped_packets += p.dropped_packets;
+    report.ttl_expired += p.ttl_expired;
+    report.segmented_packets += p.segmented_packets;
+    report.segment_swaps += p.segment_swaps;
   }
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -117,6 +149,11 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
   std::vector<LinkFailure> failures = options_.failures;
   std::ranges::stable_sort(failures, {}, &LinkFailure::at_fraction);
   std::vector<std::uint8_t> alive(stream.pairs.size(), 1);
+  // Streams built before segmentation (or by hand) may lack refs; give
+  // every lane a default single-label ref so repair can upgrade it.
+  if (stream.seg_refs.size() < stream.pairs.size()) {
+    stream.seg_refs.resize(stream.pairs.size());
+  }
   // Contiguous copy of the per-pair expectations (TrafficPair embeds
   // them with a stride); refreshed whenever a failure rewrites one.
   std::vector<polka::PacketResult> expected(stream.pairs.size());
@@ -138,18 +175,25 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
     }
     if (end > done) {
       const std::size_t count = end - done;
+      // Spans over the stream's pools are rebuilt per epoch: failure
+      // repair below may grow them (and reallocate).
+      const SegmentTable segments{stream.seg_labels, stream.seg_waypoints,
+                                  stream.seg_refs};
       const ScenarioReport epoch = replay_shards(
           fast,
           std::span<const polka::RouteLabel>(stream.labels.data() + done,
                                              count),
           std::span<const std::uint32_t>(stream.ingress.data() + done, count),
           std::span<const std::uint32_t>(stream.pair.data() + done, count),
-          expected, alive, options_.threads, options_.batch_size,
+          expected, alive, segments, options_.threads, options_.batch_size,
           options_.max_hops);
       report.packets += epoch.packets;
       report.mod_operations += epoch.mod_operations;
       report.wrong_egress += epoch.wrong_egress;
       report.dropped_packets += epoch.dropped_packets;
+      report.ttl_expired += epoch.ttl_expired;
+      report.segmented_packets += epoch.segmented_packets;
+      report.segment_swaps += epoch.segment_swaps;
       report.seconds += epoch.seconds;
       done = end;
     }
@@ -171,11 +215,14 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
         if (it == lane_of.end() || !alive[it->second]) continue;
         const std::uint32_t lane = it->second;
         const CompiledRoute* route = fabric.route(src, dst);
-        if (route && route->label) {
+        if (route && !route->segments.labels.empty()) {
           ++report.rerouted_pairs;
           stream.pairs[lane].expected = route->expected;
           expected[lane] = route->expected;
-          new_label.emplace(lane, *route->label);
+          new_label.emplace(lane, route->segments.labels.front());
+          // A detour may gain or lose segments; pool the new list and
+          // repoint the lane (orphaning its old slice is harmless).
+          stream.seg_refs[lane] = append_segments(stream, route->segments);
         } else {
           alive[lane] = 0;  // unroutable: remaining packets drop
         }

@@ -8,9 +8,11 @@
 // workers share it without synchronization.  An optional link-failure
 // schedule splits the stream into epochs: at each failure point the
 // affected routes are recompiled against the degraded topology and the
-// not-yet-replayed packets of those pairs get their new labels (packets
-// whose pair loses connectivity -- or whose detour outgrows the 64-bit
-// label -- are dropped and counted).
+// not-yet-replayed packets of those pairs get their new labels --
+// including fresh segment lists when the detour outgrows one 64-bit
+// label (only pairs that lose connectivity are dropped and counted).
+// Packets a hop cap kills mid-flight are reported as ttl_expired, never
+// as deliveries.
 
 #include <cstdint>
 #include <span>
@@ -44,6 +46,12 @@ struct ScenarioReport {
   std::size_t wrong_egress = 0;    ///< egress diverged from the pair's plan
   std::size_t rerouted_pairs = 0;  ///< pairs recompiled after failures
   std::size_t dropped_packets = 0; ///< pair unroutable after a failure
+  std::size_t ttl_expired = 0;     ///< packets killed by the hop cap
+  /// Segment-routing instrumentation: packets replayed through
+  /// forward_segmented (their pair needed > 1 label) and the label
+  /// swaps their routes encode.  Both zero on fully single-label runs.
+  std::size_t segmented_packets = 0;
+  std::size_t segment_swaps = 0;
   double seconds = 0.0;            ///< wall clock of the forwarding epochs
 
   [[nodiscard]] double packets_per_sec() const noexcept {
@@ -51,10 +59,22 @@ struct ScenarioReport {
   }
 };
 
+/// Pooled per-pair segment routes for a replay: refs is indexed by the
+/// stream's pair lane; a lane whose ref has label_count > 1 replays via
+/// CompiledFabric::forward_segmented over the pooled labels/waypoints,
+/// every other lane via the packet's own 64-bit label.  Empty refs
+/// (the default) means every lane is single-label.
+struct SegmentTable {
+  std::span<const polka::RouteLabel> labels;
+  std::span<const std::uint32_t> waypoints;
+  std::span<const polka::SegmentRef> refs;
+};
+
 /// Low-level sharded replay of parallel label/ingress arrays.  Each
 /// packet's expectation is expected[index[i]]; `alive`, when nonempty,
 /// is indexed the same way and marks packets to skip (counted as
-/// dropped).  This is the primitive both ScenarioRunner and
+/// dropped); `segments.refs`, when nonempty, must cover every lane
+/// value.  This is the primitive both ScenarioRunner and
 /// core::PolkaService build on.
 ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
                              std::span<const polka::RouteLabel> labels,
@@ -62,8 +82,21 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
                              std::span<const std::uint32_t> index,
                              std::span<const polka::PacketResult> expected,
                              std::span<const std::uint8_t> alive,
-                             unsigned threads, std::size_t batch_size,
-                             std::size_t max_hops = 64);
+                             SegmentTable segments, unsigned threads,
+                             std::size_t batch_size, std::size_t max_hops = 64);
+
+/// Single-label convenience overload (no segment table).
+inline ScenarioReport replay_shards(
+    const polka::CompiledFabric& fabric,
+    std::span<const polka::RouteLabel> labels,
+    std::span<const std::uint32_t> ingress,
+    std::span<const std::uint32_t> index,
+    std::span<const polka::PacketResult> expected,
+    std::span<const std::uint8_t> alive, unsigned threads,
+    std::size_t batch_size, std::size_t max_hops = 64) {
+  return replay_shards(fabric, labels, ingress, index, expected, alive,
+                       SegmentTable{}, threads, batch_size, max_hops);
+}
 
 /// Replays a stream over its fabric, applying the failure schedule.
 /// The stream is mutated in place when failures rewrite labels.

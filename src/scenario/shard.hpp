@@ -13,10 +13,14 @@
 namespace hp::scenario {
 
 /// Half-open [begin, end) bounds of shard `w` of `workers` over `total`
-/// items.  `workers` must be >= 1 and `w` < `workers`.
+/// items.  `workers` must be >= 1 and `w` < `workers`.  The products
+/// run through a 128-bit intermediate: total * (w + 1) overflows size_t
+/// for streams within a factor of `workers` of SIZE_MAX.
 [[nodiscard]] constexpr std::pair<std::size_t, std::size_t> shard_bounds(
     std::size_t total, std::size_t w, std::size_t workers) noexcept {
-  return {total * w / workers, total * (w + 1) / workers};
+  using Wide = unsigned __int128;
+  return {static_cast<std::size_t>(Wide{total} * w / workers),
+          static_cast<std::size_t>(Wide{total} * (w + 1) / workers)};
 }
 
 }  // namespace hp::scenario

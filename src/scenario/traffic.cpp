@@ -38,14 +38,17 @@ struct PairTable {
       index.emplace(key, kSkippedPair);
       return std::nullopt;
     }
-    if (!route->label) {
-      ++stream.unpackable_pairs;
+    if (route->segments.labels.empty()) {
+      ++stream.unpackable_pairs;  // no fast-path form; cannot happen today
       index.emplace(key, kSkippedPair);
       return std::nullopt;
     }
     const auto id = static_cast<std::uint32_t>(stream.pairs.size());
     stream.pairs.push_back(TrafficPair{src, dst, route->expected});
-    label.push_back(*route->label);
+    // Multi-segment pairs pool their labels/waypoints; every packet's
+    // own label is the first segment's either way.
+    stream.seg_refs.push_back(append_segments(stream, route->segments));
+    label.push_back(route->segments.labels.front());
     ingress.push_back(route->ingress);
     path.push_back(route->path);
     index.emplace(key, id);
@@ -112,6 +115,21 @@ void generate_elephant_mice(PacketStream& stream, PairTable& table,
 }
 
 }  // namespace
+
+polka::SegmentRef append_segments(PacketStream& stream,
+                                  const polka::SegmentedRoute& route) {
+  polka::SegmentRef ref;
+  if (route.single_label()) return ref;
+  ref.first_label = static_cast<std::uint32_t>(stream.seg_labels.size());
+  ref.first_waypoint =
+      static_cast<std::uint32_t>(stream.seg_waypoints.size());
+  ref.label_count = static_cast<std::uint32_t>(route.labels.size());
+  stream.seg_labels.insert(stream.seg_labels.end(), route.labels.begin(),
+                           route.labels.end());
+  stream.seg_waypoints.insert(stream.seg_waypoints.end(),
+                              route.waypoints.begin(), route.waypoints.end());
+  return ref;
+}
 
 const char* to_string(TrafficPattern pattern) {
   switch (pattern) {

@@ -50,19 +50,36 @@ struct TrafficPair {
 };
 
 /// A replayable packet stream.  labels/ingress/pair are parallel
-/// arrays, one entry per packet.
+/// arrays, one entry per packet.  Pairs whose route needs more than one
+/// 64-bit label carry their segments in the pooled arrays below (the
+/// packet's own label then duplicates the first segment); seg_refs is
+/// parallel to `pairs`.
 struct PacketStream {
   std::vector<polka::RouteLabel> labels;
   std::vector<std::uint32_t> ingress;  ///< fabric injection node
   std::vector<std::uint32_t> pair;     ///< index into `pairs`
   std::vector<TrafficPair> pairs;
-  /// Pairs skipped at generation time (no 64-bit label / no path);
-  /// nonzero only on topologies whose shortest paths outgrow the label.
+  /// Pooled multi-segment routes: seg_refs[lane] slices seg_labels /
+  /// seg_waypoints; label_count == 1 means the pair is single-label.
+  std::vector<polka::RouteLabel> seg_labels;
+  std::vector<std::uint32_t> seg_waypoints;
+  std::vector<polka::SegmentRef> seg_refs;
+  /// Pairs skipped at generation time because the route has no
+  /// fast-path form at all (kept for reporting; zero since segmented
+  /// routes made every compiled route packable).
   std::size_t unpackable_pairs = 0;
   std::size_t unreachable_pairs = 0;
 
   [[nodiscard]] std::size_t size() const noexcept { return labels.size(); }
 };
+
+/// Pool a route's segment list into the stream's pooled arrays and
+/// return the ref describing the slice.  A single-label route pools
+/// nothing and returns the default (label_count == 1) ref.  Shared by
+/// stream generation and the runner's failure repair so the ref layout
+/// has exactly one author.
+polka::SegmentRef append_segments(PacketStream& stream,
+                                  const polka::SegmentedRoute& route);
 
 /// Generate a packet stream over the fabric's routers.  Compiles every
 /// route it uses (single-threaded; do this before sharding a replay).

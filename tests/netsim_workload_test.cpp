@@ -125,6 +125,28 @@ TEST(Workload, Validation) {
                std::invalid_argument);
 }
 
+TEST(Workload, P95IsNearestRankNotMax) {
+  // 20 flows run back to back (never overlapping) on a 1 MB/s link, so
+  // flow i's FCT is exactly its size: 1 s, 2 s, ..., 20 s.  Nearest-rank
+  // p95 of 20 samples is the ceil(0.95 * 20) = 19th order statistic --
+  // 19 s, not the 20 s maximum the old floor indexing returned.
+  Simulator sim(single_link());
+  std::vector<FlowId> ids;
+  for (int i = 0; i < 20; ++i) {
+    ids.push_back(sim.add_flow(30.0 * i, FlowSpec{"f" + std::to_string(i),
+                                                  {0},
+                                                  1e18,
+                                                  0,
+                                                  static_cast<double>(i + 1)}));
+  }
+  sim.run_until(30.0 * 20 + 30.0);
+  const FctStats stats = collect_fct(sim, ids);
+  ASSERT_EQ(stats.completed, 20u);
+  EXPECT_NEAR(stats.p95_fct_s, 19.0, 1e-6);
+  EXPECT_NEAR(stats.max_fct_s, 20.0, 1e-6);
+  EXPECT_GT(stats.max_fct_s, stats.p95_fct_s);
+}
+
 TEST(Workload, FctStatsEndToEnd) {
   Topology topo = make_global_p4_lab();
   const std::vector<Path> paths{

@@ -185,6 +185,150 @@ TEST(CompiledFabric, BatchValidatesArguments) {
                std::out_of_range);
 }
 
+TEST(CompiledFabric, TtlExpiredFlagOnLoopingLabel) {
+  // Two nodes wired into a cycle on port 0; the all-zero label computes
+  // port 0 everywhere, so the packet orbits until the hop cap kills it.
+  PolkaFabric fabric(ModEngine::kTable);
+  fabric.add_node("a", 2);
+  fabric.add_node("b", 2);
+  fabric.connect(0, 0, 1);
+  fabric.connect(1, 0, 0);
+
+  const CompiledFabric& fast = fabric.compiled();
+  const PacketResult looped = fast.forward_one(RouteLabel{0}, 0, 8);
+  EXPECT_TRUE(looped.ttl_expired);
+  EXPECT_EQ(looped.hops, 8u);
+
+  const auto trace = fabric.forward(RouteId{Poly(0)}, 0, 8);
+  EXPECT_TRUE(trace.ttl_expired);
+  EXPECT_EQ(trace.nodes.size(), 8u);
+
+  // A delivered packet never carries the flag -- and the flag makes a
+  // kill comparable-distinct from a delivery with the same tail.
+  const PolkaFabric chain = make_chain(4);
+  std::vector<std::size_t> path{0, 1, 2, 3};
+  const RouteId route = chain.route_for_path(path, 0U);
+  const PacketResult delivered =
+      chain.compiled().forward_one(pack_label_checked(route), 0);
+  EXPECT_FALSE(delivered.ttl_expired);
+  PacketResult killed = delivered;
+  killed.ttl_expired = true;
+  EXPECT_NE(delivered, killed);
+}
+
+TEST(SegmentedRoute, SingleSegmentMatchesRouteForPath) {
+  const PolkaFabric fabric = make_chain(8);
+  std::vector<std::size_t> path(8);
+  for (std::size_t i = 0; i < 8; ++i) path[i] = i;
+
+  // 8 nodes of degree 2: the whole path fits one label, and that label
+  // is bit-identical to the packed full-path routeID.
+  const SegmentedRoute segs = fabric.segmented_route_for_path(path, 0U);
+  ASSERT_TRUE(segs.single_label());
+  EXPECT_TRUE(segs.waypoints.empty());
+  EXPECT_EQ(segs.labels.front(),
+            pack_label_checked(fabric.route_for_path(path, 0U)));
+
+  const CompiledFabric& fast = fabric.compiled();
+  EXPECT_EQ(fast.forward_segmented(segs.labels, segs.waypoints, 0),
+            fast.forward_one(segs.labels.front(), 0));
+}
+
+TEST(SegmentedRoute, CrossesThe64BitCliffOnTheFastPath) {
+  // The exact fabric of OversizedRoutesFallBackToScalar: 24 nodes of 8
+  // ports (degree 3 each), full-chain routeID degree ~72 -- no single
+  // label exists.  The segmented route re-labels mid-chain and the
+  // compiled fast path delivers it with the same hop sequence as the
+  // polynomial slow path.
+  PolkaFabric fabric(ModEngine::kTable);
+  const std::size_t n = 24;
+  for (std::size_t i = 0; i < n; ++i) {
+    fabric.add_node("r" + std::to_string(i), 8);
+  }
+  for (std::size_t i = 0; i + 1 < n; ++i) fabric.connect(i, 1, i + 1);
+  std::vector<std::size_t> path(n);
+  for (std::size_t i = 0; i < n; ++i) path[i] = i;
+
+  const RouteId long_route = fabric.route_for_path(path, 0U);
+  ASSERT_FALSE(pack_label(long_route).has_value());
+
+  const SegmentedRoute segs = fabric.segmented_route_for_path(path, 0U);
+  ASSERT_GE(segs.labels.size(), 2u);
+  EXPECT_EQ(segs.waypoints.size(), segs.labels.size() - 1);
+
+  const CompiledFabric& fast = fabric.compiled();
+  const PacketResult got = fast.forward_segmented(segs.labels, segs.waypoints, 0);
+  const auto trace = fabric.forward(long_route, 0);
+  EXPECT_FALSE(got.ttl_expired);
+  EXPECT_EQ(got.egress_node, trace.nodes.back());
+  EXPECT_EQ(got.egress_port, trace.ports.back());
+  EXPECT_EQ(got.hops, trace.nodes.size());
+
+  // Hop-sequence parity: stepping the fold engine by hand (with the
+  // waypoint swap) visits exactly the nodes the slow path visited.
+  std::size_t seg = 0;
+  std::size_t current = 0;
+  for (std::size_t hop = 0; hop < trace.nodes.size(); ++hop) {
+    if (seg < segs.waypoints.size() && current == segs.waypoints[seg]) ++seg;
+    ASSERT_EQ(current, trace.nodes[hop]) << "hop " << hop;
+    const std::uint32_t port = fast.port_of(segs.labels[seg], current);
+    ASSERT_EQ(port, trace.ports[hop]) << "hop " << hop;
+    const auto peer = fabric.neighbour(current, port);
+    if (!peer) break;
+    current = *peer;
+  }
+
+  // Batched segmented entry point, mixing a single-label packet in.
+  std::vector<std::size_t> short_path{0, 1, 2};
+  const SegmentedRoute short_segs =
+      fabric.segmented_route_for_path(short_path, 0U);
+  ASSERT_TRUE(short_segs.single_label());
+  std::vector<RouteLabel> pool = segs.labels;
+  pool.insert(pool.end(), short_segs.labels.begin(), short_segs.labels.end());
+  const std::vector<std::uint32_t> waypoints = segs.waypoints;
+  const std::vector<SegmentRef> refs{
+      {0, 0, static_cast<std::uint32_t>(segs.labels.size())},
+      {static_cast<std::uint32_t>(segs.labels.size()),
+       static_cast<std::uint32_t>(waypoints.size()), 1}};
+  const std::vector<std::uint32_t> firsts{0, 0};
+  std::vector<PacketResult> results(2);
+  const std::size_t mods = fast.forward_batch_segmented(
+      pool, waypoints, refs, firsts, results);
+  EXPECT_EQ(results[0], got);
+  EXPECT_EQ(results[1], fast.forward_one(short_segs.labels.front(), 0));
+  EXPECT_EQ(mods, results[0].hops + results[1].hops);
+}
+
+TEST(SegmentedRoute, ValidatesInputs) {
+  const PolkaFabric fabric = make_chain(4);
+  EXPECT_THROW((void)fabric.segmented_route_for_path({}, 0U),
+               std::invalid_argument);
+  EXPECT_THROW((void)fabric.segmented_route_for_path({0, 2}, 0U),
+               std::invalid_argument);  // 0 and 2 are not wired
+  // Egress port polynomial must fit the last node's degree (4 ports =>
+  // degree 2 => ports 0..3 only).
+  EXPECT_THROW((void)fabric.segmented_route_for_path({0, 1}, 200U),
+               std::domain_error);
+
+  // Degenerate single-node path: the label is the bare egress bits.
+  const SegmentedRoute solo = fabric.segmented_route_for_path({1}, 3U);
+  ASSERT_TRUE(solo.single_label());
+  EXPECT_EQ(solo.labels.front().bits, 3u);
+  const PacketResult r = fabric.compiled().forward_segmented(
+      solo.labels, solo.waypoints, 1);
+  EXPECT_EQ(r.egress_node, 1u);
+  EXPECT_EQ(r.egress_port, 3u);
+  EXPECT_EQ(r.hops, 1u);
+
+  const CompiledFabric& fast = fabric.compiled();
+  std::vector<SegmentRef> bad_refs{{5, 0, 3}};  // slice past the pool
+  std::vector<std::uint32_t> firsts{0};
+  std::vector<PacketResult> results(1);
+  EXPECT_THROW((void)fast.forward_batch_segmented(solo.labels, solo.waypoints,
+                                                  bad_refs, firsts, results),
+               std::out_of_range);
+}
+
 TEST(PolkaFabricBatch, OversizedRoutesFallBackToScalar) {
   // 24 nodes of 8 ports: nodeID degrees sum far past 64, so a full-path
   // routeID cannot pack into a label.

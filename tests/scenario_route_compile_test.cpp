@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
 #include <string>
 #include <vector>
@@ -242,6 +243,26 @@ TEST(ShardBounds, PartitionsEveryItemExactlyOnce) {
       EXPECT_EQ(prev_end, total);
       EXPECT_EQ(covered, total);
     }
+  }
+}
+
+TEST(ShardBounds, NoOverflowNearSizeMax) {
+  // total * (w + 1) overflows std::size_t for totals within a factor of
+  // `workers` of SIZE_MAX; the 128-bit intermediate must keep the
+  // partition exact (contiguous, complete, balanced to within one).
+  const std::size_t total = std::numeric_limits<std::size_t>::max() - 7;
+  for (const std::size_t workers : {2u, 3u, 16u}) {
+    std::size_t prev_end = 0;
+    for (std::size_t w = 0; w < workers; ++w) {
+      const auto [begin, end] = shard_bounds(total, w, workers);
+      EXPECT_EQ(begin, prev_end) << "workers=" << workers << " w=" << w;
+      EXPECT_LE(begin, end);
+      const std::size_t size = end - begin;
+      EXPECT_LE(size, total / workers + 1);
+      EXPECT_GE(size, total / workers);
+      prev_end = end;
+    }
+    EXPECT_EQ(prev_end, total) << "workers=" << workers;
   }
 }
 
