@@ -22,10 +22,11 @@ namespace {
 void print_report(const std::string& name, unsigned threads,
                   const scenario::ScenarioReport& report) {
   std::printf("%-28s t=%u  %9zu pkts  %10zu mods  %5zu wrong  %5zu dropped"
-              "  %4zu rerouted  %8.2f Mpkt/s\n",
+              "  %4zu rerouted  %8.2f Mpkt/s  [%s]\n",
               name.c_str(), threads, report.packets, report.mod_operations,
               report.wrong_egress, report.dropped_packets,
-              report.rerouted_pairs, report.packets_per_sec() / 1e6);
+              report.rerouted_pairs, report.packets_per_sec() / 1e6,
+              report.fold_kernel_name());
 }
 
 int run_one(const scenario::ScenarioSpec& spec,

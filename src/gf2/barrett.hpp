@@ -1,0 +1,76 @@
+#pragma once
+// Barrett reduction constants for fixed-width GF(2) remainders.
+//
+// The slice-by-8 fold (polka/fastpath.hpp) trades 16 KB of per-node
+// table for eight loads per mod.  Barrett's method trades the table for
+// two carry-less multiplies and ~16 bytes of per-node state: with
+//   mu = floor(x^64 / g)
+// the quotient of any 64-bit label L by g is recovered exactly as
+//   q = floor((L >> d) * mu / x^(64-d)),   d = deg g,
+// and the remainder is L xor low64(q * g).  Exactness (no +1 correction
+// as in the integer version) follows from GF(2) division being linear:
+// writing L = A*x^d + B (deg B < d) and A*x^d = Q*g + R, the product
+// A*mu equals Q*x^(64-d) plus terms of degree < 64-d, so the shift
+// truncates to exactly Q, and L xor Q*g = B + R = L mod g.
+//
+// Everything here is constexpr shift-XOR arithmetic on top of
+// gf2/poly64.hpp -- the portable reference.  The PCLMUL-accelerated
+// twin of barrett_mod lives behind polka::clmul_barrett_remainder and
+// is proven bit-identical by the fold-kernel parity tests.
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "gf2/poly64.hpp"
+
+namespace hp::gf2::fixed {
+
+/// Per-generator Barrett state: the generator's coefficient bits, its
+/// degree, and mu = floor(x^64 / g).  16 bytes of hot data.
+struct Barrett64 {
+  Poly64 generator = 0;
+  Poly64 mu = 0;
+  std::uint32_t degree = 0;
+
+  friend constexpr bool operator==(Barrett64, Barrett64) noexcept = default;
+};
+
+/// floor(x^64 / g) by long division.  deg g must be in [1, 63] so the
+/// quotient (degree 64 - deg g) fits one word.
+[[nodiscard]] constexpr Poly64 barrett_mu(Poly64 g) {
+  const int d = degree(g);
+  if (d < 1 || d > 63) {
+    throw std::invalid_argument("barrett_mu: generator degree must be in [1, 63]");
+  }
+  Poly128 r{0, 1};  // x^64
+  Poly64 q = 0;
+  for (int dr = degree(r); dr >= d; dr = degree(r)) {
+    const int shift = dr - d;  // <= 64 - d <= 63
+    q ^= Poly64{1} << shift;
+    // g << shift spans both words when dr >= 64: bits below d stay in
+    // lo, the leading bit (and anything above it) lands in hi.
+    r.lo ^= g << shift;
+    if (shift != 0) r.hi ^= g >> (64 - shift);
+  }
+  return q;
+}
+
+[[nodiscard]] constexpr Barrett64 make_barrett(Poly64 g) {
+  return Barrett64{g, barrett_mu(g), static_cast<std::uint32_t>(degree(g))};
+}
+
+/// label mod generator via two carry-less multiplies.  The portable
+/// software form of the PCLMUL fast-path kernel (bit-identical).
+/// `b` must come from make_barrett (degree in [1, 63]); a degree-0
+/// struct is treated as the unit polynomial (remainder 0) rather than
+/// hitting an undefined 64-bit shift.
+[[nodiscard]] constexpr Poly64 barrett_mod(const Barrett64& b,
+                                           Poly64 label) noexcept {
+  const unsigned d = b.degree;
+  if (d == 0) return 0;  // x mod 1 == 0 for every x
+  const Poly128 t = clmul(label >> d, b.mu);
+  const Poly64 q = (t.lo >> (64 - d)) | (t.hi << d);
+  return label ^ clmul(q, b.generator).lo;
+}
+
+}  // namespace hp::gf2::fixed

@@ -1,10 +1,81 @@
 #include "polka/fastpath.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "polka/fold_kernels.hpp"
 #include "polka/forwarding.hpp"
 
 namespace hp::polka {
+
+namespace {
+
+/// Table construction on plain words: powers[i] = t^i mod g stepped
+/// incrementally (degree <= 32 keeps every remainder under 33 bits), a
+/// lane entry is the XOR of one power per set bit of the byte, filled
+/// by subset DP.  The generator's degree is validated once by the
+/// callers -- no polynomial arithmetic, no per-lane degree recompute.
+void build_fold_table_bits(std::uint64_t generator, unsigned degree,
+                           std::uint64_t* out) noexcept {
+  std::uint64_t powers[64];
+  std::uint64_t power = 1;  // t^0 mod g
+  for (unsigned i = 0; i < 64; ++i) {
+    powers[i] = power;
+    power <<= 1;
+    if ((power >> degree) & 1u) power ^= generator;
+  }
+  for (unsigned k = 0; k < 8; ++k) {
+    std::uint64_t* lane = out + 256 * k;
+    const std::uint64_t* lane_powers = powers + 8 * k;
+    lane[0] = 0;
+    for (unsigned b = 1; b < 256; ++b) {
+      lane[b] = lane[b & (b - 1)] ^ lane_powers[std::countr_zero(b)];
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(FoldKernel kernel) noexcept {
+  switch (kernel) {
+    case FoldKernel::kTable:
+      return "table";
+    case FoldKernel::kClmulBarrett:
+      return "clmul-barrett";
+  }
+  return "unknown";
+}
+
+bool clmul_fold_supported() noexcept {
+  static const bool supported = detail::clmul_runtime_supported();
+  return supported;
+}
+
+bool table_fold_forced() noexcept {
+  const char* force = std::getenv("HP_FORCE_TABLE_FOLD");
+  return force != nullptr && force[0] != '\0' &&
+         !(force[0] == '0' && force[1] == '\0');
+}
+
+FoldKernel default_fold_kernel() noexcept {
+  static const FoldKernel kernel =
+      clmul_fold_supported() && !table_fold_forced()
+          ? FoldKernel::kClmulBarrett
+          : FoldKernel::kTable;
+  return kernel;
+}
+
+std::uint64_t clmul_barrett_remainder(const gf2::fixed::Barrett64& constants,
+                                      std::uint64_t label) {
+  if (!clmul_fold_supported()) {
+    throw std::runtime_error(
+        "clmul_barrett_remainder: PCLMUL unavailable on this machine");
+  }
+  return detail::clmul_fold_one(constants.generator, constants.mu,
+                                constants.degree, label);
+}
 
 void build_fold_table(const gf2::Poly& generator, std::uint64_t* out) {
   const int d = generator.degree();
@@ -12,16 +83,7 @@ void build_fold_table(const gf2::Poly& generator, std::uint64_t* out) {
     throw std::invalid_argument(
         "build_fold_table: generator degree must be in [1, 32]");
   }
-  // Reduction is GF(2)-linear, so a 64-bit label reduces byte-wise:
-  // out[256*k + b] = (b * t^(8k)) mod g, and a remainder is the XOR of
-  // one constant per byte lane.  Exact polynomial arithmetic here; pure
-  // integer ops on the hot path.
-  for (unsigned k = 0; k < 8; ++k) {
-    const gf2::Poly lane = gf2::Poly::monomial(8 * k);
-    for (unsigned b = 0; b < 256; ++b) {
-      out[256 * k + b] = ((gf2::Poly(b) * lane) % generator).to_uint64();
-    }
-  }
+  build_fold_table_bits(generator.to_uint64(), static_cast<unsigned>(d), out);
 }
 
 LabelFoldEngine::LabelFoldEngine(const gf2::Poly& generator)
@@ -30,10 +92,19 @@ LabelFoldEngine::LabelFoldEngine(const gf2::Poly& generator)
   degree_ = static_cast<unsigned>(generator.degree());
 }
 
-CompiledFabric::CompiledFabric(const PolkaFabric& fabric) {
+CompiledFabric::CompiledFabric(const PolkaFabric& fabric)
+    : CompiledFabric(fabric, default_fold_kernel()) {}
+
+CompiledFabric::CompiledFabric(const PolkaFabric& fabric, FoldKernel kernel)
+    : kernel_(kernel) {
+  if (kernel == FoldKernel::kClmulBarrett && !clmul_fold_supported()) {
+    throw std::invalid_argument(
+        "CompiledFabric: kClmulBarrett requested but PCLMUL is unavailable");
+  }
   const std::size_t n = fabric.node_count();
-  meta_.resize(n);
-  fold_.resize(n * kFoldTableSize);
+  // Size everything from the fabric up front: one allocation per array,
+  // no incremental growth.
+  nodes_.reserve(n);
   std::size_t total_ports = 0;
   for (std::size_t i = 0; i < n; ++i) total_ports += fabric.node(i).port_count;
   next_.assign(total_ports, kNoNode);
@@ -41,72 +112,123 @@ CompiledFabric::CompiledFabric(const PolkaFabric& fabric) {
   std::uint32_t wiring_offset = 0;
   for (std::size_t i = 0; i < n; ++i) {
     const NodeId& id = fabric.node(i);
-    build_fold_table(id.poly, fold_.data() + i * kFoldTableSize);
-    meta_[i].wiring_offset = wiring_offset;
-    meta_[i].port_count = id.port_count;
+    const int d = id.poly.degree();
+    if (d < 1 || d > 32) {
+      throw std::invalid_argument(
+          "CompiledFabric: nodeID degree must be in [1, 32]");
+    }
+    CompiledNode node;
+    node.generator = id.poly.to_uint64();
+    node.mu = gf2::fixed::barrett_mu(node.generator);
+    node.degree = static_cast<std::uint32_t>(d);
+    node.wiring_offset = wiring_offset;
+    node.port_count = id.port_count;
     for (unsigned p = 0; p < id.port_count; ++p) {
       const auto peer = fabric.neighbour(i, p);
       next_[wiring_offset + p] =
           peer ? static_cast<std::uint32_t>(*peer) : kNoNode;
     }
     wiring_offset += id.port_count;
+    nodes_.push_back(node);
   }
+  // The 16 KB/node slice-by-8 tables exist only when the table kernel
+  // is actually selected; the Barrett path runs on the 32 B/node
+  // records alone.
+  if (kernel_ == FoldKernel::kTable) ensure_fold_tables();
+}
+
+void CompiledFabric::ensure_fold_tables() {
+  if (!fold_.empty()) return;
+  fold_.resize(nodes_.size() * kFoldTableSize);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    build_fold_table_bits(nodes_[i].generator, nodes_[i].degree,
+                          fold_.data() + i * kFoldTableSize);
+  }
+}
+
+void CompiledFabric::set_kernel(FoldKernel kernel) {
+  if (kernel == FoldKernel::kClmulBarrett && !clmul_fold_supported()) {
+    throw std::invalid_argument(
+        "CompiledFabric::set_kernel: PCLMUL is unavailable");
+  }
+  if (kernel == FoldKernel::kTable) ensure_fold_tables();
+  kernel_ = kernel;
+}
+
+std::size_t CompiledFabric::forwarding_state_bytes() const noexcept {
+  std::size_t bytes = nodes_.size() * sizeof(CompiledNode) +
+                      next_.size() * sizeof(std::uint32_t);
+  if (kernel_ == FoldKernel::kTable) {
+    bytes += nodes_.size() * kFoldTableSize * sizeof(std::uint64_t);
+  }
+  return bytes;
+}
+
+std::uint32_t CompiledFabric::port_of(RouteLabel label,
+                                      std::size_t node) const noexcept {
+  if (kernel_ == FoldKernel::kClmulBarrett) {
+    const CompiledNode& m = nodes_[node];
+    return static_cast<std::uint32_t>(
+        detail::clmul_fold_one(m.generator, m.mu, m.degree, label.bits));
+  }
+  return static_cast<std::uint32_t>(
+      fold_remainder(fold_.data() + node * kFoldTableSize, label.bits));
+}
+
+std::size_t CompiledFabric::run(const detail::BatchSpec& spec,
+                                bool segmented) const {
+  const detail::FabricView view{nodes_.data(), next_.data()};
+  if (kernel_ == FoldKernel::kClmulBarrett) {
+    return detail::clmul_batch(view, spec, segmented);
+  }
+  const detail::TableFold fold{fold_.data()};
+  return segmented ? detail::run_batch<true>(view, spec, fold)
+                   : detail::run_batch<false>(view, spec, fold);
 }
 
 PacketResult CompiledFabric::forward_one(RouteLabel label, std::size_t first,
                                          std::size_t max_hops) const {
-  PacketResult r;
-  std::size_t current = first;
-  for (std::size_t hop = 0; hop < max_hops; ++hop) {
-    const std::uint32_t port = port_of(label, current);
-    r.egress_node = static_cast<std::uint32_t>(current);
-    r.egress_port = port;
-    ++r.hops;
-    const NodeMeta& m = meta_[current];
-    const std::uint32_t peer =
-        port < m.port_count ? next_[m.wiring_offset + port] : kNoNode;
-    if (peer == kNoNode) return r;  // egress
-    current = peer;
-  }
-  // Hop budget exhausted with the packet still in flight: flag it so
-  // callers can tell a kill from a delivery.
-  r.ttl_expired = true;
-  return r;
+  PacketResult result;
+  const std::uint32_t first32 = static_cast<std::uint32_t>(first);
+  detail::BatchSpec spec;
+  spec.firsts = &first32;
+  spec.first_stride = 0;
+  spec.labels = &label;
+  spec.results = &result;
+  spec.count = 1;
+  spec.max_hops = max_hops;
+  (void)run(spec, /*segmented=*/false);
+  return result;
 }
 
 PacketResult CompiledFabric::forward_segmented(
     std::span<const RouteLabel> labels, std::span<const std::uint32_t> waypoints,
     std::size_t first, std::size_t max_hops) const {
-  PacketResult r;
+  PacketResult result;
   if (labels.empty()) {
-    r.egress_node = static_cast<std::uint32_t>(first);
-    r.ttl_expired = true;
-    return r;
+    result.egress_node = static_cast<std::uint32_t>(first);
+    result.ttl_expired = true;
+    return result;
   }
-  std::size_t seg = 0;
-  std::uint64_t bits = labels[0].bits;
-  std::size_t current = first;
-  for (std::size_t hop = 0; hop < max_hops; ++hop) {
-    // Waypoints are checked in route order; reaching the next one
-    // re-labels before this node's mod (a waypoint does exactly one
-    // fold, same as every other node, just with its fresh label).
-    if (seg < waypoints.size() && seg + 1 < labels.size() &&
-        current == waypoints[seg]) {
-      ++seg;
-      bits = labels[seg].bits;
-    }
-    const std::uint32_t port = port_of(RouteLabel{bits}, current);
-    r.egress_node = static_cast<std::uint32_t>(current);
-    r.egress_port = port;
-    ++r.hops;
-    const NodeMeta& m = meta_[current];
-    const std::uint32_t peer =
-        port < m.port_count ? next_[m.wiring_offset + port] : kNoNode;
-    if (peer == kNoNode) return r;  // egress
-    current = peer;
-  }
-  r.ttl_expired = true;
-  return r;
+  // Labels past the waypoint list can never activate; clamping the
+  // count up front lets the kernel bound-check against it alone.
+  const std::size_t effective =
+      std::min(labels.size(), waypoints.size() + 1);
+  const SegmentRef ref{0, 0,
+                       static_cast<std::uint32_t>(std::min<std::size_t>(
+                           effective, 0xFFFFFFFFu))};
+  const std::uint32_t first32 = static_cast<std::uint32_t>(first);
+  detail::BatchSpec spec;
+  spec.firsts = &first32;
+  spec.first_stride = 0;
+  spec.pool_labels = labels.data();
+  spec.pool_waypoints = waypoints.data();
+  spec.refs = &ref;
+  spec.results = &result;
+  spec.count = 1;
+  spec.max_hops = max_hops;
+  (void)run(spec, /*segmented=*/true);
+  return result;
 }
 
 std::size_t CompiledFabric::forward_batch_segmented(
@@ -126,19 +248,21 @@ std::size_t CompiledFabric::forward_batch_segmented(
           "forward_batch_segmented: ref outside the segment pools");
     }
   }
-  std::size_t mods = 0;
-  for (std::size_t i = 0; i < refs.size(); ++i) {
-    if (firsts[i] >= meta_.size()) {
+  for (const std::uint32_t first : firsts) {
+    if (first >= nodes_.size()) {
       throw std::out_of_range("forward_batch_segmented: bad start node");
     }
-    const SegmentRef& ref = refs[i];
-    results[i] = forward_segmented(
-        labels.subspan(ref.first_label, ref.label_count),
-        waypoints.subspan(ref.first_waypoint, ref.label_count - 1), firsts[i],
-        max_hops);
-    mods += results[i].hops;
   }
-  return mods;
+  detail::BatchSpec spec;
+  spec.firsts = firsts.data();
+  spec.first_stride = 1;
+  spec.pool_labels = labels.data();
+  spec.pool_waypoints = waypoints.data();
+  spec.refs = refs.data();
+  spec.results = results.data();
+  spec.count = refs.size();
+  spec.max_hops = max_hops;
+  return run(spec, /*segmented=*/true);
 }
 
 std::size_t CompiledFabric::forward_batch(std::span<const RouteLabel> labels,
@@ -148,15 +272,18 @@ std::size_t CompiledFabric::forward_batch(std::span<const RouteLabel> labels,
   if (labels.size() != results.size()) {
     throw std::invalid_argument("forward_batch: span length mismatch");
   }
-  if (first >= meta_.size()) {
+  if (first >= nodes_.size()) {
     throw std::out_of_range("forward_batch: bad start node");
   }
-  std::size_t mods = 0;
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    results[i] = forward_one(labels[i], first, max_hops);
-    mods += results[i].hops;
-  }
-  return mods;
+  const std::uint32_t first32 = static_cast<std::uint32_t>(first);
+  detail::BatchSpec spec;
+  spec.firsts = &first32;
+  spec.first_stride = 0;
+  spec.labels = labels.data();
+  spec.results = results.data();
+  spec.count = labels.size();
+  spec.max_hops = max_hops;
+  return run(spec, /*segmented=*/false);
 }
 
 std::size_t CompiledFabric::forward_batch(std::span<const RouteLabel> labels,
@@ -166,15 +293,19 @@ std::size_t CompiledFabric::forward_batch(std::span<const RouteLabel> labels,
   if (labels.size() != results.size() || labels.size() != firsts.size()) {
     throw std::invalid_argument("forward_batch: span length mismatch");
   }
-  std::size_t mods = 0;
-  for (std::size_t i = 0; i < labels.size(); ++i) {
-    if (firsts[i] >= meta_.size()) {
+  for (const std::uint32_t first : firsts) {
+    if (first >= nodes_.size()) {
       throw std::out_of_range("forward_batch: bad start node");
     }
-    results[i] = forward_one(labels[i], firsts[i], max_hops);
-    mods += results[i].hops;
   }
-  return mods;
+  detail::BatchSpec spec;
+  spec.firsts = firsts.data();
+  spec.first_stride = 1;
+  spec.labels = labels.data();
+  spec.results = results.data();
+  spec.count = labels.size();
+  spec.max_hops = max_hops;
+  return run(spec, /*segmented=*/false);
 }
 
 }  // namespace hp::polka

@@ -3,32 +3,69 @@
 //
 // PolkaFabric is the flexible control-plane object: nodes carry
 // gf2::Poly identifiers and remainders run through polynomial engines
-// that allocate per hop.  This header is the data plane:
+// that allocate per hop.  This header is the data plane, built around
+// two interchangeable per-hop reduction kernels:
 //
-//  * LabelFoldEngine - per-node precomputed reduction constants.  The
-//    remainder of a 64-bit label modulo the nodeID is rebuilt from the
-//    label's eight bytes with one table lookup each ("slice-by-8", a
-//    Barrett-style fold generalizing TableCrc): since reduction is
-//    linear over GF(2),  L mod g = XOR_k (byte_k(L) * t^(8k) mod g),
-//    and each term is a precomputed constant.  Eight independent loads
-//    and XORs per mod, no state recurrence, no allocation, any
-//    generator degree up to 32.
+//  * FoldKernel::kClmulBarrett - Barrett reduction with two carry-less
+//    multiplies (PCLMULQDQ): per node only the 16-byte (generator, mu)
+//    pair from gf2/barrett.hpp, so a whole fabric's forwarding state is
+//    ~32 B/node and stays cache-resident at thousands of nodes.  Used
+//    whenever the CPU supports PCLMUL (runtime CPUID dispatch) unless
+//    HP_FORCE_TABLE_FOLD forces the table path.
 //
-//  * CompiledFabric - an immutable view of a PolkaFabric with the fold
-//    tables and port wiring flattened into contiguous arrays, plus
-//    batch forwarding entry points whose inner loops touch only those
-//    arrays and caller-provided spans.
+//  * FoldKernel::kTable - the slice-by-8 fold: per-node 8x256 table of
+//    precomputed reduction constants (16 KB/node), a remainder is eight
+//    loads XORed together.  The portable fallback; its tables are built
+//    lazily, only when this kernel is actually selected.
+//
+// CompiledFabric flattens a PolkaFabric into a hot contiguous array of
+// CompiledNode records (fold constants + wiring offsets side by side)
+// plus the flattened port wiring, and every batch entry point runs one
+// shared interleaved walk kernel that keeps several independent
+// packets in flight per iteration, prefetching each packet's next-node
+// record to hide the walk's dependent-load latency.
 
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "gf2/barrett.hpp"
 #include "gf2/poly.hpp"
 #include "polka/label.hpp"
 
 namespace hp::polka {
 
 class PolkaFabric;
+
+/// Which per-hop reduction kernel a CompiledFabric runs.
+enum class FoldKernel : std::uint8_t {
+  kTable,         ///< slice-by-8 table fold (16 KB/node, portable)
+  kClmulBarrett,  ///< 2x PCLMUL Barrett fold (16 B/node constants)
+};
+
+[[nodiscard]] const char* to_string(FoldKernel kernel) noexcept;
+
+/// True when the PCLMUL Barrett kernel can run on this machine: the
+/// binary was built with PCLMUL support and the CPU reports the
+/// feature (checked once via CPUID).
+[[nodiscard]] bool clmul_fold_supported() noexcept;
+
+/// True when the environment variable HP_FORCE_TABLE_FOLD is set to
+/// anything but "0"/"" -- the CI lever that keeps the table fallback
+/// covered on PCLMUL machines.  Reads the environment on every call;
+/// default_fold_kernel caches its one read.
+[[nodiscard]] bool table_fold_forced() noexcept;
+
+/// The kernel a CompiledFabric picks by default: kClmulBarrett when
+/// clmul_fold_supported() and not table_fold_forced(), else kTable.
+/// Decided once per process.
+[[nodiscard]] FoldKernel default_fold_kernel() noexcept;
+
+/// One Barrett fold through the PCLMUL kernel (the hardware twin of
+/// gf2::fixed::barrett_mod, exposed for parity tests).  Throws
+/// std::runtime_error unless clmul_fold_supported().
+[[nodiscard]] std::uint64_t clmul_barrett_remainder(
+    const gf2::fixed::Barrett64& constants, std::uint64_t label);
 
 /// Number of 64-bit constants in one node's fold table (8 byte lanes x
 /// 256 byte values).
@@ -72,26 +109,61 @@ class LabelFoldEngine {
   unsigned degree_ = 0;
 };
 
+/// The hot per-node record of a CompiledFabric: the Barrett fold
+/// constants and the node's slice of the flattened wiring, padded to 32
+/// bytes so records never straddle more than one 64-byte line boundary
+/// and one prefetch covers everything a hop needs (bar the wiring
+/// entry and, on the table kernel, the fold table).
+struct CompiledNode {
+  std::uint64_t generator = 0;      ///< nodeID coefficient bits (deg <= 32)
+  std::uint64_t mu = 0;             ///< floor(x^64 / generator)
+  std::uint32_t wiring_offset = 0;  ///< into CompiledFabric's next_ array
+  std::uint32_t port_count = 0;
+  std::uint32_t degree = 0;         ///< deg(generator), in [1, 32]
+  std::uint32_t reserved_ = 0;
+};
+static_assert(sizeof(CompiledNode) == 32, "keep the hot record 32 bytes");
+
+namespace detail {
+struct BatchSpec;  // fold_kernels.hpp: one validated batch's pointers
+}
+
 /// Immutable flattened view of a PolkaFabric for batch forwarding.
 class CompiledFabric {
  public:
   /// Port value marking "no neighbour" in the flattened wiring.
   static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
 
-  /// Compile the fabric's current nodes and wiring.  Throws
-  /// std::invalid_argument if any nodeID degree exceeds 32.
+  /// Compile the fabric's current nodes and wiring with the
+  /// default_fold_kernel().  Throws std::invalid_argument if any nodeID
+  /// degree exceeds 32.
   explicit CompiledFabric(const PolkaFabric& fabric);
 
+  /// Compile with an explicit kernel (benches and parity tests force
+  /// both paths this way).  Throws std::invalid_argument when the
+  /// kernel cannot run here (kClmulBarrett without PCLMUL).
+  CompiledFabric(const PolkaFabric& fabric, FoldKernel kernel);
+
+  [[nodiscard]] FoldKernel kernel() const noexcept { return kernel_; }
+
+  /// Switch kernels in place.  Selecting kTable builds the fold tables
+  /// on first use (they are kept across later switches, so toggling is
+  /// cheap for benches); selecting kClmulBarrett throws
+  /// std::invalid_argument when unsupported.  Not thread-safe: switch
+  /// before sharding a replay.
+  void set_kernel(FoldKernel kernel);
+
+  /// Bytes of forwarding state the *active* kernel's hot path reads:
+  /// the node records and wiring, plus the fold tables only on kTable.
+  [[nodiscard]] std::size_t forwarding_state_bytes() const noexcept;
+
   [[nodiscard]] std::size_t node_count() const noexcept {
-    return meta_.size();
+    return nodes_.size();
   }
 
   /// One data-plane mod: the output port of `label` at `node`.
   [[nodiscard]] std::uint32_t port_of(RouteLabel label,
-                                      std::size_t node) const noexcept {
-    return static_cast<std::uint32_t>(
-        fold_remainder(fold_.data() + node * kFoldTableSize, label.bits));
-  }
+                                      std::size_t node) const noexcept;
 
   /// Walk one packet from `first` until it egresses (its computed port
   /// is unwired) or `max_hops` is reached (then result.ttl_expired is
@@ -115,8 +187,10 @@ class CompiledFabric {
   /// Batch of multi-segment packets over pooled segment arrays:
   /// packet i carries refs[i]'s slice of `labels`/`waypoints` and is
   /// injected at firsts[i].  Spans refs/firsts/results must have equal
-  /// length and every ref must stay inside the pools (throws
-  /// std::invalid_argument / std::out_of_range).  Returns total mods.
+  /// length, every ref must stay inside the pools and every first must
+  /// name a node (all validated up front; throws std::invalid_argument
+  /// / std::out_of_range before any result is written).  Returns total
+  /// mods.
   std::size_t forward_batch_segmented(std::span<const RouteLabel> labels,
                                       std::span<const std::uint32_t> waypoints,
                                       std::span<const SegmentRef> refs,
@@ -134,21 +208,26 @@ class CompiledFabric {
                             std::size_t max_hops = 64) const;
 
   /// Batch with a per-packet injection node (mixed-ingress traffic,
-  /// e.g. replaying a workload across many tunnels).
+  /// e.g. replaying a workload across many tunnels).  Every first is
+  /// validated up front (throws std::out_of_range before any result is
+  /// written).
   std::size_t forward_batch(std::span<const RouteLabel> labels,
                             std::span<const std::uint32_t> firsts,
                             std::span<PacketResult> results,
                             std::size_t max_hops = 64) const;
 
  private:
-  struct NodeMeta {
-    std::uint32_t wiring_offset = 0;  ///< into next_
-    std::uint32_t port_count = 0;
-  };
+  /// Dispatch one validated batch to the active kernel's instantiation
+  /// of the shared interleaved walk.
+  std::size_t run(const detail::BatchSpec& spec, bool segmented) const;
 
-  std::vector<NodeMeta> meta_;
-  std::vector<std::uint64_t> fold_;  // kFoldTableSize entries per node
+  /// Build the slice-by-8 tables (idempotent; kTable only needs them).
+  void ensure_fold_tables();
+
+  FoldKernel kernel_ = FoldKernel::kTable;
+  std::vector<CompiledNode> nodes_;
   std::vector<std::uint32_t> next_;  // flattened wiring_, kNoNode = unwired
+  std::vector<std::uint64_t> fold_;  // kFoldTableSize per node; lazy
 };
 
 }  // namespace hp::polka

@@ -1,0 +1,100 @@
+// PCLMUL instantiation of the shared interleaved batch-walk kernel.
+//
+// This translation unit is compiled with -mpclmul (CMake sets the flag
+// per-source when the compiler accepts it) so the Barrett fold's
+// carry-less-multiply intrinsics inline into run_batch's loop; the
+// entry points additionally carry __attribute__((target("pclmul"))) so
+// the ISA contract is visible at the definitions themselves.  Nothing
+// here executes unless clmul_runtime_supported() -- CompiledFabric
+// dispatches at runtime and non-PCLMUL builds get the stubs below.
+
+#include "polka/fold_kernels.hpp"
+
+#if defined(__PCLMUL__)
+
+#include <emmintrin.h>
+#include <wmmintrin.h>
+
+namespace hp::polka::detail {
+
+namespace {
+
+/// label mod generator by Barrett reduction: q = floor((label >> d) *
+/// mu / x^(64-d)) recovered from one 64x64 carry-less multiply, then
+/// label ^ low64(q * generator).  Bit-identical to
+/// gf2::fixed::barrett_mod (see gf2/barrett.hpp for the derivation).
+__attribute__((target("pclmul"), always_inline)) inline std::uint64_t
+barrett_fold_pclmul(std::uint64_t generator, std::uint64_t mu,
+                    std::uint32_t degree, std::uint64_t label) noexcept {
+  // Same degree-0 guard as the software twin: treat the struct's
+  // default as the unit polynomial instead of shifting by 64.
+  if (degree == 0) return 0;
+  const __m128i head_mu = _mm_clmulepi64_si128(
+      _mm_cvtsi64_si128(static_cast<long long>(label >> degree)),
+      _mm_cvtsi64_si128(static_cast<long long>(mu)), 0);
+  const std::uint64_t lo =
+      static_cast<std::uint64_t>(_mm_cvtsi128_si64(head_mu));
+  const std::uint64_t hi = static_cast<std::uint64_t>(
+      _mm_cvtsi128_si64(_mm_unpackhi_epi64(head_mu, head_mu)));
+  const std::uint64_t q = (lo >> (64 - degree)) | (hi << degree);
+  const __m128i q_g = _mm_clmulepi64_si128(
+      _mm_cvtsi64_si128(static_cast<long long>(q)),
+      _mm_cvtsi64_si128(static_cast<long long>(generator)), 0);
+  return label ^ static_cast<std::uint64_t>(_mm_cvtsi128_si64(q_g));
+}
+
+/// Fold functor handed to run_batch: all constants ride in the node
+/// record the kernel already prefetches, so there is nothing extra to
+/// pull in ahead of a hop.
+struct BarrettFold {
+  __attribute__((target("pclmul"), always_inline)) inline std::uint64_t
+  operator()(const CompiledNode& m, std::uint32_t,
+             std::uint64_t label) const noexcept {
+    return barrett_fold_pclmul(m.generator, m.mu, m.degree, label);
+  }
+
+  void prefetch(std::uint32_t) const noexcept {}
+};
+
+}  // namespace
+
+bool clmul_runtime_supported() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("pclmul");
+#else
+  return false;
+#endif
+}
+
+__attribute__((target("pclmul"))) std::uint64_t clmul_fold_one(
+    std::uint64_t generator, std::uint64_t mu, std::uint32_t degree,
+    std::uint64_t label) noexcept {
+  return barrett_fold_pclmul(generator, mu, degree, label);
+}
+
+__attribute__((target("pclmul"))) std::size_t clmul_batch(
+    const FabricView& fabric, const BatchSpec& batch, bool segmented) {
+  return segmented ? run_batch<true>(fabric, batch, BarrettFold{})
+                   : run_batch<false>(fabric, batch, BarrettFold{});
+}
+
+}  // namespace hp::polka::detail
+
+#else  // !defined(__PCLMUL__): portable stubs, unreachable at runtime
+
+namespace hp::polka::detail {
+
+bool clmul_runtime_supported() noexcept { return false; }
+
+std::uint64_t clmul_fold_one(std::uint64_t, std::uint64_t, std::uint32_t,
+                             std::uint64_t) noexcept {
+  return 0;
+}
+
+std::size_t clmul_batch(const FabricView&, const BatchSpec&, bool) {
+  return 0;
+}
+
+}  // namespace hp::polka::detail
+
+#endif

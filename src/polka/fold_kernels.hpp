@@ -1,0 +1,195 @@
+#pragma once
+// The shared interleaved batch-walk kernel behind every CompiledFabric
+// forwarding entry point, written once and instantiated per fold
+// kernel:
+//
+//   * fastpath.cpp instantiates it with TableFold (baseline ISA);
+//   * fold_clmul.cpp instantiates it with the PCLMUL Barrett fold, in a
+//     translation unit compiled with -mpclmul so the carry-less
+//     multiply intrinsics inline into the loop (callers reach it only
+//     through the runtime-dispatched clmul_* entry points below).
+//
+// A packet walk is a chain of dependent loads: fold the label at the
+// current node, look up the port's neighbour, move.  One packet at a
+// time, every hop stalls on the previous hop's cache miss.  The kernel
+// instead keeps kInFlight independent packets resident and advances
+// each one hop per round, issuing a software prefetch of every
+// packet's *next* node record as soon as it is known -- by the time a
+// packet's turn comes again its constants are in flight or resident.
+// Finished packets are refilled from the batch in place, so the lanes
+// stay dense until the stream drains.
+//
+// This header is an implementation detail of polka/fastpath; tests may
+// include it, other subsystems should stay on the CompiledFabric API.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "polka/fastpath.hpp"
+#include "polka/label.hpp"
+
+namespace hp::polka::detail {
+
+/// The fabric arrays a kernel walks (borrowed from a CompiledFabric).
+struct FabricView {
+  const CompiledNode* nodes = nullptr;
+  const std::uint32_t* next = nullptr;
+};
+
+/// One validated batch: parallel input/output pointers.  `firsts` is
+/// read at stride `first_stride` -- 0 broadcasts a single shared
+/// ingress, 1 reads one ingress per packet -- which is how the
+/// single-ingress and per-packet forward_batch overloads share one
+/// kernel.  Exactly one of `labels` (plain batches) or the
+/// pool_labels/pool_waypoints/refs triple (segmented batches) is set.
+struct BatchSpec {
+  const std::uint32_t* firsts = nullptr;
+  std::size_t first_stride = 1;
+  PacketResult* results = nullptr;
+  std::size_t count = 0;
+  std::size_t max_hops = 0;
+  const RouteLabel* labels = nullptr;             // plain
+  const RouteLabel* pool_labels = nullptr;        // segmented
+  const std::uint32_t* pool_waypoints = nullptr;  // segmented
+  const SegmentRef* refs = nullptr;               // segmented
+};
+
+/// Slice-by-8 fold over the lazily built per-node tables.
+struct TableFold {
+  const std::uint64_t* tables;
+
+  [[nodiscard]] std::uint64_t operator()(const CompiledNode&,
+                                         std::uint32_t node,
+                                         std::uint64_t label) const noexcept {
+    return fold_remainder(tables + std::size_t{node} * kFoldTableSize, label);
+  }
+
+  /// The table spans 16 KB; pulling its first line in early still buys
+  /// the lane-0 load (the node record is prefetched by the kernel).
+  void prefetch(std::uint32_t node) const noexcept {
+    __builtin_prefetch(tables + std::size_t{node} * kFoldTableSize);
+  }
+};
+
+inline constexpr std::size_t kInFlight = 8;  ///< packets kept in flight
+
+template <bool Segmented, class Fold>
+inline std::size_t run_batch(const FabricView& fabric, const BatchSpec& batch,
+                             Fold fold) {
+  // Zero hop budget: no folds happen, every packet is killed where the
+  // scalar walks kill it (default egress fields, ttl_expired set).
+  if (batch.max_hops == 0) {
+    for (std::size_t i = 0; i < batch.count; ++i) {
+      PacketResult r;
+      r.ttl_expired = true;
+      batch.results[i] = r;
+    }
+    return 0;
+  }
+
+  struct Slot {
+    std::uint64_t label;
+    const RouteLabel* seg_labels;          // Segmented only
+    const std::uint32_t* seg_waypoints;    // Segmented only
+    std::uint32_t seg;
+    std::uint32_t seg_count;
+    std::uint32_t node;
+    std::uint32_t hops;
+    std::size_t out;
+  };
+
+  Slot slots[kInFlight];
+  std::size_t next_packet = 0;
+  std::size_t active = 0;
+  std::size_t mods = 0;
+
+  const auto load = [&](Slot& s) {
+    const std::size_t i = next_packet++;
+    s.out = i;
+    s.node = batch.firsts[i * batch.first_stride];
+    s.hops = 0;
+    if constexpr (Segmented) {
+      const SegmentRef& ref = batch.refs[i];
+      s.seg_labels = batch.pool_labels + ref.first_label;
+      s.seg_waypoints = batch.pool_waypoints + ref.first_waypoint;
+      s.seg_count = ref.label_count;
+      s.seg = 0;
+      s.label = s.seg_labels[0].bits;
+    } else {
+      s.label = batch.labels[i].bits;
+    }
+    __builtin_prefetch(&fabric.nodes[s.node]);
+    fold.prefetch(s.node);
+  };
+
+  while (active < kInFlight && next_packet < batch.count) {
+    load(slots[active++]);
+  }
+
+  while (active != 0) {
+    std::size_t k = 0;
+    while (k < active) {
+      Slot& s = slots[k];
+      if constexpr (Segmented) {
+        // Waypoints are checked in route order; reaching the next one
+        // re-labels before this node's mod (a waypoint does exactly one
+        // fold, same as every other node, just with its fresh label).
+        if (s.seg + 1 < s.seg_count && s.node == s.seg_waypoints[s.seg]) {
+          ++s.seg;
+          s.label = s.seg_labels[s.seg].bits;
+        }
+      }
+      const CompiledNode& m = fabric.nodes[s.node];
+      const std::uint32_t port =
+          static_cast<std::uint32_t>(fold(m, s.node, s.label));
+      ++s.hops;
+      const std::uint32_t peer = port < m.port_count
+                                     ? fabric.next[m.wiring_offset + port]
+                                     : CompiledFabric::kNoNode;
+      if (peer != CompiledFabric::kNoNode && s.hops < batch.max_hops)
+          [[likely]] {
+        s.node = peer;
+        __builtin_prefetch(&fabric.nodes[peer]);
+        fold.prefetch(peer);
+        ++k;
+        continue;
+      }
+      // Done: either the port is unwired (egress) or the hop budget ran
+      // out with the packet still in flight (ttl kill, never reported
+      // as a delivery).
+      PacketResult r;
+      r.egress_node = s.node;
+      r.egress_port = port;
+      r.hops = s.hops;
+      r.ttl_expired = peer != CompiledFabric::kNoNode;
+      batch.results[s.out] = r;
+      mods += s.hops;
+      if (next_packet < batch.count) {
+        load(s);  // refill in place; its first hop runs next round
+        ++k;
+      } else {
+        slots[k] = slots[--active];  // compact; re-examine the mover
+      }
+    }
+  }
+  return mods;
+}
+
+// --- PCLMUL kernel entry points (fold_clmul.cpp) ----------------------
+// Stubs returning false/0 when the binary was built without PCLMUL
+// support; never called unless clmul_runtime_supported().
+
+/// CPUID says the CPU can run PCLMULQDQ (false when compiled out).
+[[nodiscard]] bool clmul_runtime_supported() noexcept;
+
+/// One Barrett fold through the hardware carry-less multiplier.
+[[nodiscard]] std::uint64_t clmul_fold_one(std::uint64_t generator,
+                                           std::uint64_t mu,
+                                           std::uint32_t degree,
+                                           std::uint64_t label) noexcept;
+
+/// run_batch instantiated with the PCLMUL Barrett fold.
+std::size_t clmul_batch(const FabricView& fabric, const BatchSpec& batch,
+                        bool segmented);
+
+}  // namespace hp::polka::detail

@@ -16,9 +16,9 @@ namespace {
 /// One worker's walk over its slice: fill private batch buffers
 /// (skipping dead pairs), stream them through the compiled fabric and
 /// check each result against its pair's expectation.  Multi-segment
-/// lanes forward immediately through forward_segmented -- the same
-/// scalar uint64 fold walk the batch runs per packet, just carrying the
-/// lane's pooled labels.
+/// lanes fill their own batch and stream through the pooled
+/// forward_batch_segmented -- the same interleaved fold walk as the
+/// single-label batch, just carrying each lane's pooled labels.
 void replay_slice(const polka::CompiledFabric& fabric,
                   std::span<const polka::RouteLabel> labels,
                   std::span<const std::uint32_t> ingress,
@@ -31,7 +31,14 @@ void replay_slice(const polka::CompiledFabric& fabric,
   std::vector<std::uint32_t> batch_firsts(batch_size);
   std::vector<std::uint32_t> batch_index(batch_size);
   std::vector<polka::PacketResult> batch_results(batch_size);
+  // Segmented-lane buffers exist only when the stream has segments.
+  const std::size_t seg_capacity = segments.refs.empty() ? 0 : batch_size;
+  std::vector<polka::SegmentRef> seg_refs(seg_capacity);
+  std::vector<std::uint32_t> seg_firsts(seg_capacity);
+  std::vector<std::uint32_t> seg_index(seg_capacity);
+  std::vector<polka::PacketResult> seg_results(seg_capacity);
   std::size_t fill = 0;
+  std::size_t seg_fill = 0;
   auto score = [&](const polka::PacketResult& result, std::uint32_t lane) {
     if (result.ttl_expired) {
       ++out.ttl_expired;
@@ -51,6 +58,20 @@ void replay_slice(const polka::CompiledFabric& fabric,
     out.packets += fill;
     fill = 0;
   };
+  auto flush_segmented = [&] {
+    if (seg_fill == 0) return;
+    out.mod_operations += fabric.forward_batch_segmented(
+        segments.labels, segments.waypoints,
+        std::span<const polka::SegmentRef>(seg_refs.data(), seg_fill),
+        std::span<const std::uint32_t>(seg_firsts.data(), seg_fill),
+        std::span<polka::PacketResult>(seg_results.data(), seg_fill),
+        max_hops);
+    for (std::size_t i = 0; i < seg_fill; ++i) {
+      score(seg_results[i], seg_index[i]);
+    }
+    out.packets += seg_fill;
+    seg_fill = 0;
+  };
   for (std::size_t i = 0; i < labels.size(); ++i) {
     const std::uint32_t lane = index[i];
     if (!alive.empty() && !alive[lane]) {
@@ -59,15 +80,12 @@ void replay_slice(const polka::CompiledFabric& fabric,
     }
     if (!segments.refs.empty() && segments.refs[lane].label_count > 1) {
       const polka::SegmentRef& ref = segments.refs[lane];
-      const polka::PacketResult result = fabric.forward_segmented(
-          segments.labels.subspan(ref.first_label, ref.label_count),
-          segments.waypoints.subspan(ref.first_waypoint, ref.label_count - 1),
-          ingress[i], max_hops);
-      out.mod_operations += result.hops;
-      ++out.packets;
+      seg_refs[seg_fill] = ref;
+      seg_firsts[seg_fill] = ingress[i];
+      seg_index[seg_fill] = lane;
       ++out.segmented_packets;
       out.segment_swaps += ref.label_count - 1;
-      score(result, lane);
+      if (++seg_fill == batch_size) flush_segmented();
       continue;
     }
     batch_labels[fill] = labels[i];
@@ -77,6 +95,7 @@ void replay_slice(const polka::CompiledFabric& fabric,
     if (fill == batch_size) flush();
   }
   flush();
+  flush_segmented();
 }
 
 }  // namespace
@@ -123,6 +142,7 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
     for (auto& t : pool) t.join();
   }
   ScenarioReport report;
+  report.fold_kernel = fabric.kernel();
   for (const ScenarioReport& p : partial) {
     report.packets += p.packets;
     report.mod_operations += p.mod_operations;
@@ -162,6 +182,7 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
   }
 
   ScenarioReport report;
+  report.fold_kernel = fast.kernel();
   std::size_t done = 0;
   std::size_t next_failure = 0;
   while (done < total || next_failure < failures.size()) {

@@ -47,15 +47,23 @@ struct ScenarioReport {
   std::size_t rerouted_pairs = 0;  ///< pairs recompiled after failures
   std::size_t dropped_packets = 0; ///< pair unroutable after a failure
   std::size_t ttl_expired = 0;     ///< packets killed by the hop cap
-  /// Segment-routing instrumentation: packets replayed through
-  /// forward_segmented (their pair needed > 1 label) and the label
-  /// swaps their routes encode.  Both zero on fully single-label runs.
+  /// Segment-routing instrumentation: packets replayed through the
+  /// segmented walk (their pair needed > 1 label) and the label swaps
+  /// their routes encode.  Both zero on fully single-label runs.
   std::size_t segmented_packets = 0;
   std::size_t segment_swaps = 0;
+  /// The per-hop reduction kernel the replayed fabric ran (PCLMUL
+  /// Barrett vs slice-by-8 table -- see polka/fastpath.hpp), so replay
+  /// reports say which data-plane path produced their numbers.
+  polka::FoldKernel fold_kernel = polka::FoldKernel::kTable;
   double seconds = 0.0;            ///< wall clock of the forwarding epochs
 
   [[nodiscard]] double packets_per_sec() const noexcept {
     return seconds > 0.0 ? static_cast<double>(packets) / seconds : 0.0;
+  }
+
+  [[nodiscard]] const char* fold_kernel_name() const noexcept {
+    return polka::to_string(fold_kernel);
   }
 };
 

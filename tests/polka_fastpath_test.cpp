@@ -171,6 +171,63 @@ TEST(CompiledFabric, BatchMatchesPerPacketWalks) {
   EXPECT_LT(mods2, mods);  // the re-injected packet walks fewer hops
 }
 
+TEST(CompiledFabric, InterleavedBatchRefillsMatchScalarWalks) {
+  // Far more packets than the kernel keeps in flight, with wildly
+  // uneven walk lengths (different ingress depths and a few hop-capped
+  // loopers), so lane refill and compaction both trigger.  Every result
+  // must equal the scalar walk's, under both fold kernels.
+  const PolkaFabric fabric = make_chain(12);
+  std::vector<std::size_t> path(12);
+  for (std::size_t i = 0; i < 12; ++i) path[i] = i;
+
+  std::vector<RouteLabel> labels;
+  std::vector<std::uint32_t> firsts;
+  for (unsigned egress = 0; egress < 4; ++egress) {
+    const RouteLabel label =
+        pack_label_checked(fabric.route_for_path(path, egress));
+    for (std::uint32_t first = 0; first < 12; first += 3) {
+      labels.push_back(label);
+      firsts.push_back(first);
+    }
+    labels.push_back(RouteLabel{0});  // orbits ports 0/1; dies on the cap
+    firsts.push_back(egress % 12);
+  }
+  ASSERT_GT(labels.size(), 2 * 8u);  // > 2x the in-flight lane count
+
+  const std::size_t max_hops = 16;
+  for (const FoldKernel kernel :
+       {FoldKernel::kTable, FoldKernel::kClmulBarrett}) {
+    if (kernel == FoldKernel::kClmulBarrett && !clmul_fold_supported()) {
+      continue;
+    }
+    const CompiledFabric fast(fabric, kernel);
+    std::vector<PacketResult> expected;
+    std::size_t want_mods = 0;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      expected.push_back(fast.forward_one(labels[i], firsts[i], max_hops));
+      want_mods += expected.back().hops;
+    }
+    std::vector<PacketResult> got(labels.size());
+    const std::size_t mods = fast.forward_batch(
+        labels, firsts, std::span<PacketResult>(got), max_hops);
+    EXPECT_EQ(got, expected) << to_string(kernel);
+    EXPECT_EQ(mods, want_mods) << to_string(kernel);
+  }
+}
+
+TEST(CompiledFabric, ZeroHopBudgetKillsEveryPacketWithoutFolding) {
+  const PolkaFabric fabric = make_chain(3);
+  const CompiledFabric& fast = fabric.compiled();
+  const PacketResult killed = fast.forward_one(RouteLabel{1}, 1, 0);
+  EXPECT_TRUE(killed.ttl_expired);
+  EXPECT_EQ(killed.hops, 0u);
+  std::vector<RouteLabel> labels(3, RouteLabel{1});
+  std::vector<PacketResult> results(3);
+  EXPECT_EQ(fast.forward_batch(labels, 1, std::span<PacketResult>(results), 0),
+            0u);
+  for (const PacketResult& r : results) EXPECT_EQ(r, killed);
+}
+
 TEST(CompiledFabric, BatchValidatesArguments) {
   const PolkaFabric fabric = make_chain(3);
   const CompiledFabric& fast = fabric.compiled();
