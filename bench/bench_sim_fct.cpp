@@ -1,0 +1,92 @@
+// Event-driven FCT bench: per-family flow-completion-time percentiles
+// and drop rate through the packet-level simulator (src/sim).
+//
+// Where bench_scenario_sweep measures raw forwarding packets/sec, this
+// bench runs the same registry scenarios on timed links -- finite
+// egress queues, serialization + propagation delay -- and reports what
+// the congestion actually does to flows: nearest-rank p50/p95 FCT
+// (microseconds), drop rate and the deepest queue seen.  items/sec is
+// simulated packets processed per wall second (the engine's event
+// throughput), so a perf regression in the simulator itself also shows
+// up in CI's bench-smoke artifact.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/registry.hpp"
+#include "scenario/traffic.hpp"
+#include "sim/runner.hpp"
+
+namespace {
+
+namespace scenario = hp::scenario;
+namespace sim = hp::sim;
+
+scenario::ScenarioSpec bench_spec(const scenario::ScenarioSpec& base,
+                                  scenario::TrafficPattern pattern) {
+  scenario::ScenarioSpec spec = base;
+  spec.traffic.pattern = pattern;
+  spec.traffic.packets = 1 << 13;
+  spec.traffic.max_pairs = 128;
+  spec.traffic.seed = 5;
+  return spec;
+}
+
+void BM_SimFct(benchmark::State& state, const scenario::ScenarioSpec spec) {
+  sim::SimReport last;
+  for (auto _ : state) {
+    last = sim::run_sim_scenario(spec);
+    benchmark::DoNotOptimize(last.duration_ns);
+  }
+  if (last.forwarding.wrong_egress != 0) {
+    state.SkipWithError("egress mismatches");
+    return;
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(spec.traffic.packets));
+  state.counters["fct_p50_us"] =
+      static_cast<double>(last.fct_p50_ns()) / 1e3;
+  state.counters["fct_p95_us"] =
+      static_cast<double>(last.fct_p95_ns()) / 1e3;
+  state.counters["drop_rate"] = last.drop_rate();
+  state.counters["max_queue"] = static_cast<double>(last.max_queue_depth);
+  state.counters["completed_flows"] =
+      static_cast<double>(last.completed_flows);
+  state.SetLabel(std::string(last.forwarding.fold_kernel_name()) + ", " +
+                 std::to_string(last.flows) + " flows");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // One spec per topology family x {uniform, hotspot}: uniform shows
+  // baseline queueing, hotspot shows incast on the hot destination.
+  std::vector<scenario::TopologyFamily> seen;
+  for (const scenario::ScenarioSpec& base : scenario::builtin_scenarios()) {
+    if (std::find(seen.begin(), seen.end(), base.family) != seen.end()) {
+      continue;
+    }
+    seen.push_back(base.family);
+    for (const auto pattern : {scenario::TrafficPattern::kUniformRandom,
+                               scenario::TrafficPattern::kHotspot}) {
+      const scenario::ScenarioSpec spec = bench_spec(base, pattern);
+      benchmark::RegisterBenchmark(
+          ("BM_SimFct/" + std::string(scenario::to_string(base.family)) +
+           "/" + scenario::to_string(pattern))
+              .c_str(),
+          [spec](benchmark::State& state) { BM_SimFct(state, spec); })
+          ->UseRealTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

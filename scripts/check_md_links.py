@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Verify that relative links in the repo's markdown files resolve.
+
+Scans every tracked *.md file, extracts inline links and images
+(``[text](target)``), skips absolute URLs and pure in-page anchors, and
+checks that each remaining target exists relative to the file that
+names it.  Exits 1 and prints ``file: missing target`` lines when any
+link is dangling, so CI fails on docs that drift from the tree.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_DIRS = {".git", "build", ".github"}
+
+
+def md_files(root: Path) -> list[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if any(part in SKIP_DIRS for part in path.relative_to(root).parts):
+            continue
+        files.append(path)
+    return files
+
+
+def check(root: Path) -> int:
+    missing = 0
+    for md in md_files(root):
+        text = md.read_text(encoding="utf-8")
+        # Drop fenced code blocks: link-looking text in examples is not
+        # a navigable link.
+        text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, mailto:, ...
+                continue
+            if target.startswith("#"):  # in-page anchor
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                rel = md.relative_to(root)
+                print(f"{rel}: missing link target {target}")
+                missing += 1
+    if missing:
+        print(f"{missing} dangling markdown link(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    repo_root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(__file__).resolve().parent.parent
+    sys.exit(check(repo_root))

@@ -6,6 +6,13 @@
 // the event queue carries flow arrivals/departures, path migrations
 // (the PBR rewrites of Figs 11/12), ICMP-style RTT probes and periodic
 // telemetry samples.  All series are recorded for the benches to print.
+//
+// Scope: this is the *flow-level* rate estimator used by the
+// control-plane benches (predictive routing, workload replay) -- no
+// packets, no queues, no losses.  For packet-level congestion metrics
+// (FCT distributions, tail drops, ECN, queue depths) on generated
+// scenarios, use the event-driven simulator in src/sim (sim/runner.hpp),
+// which forwards through the same compiled PolKA fast path.
 
 #include <cstdint>
 #include <functional>

@@ -175,6 +175,17 @@ std::uint32_t CompiledFabric::port_of(RouteLabel label,
       fold_remainder(fold_.data() + node * kFoldTableSize, label.bits));
 }
 
+std::uint32_t CompiledFabric::port_count(std::size_t node) const {
+  return nodes_.at(node).port_count;
+}
+
+std::uint32_t CompiledFabric::neighbor(std::size_t node,
+                                       std::uint32_t port) const {
+  const CompiledNode& m = nodes_.at(node);
+  if (port >= m.port_count) return kNoNode;
+  return next_[m.wiring_offset + port];
+}
+
 std::size_t CompiledFabric::run(const detail::BatchSpec& spec,
                                 bool segmented) const {
   const detail::FabricView view{nodes_.data(), next_.data()};

@@ -162,8 +162,25 @@ class CompiledFabric {
   }
 
   /// One data-plane mod: the output port of `label` at `node`.
+  /// \param label packed routeID the node folds
+  /// \param node compiled node index (caller guarantees < node_count())
+  /// \return the port index, i.e. `label mod nodeID` as packed bits
   [[nodiscard]] std::uint32_t port_of(RouteLabel label,
                                       std::size_t node) const noexcept;
+
+  /// Fabric ports of one node (wired neighbour ports plus any unwired
+  /// egress ports).  Throws std::out_of_range on a bad node.
+  [[nodiscard]] std::uint32_t port_count(std::size_t node) const;
+
+  /// Neighbour reached from `node` through `port` -- the same wiring
+  /// lookup the batch walk kernels perform after each fold.  Returns
+  /// kNoNode when the port is unwired (the packet egresses there) or
+  /// `port >= port_count(node)` (out-of-range remainders egress too).
+  /// Throws std::out_of_range on a bad node.  This is the hop-stepping
+  /// primitive the event-driven simulator (src/sim) walks with, so the
+  /// timed data plane and the pure-throughput replay share one wiring.
+  [[nodiscard]] std::uint32_t neighbor(std::size_t node,
+                                       std::uint32_t port) const;
 
   /// Walk one packet from `first` until it egresses (its computed port
   /// is unwired) or `max_hops` is reached (then result.ttl_expired is

@@ -143,15 +143,10 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
   }
   ScenarioReport report;
   report.fold_kernel = fabric.kernel();
-  for (const ScenarioReport& p : partial) {
-    report.packets += p.packets;
-    report.mod_operations += p.mod_operations;
-    report.wrong_egress += p.wrong_egress;
-    report.dropped_packets += p.dropped_packets;
-    report.ttl_expired += p.ttl_expired;
-    report.segmented_packets += p.segmented_packets;
-    report.segment_swaps += p.segment_swaps;
-  }
+  // Worker partials follow the documented shard-merge schema: counters
+  // sum; their `seconds` are zero (concurrent shard wall clock must be
+  // measured around the join, not summed) and are overwritten below.
+  for (const ScenarioReport& p : partial) report.merge_from(p);
   report.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
@@ -208,14 +203,8 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
           std::span<const std::uint32_t>(stream.pair.data() + done, count),
           expected, alive, segments, options_.threads, options_.batch_size,
           options_.max_hops);
-      report.packets += epoch.packets;
-      report.mod_operations += epoch.mod_operations;
-      report.wrong_egress += epoch.wrong_egress;
-      report.dropped_packets += epoch.dropped_packets;
-      report.ttl_expired += epoch.ttl_expired;
-      report.segmented_packets += epoch.segmented_packets;
-      report.segment_swaps += epoch.segment_swaps;
-      report.seconds += epoch.seconds;
+      // Sequential epoch partials: counters and wall clock both sum.
+      report.merge_from(epoch);
       done = end;
     }
     if (next_failure < failures.size()) {

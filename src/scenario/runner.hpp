@@ -40,6 +40,23 @@ struct RunnerOptions {
 };
 
 /// Merged counters of one replay.
+///
+/// Shard-merge schema (merge_from): a full report is the merge of
+/// per-shard partial reports, and the rules are part of the type's
+/// contract because three layers build on them (replay_shards' worker
+/// merge, ScenarioRunner's epoch merge, and sim::SimReport's embedded
+/// copy):
+///  * every packet/work counter (packets .. segment_swaps) SUMS --
+///    shards partition the stream, so counts are disjoint;
+///  * `seconds` SUMS, which is correct only for *sequential* partials
+///    (epochs).  Parallel shard wall clock is measured around the
+///    join by replay_shards itself -- never sum concurrent partials;
+///  * `fold_kernel` must MATCH across partials (one compiled fabric
+///    per run); merge_from keeps the destination's value;
+///  * distribution metrics (e.g. FCT percentiles) are NOT part of this
+///    struct precisely because they cannot be merged as counters: a
+///    p95 must be recomputed from pooled samples, never averaged --
+///    sim::SimReport carries its samples for that reason.
 struct ScenarioReport {
   std::size_t packets = 0;         ///< packets actually forwarded
   std::size_t mod_operations = 0;  ///< data-plane work (== total hops)
@@ -65,6 +82,22 @@ struct ScenarioReport {
   [[nodiscard]] const char* fold_kernel_name() const noexcept {
     return polka::to_string(fold_kernel);
   }
+
+  /// Fold a partial report in, per the shard-merge schema above.
+  void merge_from(const ScenarioReport& partial) noexcept {
+    packets += partial.packets;
+    mod_operations += partial.mod_operations;
+    wrong_egress += partial.wrong_egress;
+    rerouted_pairs += partial.rerouted_pairs;
+    dropped_packets += partial.dropped_packets;
+    ttl_expired += partial.ttl_expired;
+    segmented_packets += partial.segmented_packets;
+    segment_swaps += partial.segment_swaps;
+    seconds += partial.seconds;
+  }
+
+  friend bool operator==(const ScenarioReport&,
+                         const ScenarioReport&) noexcept = default;
 };
 
 /// Pooled per-pair segment routes for a replay: refs is indexed by the

@@ -1,0 +1,80 @@
+#pragma once
+// Binary-heap event queue with integer timestamps.
+//
+// The discrete-event data plane (src/sim/packet_sim.hpp) advances by
+// popping the earliest pending event; simulated time is a plain
+// std::uint64_t nanosecond counter (`Tick`), never a double, so event
+// ordering -- and therefore every simulated result -- is bit-exact
+// across runs, compilers and machines.  Events carry only POD payload
+// (a kind tag and one 32-bit argument); the engine owns all state and
+// interprets the payload, keeping the heap entries 24 bytes and the
+// queue allocation-free after its first growth.
+//
+// Same-time events fire in push order: every push stamps a strictly
+// increasing sequence number that breaks timestamp ties, the property
+// the determinism tests pin down.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace hp::sim {
+
+/// Simulated time in integer nanoseconds.
+using Tick = std::uint64_t;
+
+/// One scheduled occurrence.  `kind` and `arg` are interpreted by the
+/// engine that pushed the event (e.g. packet arrival at a node vs a
+/// channel queue drain).
+struct Event {
+  Tick at = 0;            ///< absolute simulated time
+  std::uint64_t seq = 0;  ///< push order; breaks same-tick ties FIFO
+  std::uint32_t kind = 0;
+  std::uint32_t arg = 0;
+};
+
+/// Min-heap of events ordered by (at, seq).
+///
+/// A thin, deterministic wrapper over std::push_heap/std::pop_heap on a
+/// contiguous vector -- the classic binary heap, O(log n) push/pop with
+/// no node allocations.
+class EventQueue {
+ public:
+  /// Schedule `kind(arg)` at absolute time `at` (>= the caller's
+  /// current time by convention; the queue itself does not check).
+  void push(Tick at, std::uint32_t kind, std::uint32_t arg) {
+    heap_.push_back(Event{at, next_seq_++, kind, arg});
+    std::push_heap(heap_.begin(), heap_.end(), After{});
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// The earliest pending event (undefined when empty()).
+  [[nodiscard]] const Event& top() const noexcept { return heap_.front(); }
+
+  /// Remove and return the earliest pending event.
+  Event pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), After{});
+    const Event e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+
+  void reserve(std::size_t n) { heap_.reserve(n); }
+
+ private:
+  /// "a fires after b": the std::*_heap comparator producing a min-heap
+  /// on (at, seq).
+  struct After {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::vector<Event> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace hp::sim

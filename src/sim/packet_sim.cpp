@@ -1,0 +1,187 @@
+#include "sim/packet_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hp::sim {
+
+namespace {
+
+/// Event kinds on the engine's queue.
+enum EventKind : std::uint32_t {
+  kArrive = 0,  ///< arg = packet index; packet reaches its state's node
+  kDrain = 1,   ///< arg = channel index; one serialization finished
+};
+
+}  // namespace
+
+PacketSim::PacketSim(const polka::CompiledFabric& fabric,
+                     std::vector<Channel> channels,
+                     std::vector<std::uint32_t> node_offset,
+                     std::vector<std::uint32_t> port_channel, SimConfig config)
+    : fabric_(fabric),
+      channels_(std::move(channels)),
+      node_offset_(std::move(node_offset)),
+      port_channel_(std::move(port_channel)),
+      config_(std::move(config)) {
+  const std::size_t n = fabric_.node_count();
+  if (node_offset_.size() != n + 1 || node_offset_.front() != 0 ||
+      node_offset_.back() != port_channel_.size()) {
+    throw std::invalid_argument("PacketSim: node_offset shape mismatch");
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (node_offset_[i] > node_offset_[i + 1] ||
+        node_offset_[i + 1] - node_offset_[i] != fabric_.port_count(i)) {
+      throw std::invalid_argument(
+          "PacketSim: node_offset does not match the fabric's port counts");
+    }
+  }
+  for (const std::uint32_t c : port_channel_) {
+    if (c != kNoChannel && c >= channels_.size()) {
+      throw std::invalid_argument("PacketSim: channel index out of range");
+    }
+  }
+  result_.links.assign(channels_.size(), LinkStat{});
+  channel_state_.assign(channels_.size(), ChannelState{});
+}
+
+void PacketSim::set_segment_pool(std::span<const polka::RouteLabel> labels,
+                                 std::span<const std::uint32_t> waypoints) {
+  pool_labels_ = labels;
+  pool_waypoints_ = waypoints;
+}
+
+std::uint32_t PacketSim::add_flow(const polka::PacketResult& expected) {
+  flow_expected_.push_back(expected);
+  result_.flows.push_back(FlowStat{});
+  return static_cast<std::uint32_t>(flow_expected_.size() - 1);
+}
+
+void PacketSim::inject(Tick at, polka::RouteLabel label, polka::SegmentRef ref,
+                       std::uint32_t source, std::uint32_t flow) {
+  if (source >= fabric_.node_count()) {
+    throw std::invalid_argument("PacketSim::inject: bad source node");
+  }
+  if (flow >= flow_expected_.size()) {
+    throw std::invalid_argument("PacketSim::inject: unknown flow");
+  }
+  if (ref.label_count == 0 ||
+      (ref.label_count > 1 &&
+       (ref.first_label + std::size_t{ref.label_count} > pool_labels_.size() ||
+        ref.first_waypoint + std::size_t{ref.label_count} - 1 >
+            pool_waypoints_.size()))) {
+    throw std::invalid_argument(
+        "PacketSim::inject: segment ref outside the pools");
+  }
+  PacketState p;
+  // Mirrors replay_slice's lane split: pooled labels only for genuinely
+  // multi-segment routes (a default ref's first_label means nothing).
+  p.label = ref.label_count > 1 ? pool_labels_[ref.first_label].bits
+                                : label.bits;
+  p.ref = ref;
+  p.node = source;
+  p.flow = flow;
+  const auto index = static_cast<std::uint32_t>(packets_.size());
+  packets_.push_back(p);
+  FlowStat& fs = result_.flows[flow];
+  if (fs.packets == 0 || at < fs.first_inject) fs.first_inject = at;
+  ++fs.packets;
+  ++result_.counters.injected;
+  if (ref.label_count > 1) ++result_.counters.segmented_packets;
+  queue_.push(at, kArrive, index);
+}
+
+void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
+  PacketState& s = packets_[packet];
+  SimCounters& c = result_.counters;
+  // Waypoint re-label before this node's mod, exactly as the batch walk
+  // kernel does (fold_kernels.hpp): a waypoint folds once like every
+  // other node, just with its fresh label.
+  if (s.seg + 1 < s.ref.label_count &&
+      s.node == pool_waypoints_[s.ref.first_waypoint + s.seg]) {
+    ++s.seg;
+    s.label = pool_labels_[s.ref.first_label + s.seg].bits;
+    ++c.segment_swaps;
+  }
+  const std::uint32_t port =
+      fabric_.port_of(polka::RouteLabel{s.label}, s.node);
+  ++c.mod_operations;
+  ++s.hops;
+  const std::uint32_t peer = fabric_.neighbor(s.node, port);
+  FlowStat& fs = result_.flows[s.flow];
+  if (peer == polka::CompiledFabric::kNoNode) {
+    // Unwired port: the packet egresses here -- a delivery.
+    ++c.delivered;
+    ++fs.delivered;
+    fs.last_delivery = std::max(fs.last_delivery, t);
+    const polka::PacketResult got{s.node, port, s.hops, false};
+    if (got != flow_expected_[s.flow]) ++c.wrong_egress;
+    return;
+  }
+  if (s.hops >= config_.max_hops) {
+    ++c.ttl_expired;
+    ++fs.ttl_expired;
+    return;
+  }
+  const std::uint32_t ch = port_channel_[node_offset_[s.node] + port];
+  if (ch == kNoChannel) {
+    // A wired fabric port the runner gave no channel (should not happen
+    // on runner-built maps); treat as an egress so the walk terminates.
+    ++c.delivered;
+    ++fs.delivered;
+    fs.last_delivery = std::max(fs.last_delivery, t);
+    const polka::PacketResult got{s.node, port, s.hops, false};
+    if (got != flow_expected_[s.flow]) ++c.wrong_egress;
+    return;
+  }
+  const Channel& link = channels_[ch];
+  ChannelState& state = channel_state_[ch];
+  LinkStat& stat = result_.links[ch];
+  if (state.queued >= link.queue_capacity) {
+    // Tail drop: the egress FIFO is full.
+    ++c.dropped;
+    ++fs.dropped;
+    ++stat.tail_drops;
+    return;
+  }
+  ++state.queued;
+  stat.max_queue_depth = std::max(stat.max_queue_depth, state.queued);
+  if (link.ecn_threshold != 0 && state.queued >= link.ecn_threshold) {
+    ++c.ecn_marked;
+    ++stat.ecn_marks;
+    if (config_.ecn_hook) config_.ecn_hook(ch, state.queued);
+  }
+  // FIFO serialization: the wire commits to this packet after everything
+  // already queued; the departure time is known at enqueue time.
+  const Tick start = std::max(t, state.free_at);
+  const Tick depart = start + link.serialize_ns;
+  state.free_at = depart;
+  stat.busy_ns += link.serialize_ns;
+  ++stat.forwarded;
+  s.node = peer;
+  // Drain (queue slot freed) before the downstream arrival: pushed
+  // first, so a zero-latency tie still frees the slot first.
+  queue_.push(depart, kDrain, ch);
+  queue_.push(depart + link.latency_ns, kArrive, packet);
+}
+
+SimResult PacketSim::run() {
+  while (!queue_.empty()) {
+    const Event e = queue_.pop();
+    now_ = e.at;
+    switch (e.kind) {
+      case kArrive:
+        handle_arrival(e.at, e.arg);
+        break;
+      case kDrain:
+        --channel_state_[e.arg].queued;
+        break;
+      default:
+        throw std::logic_error("PacketSim: unknown event kind");
+    }
+  }
+  result_.counters.end_ns = now_;
+  return result_;
+}
+
+}  // namespace hp::sim

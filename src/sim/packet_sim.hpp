@@ -1,0 +1,210 @@
+#pragma once
+// Event-driven packet-level data plane over a CompiledFabric.
+//
+// Replay (scenario/runner.hpp) measures pure forwarding throughput:
+// every packet walks its whole route in one go, so queueing, latency
+// and loss are invisible.  PacketSim adds the missing time axis while
+// keeping the exact same forwarding decisions: at every hop the packet
+// folds its label through CompiledFabric::port_of (the PCLMUL Barrett
+// or slice-by-8 table kernel, whichever the fabric runs) and moves to
+// CompiledFabric::neighbor(node, port) -- the hop sequence is
+// bit-identical to forward_one / forward_segmented, including waypoint
+// re-labels on multi-segment routes.
+//
+// The timing model is classic store-and-forward output queueing, in
+// the style of hansungk/netsim's Sim { EventQueue, Router, Channel,
+// Stat }:
+//
+//  * each directed router adjacency is a Channel with a propagation
+//    latency and a per-packet serialization delay (wire size over link
+//    bandwidth);
+//  * the channel's upstream side is a finite FIFO egress queue: a
+//    packet routed onto a busy channel waits behind the packets
+//    already committed; arriving at a full queue is a tail drop, and
+//    crossing `ecn_threshold` fires the ECN-mark hook;
+//  * per-flow and per-link Stat accumulate delivery times (FCT),
+//    queue-depth high-water marks, drops/marks and busy time (link
+//    utilization).
+//
+// Time is integer nanoseconds on a binary-heap EventQueue
+// (event_queue.hpp); processing is single-threaded and the tie order
+// is pinned, so a fixed input schedule produces a bit-identical
+// SimResult on every run.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "polka/fastpath.hpp"
+#include "polka/label.hpp"
+#include "sim/event_queue.hpp"
+
+namespace hp::sim {
+
+/// One directed channel: the timing constants of a router-to-router
+/// link plus the bounds of its upstream egress queue.
+struct Channel {
+  Tick latency_ns = 0;    ///< propagation delay
+  Tick serialize_ns = 1;  ///< transmission time of one packet
+  std::uint32_t queue_capacity = 64;  ///< packets queued or in service
+  std::uint32_t ecn_threshold = 48;   ///< mark at/above this depth; 0 = off
+};
+
+/// Per-channel accumulated statistics.
+struct LinkStat {
+  std::uint64_t forwarded = 0;   ///< packets serialized onto the wire
+  std::uint64_t tail_drops = 0;  ///< arrivals at a full egress queue
+  std::uint64_t ecn_marks = 0;   ///< enqueues at/above the ECN threshold
+  std::uint32_t max_queue_depth = 0;  ///< high-water mark (packets)
+  Tick busy_ns = 0;  ///< total time the wire was serializing
+
+  /// Fraction of `duration` the wire was busy (0 when duration == 0).
+  [[nodiscard]] double utilization(Tick duration) const noexcept {
+    return duration == 0 ? 0.0
+                         : static_cast<double>(busy_ns) /
+                               static_cast<double>(duration);
+  }
+
+  friend bool operator==(const LinkStat&, const LinkStat&) noexcept = default;
+};
+
+/// Per-flow accumulated statistics.  A flow is complete when every one
+/// of its packets was delivered; its FCT is last delivery - first
+/// injection.
+struct FlowStat {
+  std::uint32_t packets = 0;    ///< injected so far
+  std::uint32_t delivered = 0;
+  std::uint32_t dropped = 0;    ///< tail-dropped at some queue
+  std::uint32_t ttl_expired = 0;
+  Tick first_inject = 0;
+  Tick last_delivery = 0;
+
+  [[nodiscard]] bool complete() const noexcept {
+    return packets > 0 && delivered == packets;
+  }
+  [[nodiscard]] Tick fct_ns() const noexcept {
+    return complete() ? last_delivery - first_inject : 0;
+  }
+
+  friend bool operator==(const FlowStat&, const FlowStat&) noexcept = default;
+};
+
+/// Engine-wide knobs.
+struct SimConfig {
+  std::size_t max_hops = 64;  ///< same hop cap as the replay walks
+  /// ECN-mark hook: called once per marked packet with (channel index,
+  /// queue depth after enqueue).  Marks are counted either way; the
+  /// hook is where a congestion-control layer (or a test) taps in.
+  std::function<void(std::uint32_t channel, std::uint32_t depth)> ecn_hook;
+};
+
+/// Merged outcome of one PacketSim::run().
+struct SimCounters {
+  std::size_t injected = 0;
+  std::size_t delivered = 0;
+  std::size_t dropped = 0;        ///< tail drops
+  std::size_t ttl_expired = 0;
+  std::size_t wrong_egress = 0;   ///< delivery diverged from expectation
+  std::size_t mod_operations = 0; ///< label folds == hops walked
+  std::size_t ecn_marked = 0;
+  std::size_t segmented_packets = 0;  ///< injected with > 1 segment label
+  std::size_t segment_swaps = 0;      ///< waypoint re-labels performed
+  Tick end_ns = 0;  ///< time of the last processed event
+
+  friend bool operator==(const SimCounters&, const SimCounters&) noexcept =
+      default;
+};
+
+struct SimResult {
+  SimCounters counters;
+  std::vector<LinkStat> links;  ///< one per channel
+  std::vector<FlowStat> flows;  ///< one per registered flow
+
+  friend bool operator==(const SimResult&, const SimResult&) = default;
+};
+
+/// The event-driven engine.  Wire it (channels + the per-port channel
+/// map), register flows, inject packets, then run() to drain the event
+/// queue.  `fabric` and the pooled segment arrays are borrowed and must
+/// outlive run().
+class PacketSim {
+ public:
+  /// Marks a fabric port with no channel behind it (an egress port).
+  static constexpr std::uint32_t kNoChannel = 0xFFFFFFFFu;
+
+  /// \param fabric compiled data plane whose kernels make every
+  ///   forwarding decision
+  /// \param channels one entry per directed router adjacency
+  /// \param node_offset size node_count() + 1: node n's ports map
+  ///   through port_channel[node_offset[n] .. node_offset[n + 1])
+  /// \param port_channel flattened port -> channel map (kNoChannel on
+  ///   egress ports); a packet folded onto port p at node n departs on
+  ///   channel port_channel[node_offset[n] + p]
+  /// Throws std::invalid_argument when the map shape does not match the
+  /// fabric or a channel index is out of range.
+  PacketSim(const polka::CompiledFabric& fabric, std::vector<Channel> channels,
+            std::vector<std::uint32_t> node_offset,
+            std::vector<std::uint32_t> port_channel, SimConfig config = {});
+
+  /// Attach the pooled multi-segment label/waypoint arrays that
+  /// injected SegmentRefs index (same layout as scenario::PacketStream
+  /// seg_labels/seg_waypoints).  Unnecessary when every injection is
+  /// single-label.
+  void set_segment_pool(std::span<const polka::RouteLabel> labels,
+                        std::span<const std::uint32_t> waypoints);
+
+  /// Register a flow; delivered packets are checked against
+  /// `expected` (the pair's replay expectation) and divergences count
+  /// as wrong_egress.  Returns the flow handle inject() takes.
+  std::uint32_t add_flow(const polka::PacketResult& expected);
+
+  /// Schedule one packet: injected at fabric node `source` at time
+  /// `at`, carrying `label` (or, when ref.label_count > 1, the pooled
+  /// segment list `ref` names -- the first pooled label must equal
+  /// `label`, exactly as in a PacketStream).  Throws
+  /// std::invalid_argument on a bad source, flow or ref.
+  void inject(Tick at, polka::RouteLabel label, polka::SegmentRef ref,
+              std::uint32_t source, std::uint32_t flow);
+
+  /// Process every pending event; returns the accumulated result.
+  /// Resets nothing: a second run() continues from the drained state
+  /// (inject more first), which is how arrival schedules can be fed in
+  /// phases.
+  SimResult run();
+
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+
+ private:
+  struct PacketState {
+    std::uint64_t label = 0;     ///< active segment's bits
+    polka::SegmentRef ref{};     ///< pooled segments (label_count > 1)
+    std::uint32_t seg = 0;       ///< active segment index
+    std::uint32_t node = 0;      ///< current / next-arrival node
+    std::uint32_t hops = 0;
+    std::uint32_t flow = 0;
+  };
+
+  struct ChannelState {
+    std::uint32_t queued = 0;  ///< waiting + in serialization
+    Tick free_at = 0;          ///< when the wire finishes its last commit
+  };
+
+  void handle_arrival(Tick t, std::uint32_t packet);
+
+  const polka::CompiledFabric& fabric_;
+  std::vector<Channel> channels_;
+  std::vector<std::uint32_t> node_offset_;
+  std::vector<std::uint32_t> port_channel_;
+  SimConfig config_;
+  std::span<const polka::RouteLabel> pool_labels_;
+  std::span<const std::uint32_t> pool_waypoints_;
+  std::vector<polka::PacketResult> flow_expected_;
+  std::vector<PacketState> packets_;
+  std::vector<ChannelState> channel_state_;
+  EventQueue queue_;
+  Tick now_ = 0;
+  SimResult result_;
+};
+
+}  // namespace hp::sim

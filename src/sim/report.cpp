@@ -1,0 +1,37 @@
+#include "sim/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hp::sim {
+
+Tick SimReport::fct_percentile_ns(double q) const {
+  if (fct_ns.empty()) return 0;
+  std::vector<Tick> sorted(fct_ns);
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank: the ceil(q * n)-th order statistic, clamped to
+  // [1, n] (same rule as netsim::collect_fct's p95 -- floor-indexing
+  // selects one statistic too high).
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size(), std::max<std::size_t>(rank, 1)) - 1];
+}
+
+void SimReport::merge_from(const SimReport& partial) {
+  forwarding.merge_from(partial.forwarding);
+  // `seconds` summed by the counter schema, but simulated shards cover
+  // the same period: restore the latest-end definition.
+  flows += partial.flows;
+  completed_flows += partial.completed_flows;
+  ecn_marked += partial.ecn_marked;
+  max_queue_depth = std::max(max_queue_depth, partial.max_queue_depth);
+  max_link_utilization =
+      std::max(max_link_utilization, partial.max_link_utilization);
+  mean_link_utilization =
+      std::max(mean_link_utilization, partial.mean_link_utilization);
+  duration_ns = std::max(duration_ns, partial.duration_ns);
+  forwarding.seconds = static_cast<double>(duration_ns) * 1e-9;
+  fct_ns.insert(fct_ns.end(), partial.fct_ns.begin(), partial.fct_ns.end());
+}
+
+}  // namespace hp::sim

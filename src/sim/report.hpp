@@ -1,0 +1,71 @@
+#pragma once
+// SimReport: the timed-simulation counterpart of ScenarioReport.
+//
+// A SimReport embeds a ScenarioReport (so every consumer of replay
+// reports -- benches, CLIs, CI artifacts -- reads simulated runs with
+// the same fields and merge schema) and adds what only a timed data
+// plane can know: the flow-completion-time distribution, drop rate,
+// ECN marks, queue high-water marks and link utilization.
+//
+// FCT percentiles are nearest-rank statistics over the *retained
+// sample vector*, never stored precomputed: merging two partial
+// reports pools the samples and recomputes, because percentiles do not
+// average (see ScenarioReport's shard-merge schema note).  Every field
+// is derived from integer event timestamps, so a fixed scenario seed
+// reproduces a bit-identical report on every run.
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "sim/packet_sim.hpp"
+
+namespace hp::sim {
+
+struct SimReport {
+  /// Replay-shaped view of the simulated forwarding work.  `packets`
+  /// counts packets whose walk terminated (delivered or ttl-killed);
+  /// tail-dropped packets land in `dropped_packets`.  `seconds` is
+  /// *simulated* time (duration_ns / 1e9) -- deterministic, unlike the
+  /// wall clock replay stores there -- so packets_per_sec() reads as
+  /// simulated goodput.
+  scenario::ScenarioReport forwarding;
+
+  std::size_t flows = 0;
+  std::size_t completed_flows = 0;  ///< every packet delivered
+  std::size_t ecn_marked = 0;
+  std::uint32_t max_queue_depth = 0;   ///< deepest egress queue seen
+  double max_link_utilization = 0.0;   ///< busiest link's busy fraction
+  double mean_link_utilization = 0.0;  ///< across links that carried traffic
+  Tick duration_ns = 0;  ///< simulated time of the last event
+
+  /// FCT of each completed flow (ns), in completion order.  Kept raw so
+  /// percentiles can be recomputed after a merge.
+  std::vector<Tick> fct_ns;
+
+  /// Nearest-rank percentile of the completed-flow FCTs: the
+  /// ceil(q * n)-th order statistic (0 when no flow completed).
+  [[nodiscard]] Tick fct_percentile_ns(double q) const;
+  [[nodiscard]] Tick fct_p50_ns() const { return fct_percentile_ns(0.50); }
+  [[nodiscard]] Tick fct_p95_ns() const { return fct_percentile_ns(0.95); }
+
+  /// Tail drops over injected packets (0 when nothing was injected).
+  [[nodiscard]] double drop_rate() const noexcept {
+    const double injected = static_cast<double>(
+        forwarding.packets + forwarding.dropped_packets);
+    return injected == 0.0
+               ? 0.0
+               : static_cast<double>(forwarding.dropped_packets) / injected;
+  }
+
+  /// Merge a partial report covering a disjoint set of flows (e.g. one
+  /// simulated shard) over the same simulated period: counters sum via
+  /// the ScenarioReport schema, FCT samples pool (percentiles are then
+  /// recomputed on demand -- never averaged), high-water marks and
+  /// utilizations take the max, and the duration is the latest end.
+  void merge_from(const SimReport& partial);
+
+  friend bool operator==(const SimReport&, const SimReport&) = default;
+};
+
+}  // namespace hp::sim

@@ -1,0 +1,154 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace hp::sim {
+
+namespace {
+
+/// Serialization delay of one packet on a link, in integer ns
+/// (clamped to >= 1 so a zero/absurd capacity cannot stall time).
+Tick serialize_ns(std::uint64_t packet_bytes, double capacity_mbps) {
+  if (capacity_mbps <= 0.0) return 1;
+  const double bits = static_cast<double>(packet_bytes) * 8.0;
+  // capacity_mbps is bits per microsecond; scale to nanoseconds.
+  const double ns = bits * 1000.0 / capacity_mbps;
+  return ns < 1.0 ? 1 : static_cast<Tick>(std::llround(ns));
+}
+
+}  // namespace
+
+SimReport SimRunner::run(scenario::BuiltFabric& fabric,
+                         const scenario::PacketStream& stream) const {
+  const polka::CompiledFabric& fast = fabric.compiled();
+  const netsim::Topology& topo = fabric.topology();
+  const std::size_t n = fast.node_count();
+
+  // --- wire the channels: one per directed router adjacency ----------
+  std::vector<std::uint32_t> node_offset(n + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    node_offset[i + 1] = node_offset[i] + fast.port_count(i);
+  }
+  std::vector<std::uint32_t> port_channel(node_offset[n],
+                                          PacketSim::kNoChannel);
+  std::vector<Channel> channels;
+  for (std::size_t node = 0; node < n; ++node) {
+    for (std::uint32_t port = 0; port < fast.port_count(node); ++port) {
+      const std::uint32_t peer = fast.neighbor(node, port);
+      if (peer == polka::CompiledFabric::kNoNode) continue;
+      const auto link = topo.link_between(fabric.topo_index(node),
+                                          fabric.topo_index(peer));
+      if (!link) {
+        throw std::logic_error(
+            "SimRunner: fabric wiring names a link the topology lacks");
+      }
+      const netsim::Link& l = topo.link(*link);
+      Channel ch;
+      ch.latency_ns =
+          static_cast<Tick>(std::llround(std::max(l.delay_ms, 0.0) * 1e6));
+      ch.serialize_ns = serialize_ns(options_.packet_bytes, l.capacity_mbps);
+      ch.queue_capacity = options_.queue_capacity;
+      ch.ecn_threshold = options_.ecn_threshold;
+      port_channel[node_offset[node] + port] =
+          static_cast<std::uint32_t>(channels.size());
+      channels.push_back(ch);
+    }
+  }
+
+  SimConfig config;
+  config.max_hops = options_.max_hops;
+  PacketSim sim(fast, std::move(channels), std::move(node_offset),
+                std::move(port_channel), std::move(config));
+  sim.set_segment_pool(stream.seg_labels, stream.seg_waypoints);
+
+  // --- chop the stream into flows and schedule the injections --------
+  // A flow is up to flow_packets consecutive packets of one pair (in
+  // stream emission order); flow k starts k * flow_gap_ns after t = 0
+  // and its source injects back-to-back at source_rate_mbps.
+  const Tick src_gap =
+      serialize_ns(options_.packet_bytes, options_.source_rate_mbps);
+  struct OpenFlow {
+    std::uint32_t handle = 0;
+    std::size_t injected = 0;
+    Tick next_inject = 0;
+  };
+  std::unordered_map<std::uint32_t, OpenFlow> open;  // lane -> open flow
+  std::size_t flow_count = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    const std::uint32_t lane = stream.pair[i];
+    auto it = open.find(lane);
+    if (it == open.end() || it->second.injected >= options_.flow_packets) {
+      OpenFlow flow;
+      flow.handle = sim.add_flow(stream.pairs[lane].expected);
+      flow.next_inject =
+          static_cast<Tick>(flow_count) * options_.flow_gap_ns;
+      ++flow_count;
+      it = open.insert_or_assign(lane, flow).first;
+    }
+    OpenFlow& flow = it->second;
+    const polka::SegmentRef ref = lane < stream.seg_refs.size()
+                                      ? stream.seg_refs[lane]
+                                      : polka::SegmentRef{};
+    sim.inject(flow.next_inject, stream.labels[i], ref, stream.ingress[i],
+               flow.handle);
+    ++flow.injected;
+    flow.next_inject += src_gap;
+  }
+
+  const SimResult result = sim.run();
+
+  // --- shape the result into the report -------------------------------
+  SimReport report;
+  report.forwarding.fold_kernel = fast.kernel();
+  report.forwarding.packets =
+      result.counters.delivered + result.counters.ttl_expired;
+  report.forwarding.mod_operations = result.counters.mod_operations;
+  report.forwarding.wrong_egress = result.counters.wrong_egress;
+  report.forwarding.dropped_packets = result.counters.dropped;
+  report.forwarding.ttl_expired = result.counters.ttl_expired;
+  report.forwarding.segmented_packets = result.counters.segmented_packets;
+  report.forwarding.segment_swaps = result.counters.segment_swaps;
+  report.duration_ns = result.counters.end_ns;
+  // Simulated seconds (deterministic), not wall clock: see SimReport.
+  report.forwarding.seconds = static_cast<double>(report.duration_ns) * 1e-9;
+  report.flows = result.flows.size();
+  report.ecn_marked = result.counters.ecn_marked;
+  for (const FlowStat& flow : result.flows) {
+    if (!flow.complete()) continue;
+    ++report.completed_flows;
+    report.fct_ns.push_back(flow.fct_ns());
+  }
+  double util_sum = 0.0;
+  std::size_t util_links = 0;
+  for (const LinkStat& link : result.links) {
+    report.max_queue_depth =
+        std::max(report.max_queue_depth, link.max_queue_depth);
+    const double util = link.utilization(report.duration_ns);
+    report.max_link_utilization = std::max(report.max_link_utilization, util);
+    if (link.forwarded != 0 || link.tail_drops != 0) {
+      util_sum += util;
+      ++util_links;
+    }
+  }
+  if (util_links != 0) {
+    report.mean_link_utilization = util_sum / static_cast<double>(util_links);
+  }
+  return report;
+}
+
+SimReport run_sim_scenario(const scenario::ScenarioSpec& spec,
+                           const SimOptions& options) {
+  scenario::BuiltFabric fabric(scenario::build_topology(spec));
+  // Precompile every route up front (sharded across compile_threads);
+  // generate_traffic then reuses the cache instead of compiling lazily.
+  fabric.compile_all_pairs(options.compile_threads);
+  const scenario::PacketStream stream =
+      scenario::generate_traffic(fabric, spec.traffic);
+  return SimRunner(options).run(fabric, stream);
+}
+
+}  // namespace hp::sim

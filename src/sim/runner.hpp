@@ -1,0 +1,80 @@
+#pragma once
+// SimRunner: feed any scenario through the event-driven data plane.
+//
+// The replay path answers "how fast can the kernels forward this
+// stream"; SimRunner answers "what happens to this stream on real
+// links".  It reuses every artifact the scenario engine already
+// builds -- the generated topology (whose per-link capacity_mbps /
+// delay_ms become Channel timing), the BuiltFabric's compiled routes
+// and the PacketStream's labels, pairs and pooled segments -- then
+// schedules the stream as timed flows and runs PacketSim to
+// completion.  One compiled fabric therefore drives both the
+// pure-throughput replay numbers and the congestion-sensitive
+// FCT/drop/queue numbers, with bit-identical forwarding decisions.
+//
+// Flow shaping: the stream's packets are grouped per traffic pair into
+// flows of at most `flow_packets` packets (stream emission order is
+// preserved).  Flow k starts at k * flow_gap_ns; within a flow the
+// source injects back-to-back at `source_rate_mbps`.  Offered load is
+// therefore tuned by the gap and the rate -- a gap shorter than a
+// flow's service time piles flows up and congests shared links
+// (hotspot incast, elephant collisions), a generous gap drains them
+// one by one.
+//
+// Simulation is single-threaded by design: one event heap, one total
+// event order, bit-identical reports for a fixed seed regardless of
+// how many threads the surrounding process uses (the determinism
+// tests pin this, including against `compile_threads`).
+
+#include <cstdint>
+
+#include "scenario/fabric_builder.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/traffic.hpp"
+#include "sim/report.hpp"
+
+namespace hp::sim {
+
+/// Timing and queueing knobs of a simulated run.
+struct SimOptions {
+  std::uint64_t packet_bytes = 1500;   ///< wire size of every packet
+  double source_rate_mbps = 100.0;     ///< per-source injection line rate
+  Tick flow_gap_ns = 50'000;           ///< inter-arrival of flow starts
+  std::uint32_t queue_capacity = 64;   ///< per-channel egress FIFO cap
+  std::uint32_t ecn_threshold = 48;    ///< mark depth; 0 disables marking
+  std::size_t flow_packets = 8;        ///< max packets per flow
+  std::size_t max_hops = 64;           ///< same hop cap as replay
+  /// Threads for BuiltFabric::compile_all_pairs when run_sim_scenario
+  /// precompiles routes (the simulation itself is single-threaded and
+  /// its report is identical for every value here).
+  unsigned compile_threads = 1;
+};
+
+/// Runs PacketSim over a built fabric and a generated stream.
+class SimRunner {
+ public:
+  explicit SimRunner(SimOptions options = {}) : options_(options) {}
+
+  [[nodiscard]] const SimOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// Simulate the stream on the fabric's topology links.  The stream
+  /// is read-only (no failure schedule; replay owns that path).
+  /// \return the merged SimReport; `forwarding.fold_kernel` names the
+  ///   kernel that made every per-hop decision.
+  [[nodiscard]] SimReport run(scenario::BuiltFabric& fabric,
+                              const scenario::PacketStream& stream) const;
+
+ private:
+  SimOptions options_;
+};
+
+/// One-call path for benches, tests and CLIs: build the registry
+/// spec's topology and fabric, precompile all routes
+/// (options.compile_threads workers), generate its traffic and
+/// simulate it.
+[[nodiscard]] SimReport run_sim_scenario(const scenario::ScenarioSpec& spec,
+                                         const SimOptions& options = {});
+
+}  // namespace hp::sim

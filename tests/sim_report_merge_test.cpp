@@ -1,0 +1,157 @@
+// Shard-merge schema tests: ScenarioReport partial reports merge by
+// summing counters, and SimReport percentiles are recomputed from
+// pooled FCT samples -- never by averaging per-shard percentiles.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "sim/report.hpp"
+
+namespace scenario = hp::scenario;
+namespace sim = hp::sim;
+
+namespace {
+
+scenario::ScenarioReport counted(std::size_t base) {
+  scenario::ScenarioReport r;
+  r.packets = base + 1;
+  r.mod_operations = base + 2;
+  r.wrong_egress = base + 3;
+  r.rerouted_pairs = base + 4;
+  r.dropped_packets = base + 5;
+  r.ttl_expired = base + 6;
+  r.segmented_packets = base + 7;
+  r.segment_swaps = base + 8;
+  r.seconds = static_cast<double>(base) + 0.5;
+  return r;
+}
+
+TEST(ScenarioReportMerge, CountersSumAndKernelIsKept) {
+  scenario::ScenarioReport merged = counted(100);
+  merged.fold_kernel = hp::polka::FoldKernel::kClmulBarrett;
+  scenario::ScenarioReport partial = counted(10);
+  partial.fold_kernel = hp::polka::FoldKernel::kClmulBarrett;
+
+  merged.merge_from(partial);
+  EXPECT_EQ(merged.packets, 112u);
+  EXPECT_EQ(merged.mod_operations, 114u);
+  EXPECT_EQ(merged.wrong_egress, 116u);
+  EXPECT_EQ(merged.rerouted_pairs, 118u);
+  EXPECT_EQ(merged.dropped_packets, 120u);
+  EXPECT_EQ(merged.ttl_expired, 122u);
+  EXPECT_EQ(merged.segmented_packets, 124u);
+  EXPECT_EQ(merged.segment_swaps, 126u);
+  EXPECT_DOUBLE_EQ(merged.seconds, 111.0);
+  EXPECT_EQ(merged.fold_kernel, hp::polka::FoldKernel::kClmulBarrett);
+}
+
+TEST(ScenarioReportMerge, MergingDefaultIsIdentity) {
+  scenario::ScenarioReport merged = counted(7);
+  const scenario::ScenarioReport before = merged;
+  merged.merge_from(scenario::ScenarioReport{});
+  EXPECT_EQ(merged, before);
+}
+
+/// Nearest-rank percentile, independently implemented.
+sim::Tick nearest_rank(std::vector<sim::Tick> samples, double q) {
+  std::sort(samples.begin(), samples.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size())));
+  return samples[std::max<std::size_t>(rank, 1) - 1];
+}
+
+TEST(SimReportMerge, PercentilesAreNearestRank) {
+  sim::SimReport report;
+  for (sim::Tick v = 1; v <= 20; ++v) report.fct_ns.push_back(21 - v);
+  // ceil(0.5 * 20) = 10th order statistic; ceil(0.95 * 20) = 19th.
+  EXPECT_EQ(report.fct_p50_ns(), 10u);
+  EXPECT_EQ(report.fct_p95_ns(), 19u);
+
+  sim::SimReport empty;
+  EXPECT_EQ(empty.fct_p50_ns(), 0u);
+  EXPECT_EQ(empty.fct_p95_ns(), 0u);
+
+  sim::SimReport one;
+  one.fct_ns = {42};
+  EXPECT_EQ(one.fct_p50_ns(), 42u);
+  EXPECT_EQ(one.fct_p95_ns(), 42u);
+}
+
+TEST(SimReportMerge, P95RecomputedFromPooledSamplesNotAveraged) {
+  // Shard A: 19 fast flows + 1 slow; shard B: uniformly slow flows.
+  sim::SimReport a;
+  for (int i = 0; i < 19; ++i) a.fct_ns.push_back(100);
+  a.fct_ns.push_back(10'000);
+  a.flows = a.completed_flows = a.fct_ns.size();
+
+  sim::SimReport b;
+  for (int i = 0; i < 20; ++i) b.fct_ns.push_back(5'000);
+  b.flows = b.completed_flows = b.fct_ns.size();
+
+  const sim::Tick a_p95 = a.fct_p95_ns();
+  const sim::Tick b_p95 = b.fct_p95_ns();
+
+  sim::SimReport merged = a;
+  merged.merge_from(b);
+  ASSERT_EQ(merged.fct_ns.size(), 40u);
+  EXPECT_EQ(merged.flows, 40u);
+  EXPECT_EQ(merged.completed_flows, 40u);
+
+  std::vector<sim::Tick> pooled = a.fct_ns;
+  pooled.insert(pooled.end(), b.fct_ns.begin(), b.fct_ns.end());
+  EXPECT_EQ(merged.fct_p95_ns(), nearest_rank(pooled, 0.95));
+  EXPECT_EQ(merged.fct_p50_ns(), nearest_rank(pooled, 0.50));
+
+  // The wrong way -- averaging per-shard percentiles -- gives a
+  // different (and meaningless) number; pin that they disagree.
+  const sim::Tick averaged = (a_p95 + b_p95) / 2;
+  EXPECT_NE(merged.fct_p95_ns(), averaged);
+}
+
+TEST(SimReportMerge, CountersSumHighWaterMarksMax) {
+  sim::SimReport a;
+  a.forwarding.packets = 10;
+  a.forwarding.dropped_packets = 2;
+  a.flows = 4;
+  a.completed_flows = 3;
+  a.ecn_marked = 5;
+  a.max_queue_depth = 7;
+  a.max_link_utilization = 0.4;
+  a.mean_link_utilization = 0.2;
+  a.duration_ns = 1'000;
+  a.fct_ns = {10, 20};
+
+  sim::SimReport b;
+  b.forwarding.packets = 20;
+  b.forwarding.dropped_packets = 1;
+  b.flows = 6;
+  b.completed_flows = 5;
+  b.ecn_marked = 1;
+  b.max_queue_depth = 3;
+  b.max_link_utilization = 0.9;
+  b.mean_link_utilization = 0.5;
+  b.duration_ns = 4'000;
+  b.fct_ns = {30};
+
+  sim::SimReport merged = a;
+  merged.merge_from(b);
+  EXPECT_EQ(merged.forwarding.packets, 30u);
+  EXPECT_EQ(merged.forwarding.dropped_packets, 3u);
+  EXPECT_EQ(merged.flows, 10u);
+  EXPECT_EQ(merged.completed_flows, 8u);
+  EXPECT_EQ(merged.ecn_marked, 6u);
+  EXPECT_EQ(merged.max_queue_depth, 7u);
+  EXPECT_DOUBLE_EQ(merged.max_link_utilization, 0.9);
+  EXPECT_DOUBLE_EQ(merged.mean_link_utilization, 0.5);
+  EXPECT_EQ(merged.duration_ns, 4'000u);
+  // Simulated seconds track the merged duration, not the counter sum.
+  EXPECT_DOUBLE_EQ(merged.forwarding.seconds, 4e-6);
+  EXPECT_EQ(merged.fct_ns, (std::vector<sim::Tick>{10, 20, 30}));
+  EXPECT_EQ(merged.drop_rate(), 3.0 / 33.0);
+}
+
+}  // namespace
