@@ -8,6 +8,7 @@
 
 #include <random>
 
+#include "bench_json.hpp"
 #include "gf2/irreducible.hpp"
 #include "polka/crc.hpp"
 
@@ -79,4 +80,6 @@ BENCHMARK(BM_TableConstruction)->Arg(8)->Arg(16)->Arg(32);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return hp::benchjson::run_and_export(argc, argv, "ablation_crc");
+}

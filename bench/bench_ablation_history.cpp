@@ -5,29 +5,37 @@
 
 #include <iomanip>
 #include <iostream>
+#include <string>
 
 #include "core/hecate.hpp"
 #include "dataset/uq_wireless.hpp"
 #include "ml/registry.hpp"
+#include "obs/export.hpp"
 
 int main() {
   std::cout << "=== Ablation: history length (paper uses 10) ===\n\n";
   const auto trace = hp::dataset::generate_uq_trace();
+  hp::obs::BenchReport report("ablation_history");
 
   std::cout << std::fixed << std::setprecision(2);
   std::cout << "history   RFR(WiFi)  RFR(LTE)   LR(WiFi)   LR(LTE)\n";
   for (const std::size_t history : {1U, 2U, 5U, 10U, 20U, 40U}) {
     std::cout << std::setw(7) << history;
     for (const char* model_name : {"RFR", "LR"}) {
-      for (const auto* series : {&trace.wifi, &trace.lte}) {
+      for (const auto& [series_name, series] :
+           {std::pair{"wifi", &trace.wifi}, std::pair{"lte", &trace.lte}}) {
         auto model = hp::ml::make_regressor(model_name);
         const auto result =
             hp::core::run_pipeline(*model, *series, history, 0.75);
         std::cout << std::setw(11) << result.rmse;
+        report.add("rmse/" + std::string(model_name) + "/" + series_name +
+                       "/h" + std::to_string(history),
+                   result.rmse, "rmse");
       }
     }
     std::cout << '\n';
   }
+  std::cout << "wrote " << report.write_default() << '\n';
   std::cout << "\nreading: very short histories lose the temporal "
                "correlation; very long\nones shrink the training set and "
                "add noise dimensions -- the paper's 10\nsits on the flat "

@@ -5,9 +5,11 @@
 #include <cmath>
 #include <iomanip>
 #include <iostream>
+#include <string>
 
 #include "core/hecate.hpp"
 #include "dataset/uq_wireless.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -50,13 +52,18 @@ int main() {
   std::cout << "=== Ablation: forecast horizon (Hecate predicts 10 steps) "
                "===\n\n";
   const auto trace = hp::dataset::generate_uq_trace();
+  hp::obs::BenchReport report("ablation_horizon");
   std::cout << std::fixed << std::setprecision(2);
   std::cout << "horizon   RMSE(WiFi)  RMSE(LTE)\n";
   for (const std::size_t h : {1U, 2U, 3U, 5U, 10U}) {
-    std::cout << std::setw(7) << h << std::setw(12)
-              << horizon_rmse(trace.wifi, h) << std::setw(11)
-              << horizon_rmse(trace.lte, h) << '\n';
+    const double wifi = horizon_rmse(trace.wifi, h);
+    const double lte = horizon_rmse(trace.lte, h);
+    std::cout << std::setw(7) << h << std::setw(12) << wifi << std::setw(11)
+              << lte << '\n';
+    report.add("rmse/wifi/horizon" + std::to_string(h), wifi, "rmse");
+    report.add("rmse/lte/horizon" + std::to_string(h), lte, "rmse");
   }
+  std::cout << "wrote " << report.write_default() << '\n';
   std::cout << "\nreading: recursive feedback compounds the one-step error; "
                "the 10-step\nrecommendation horizon trades accuracy for "
                "look-ahead, which is fine for\npath *ranking* (relative "

@@ -9,7 +9,9 @@
 #include <iomanip>
 #include <iostream>
 #include <random>
+#include <string>
 
+#include "obs/export.hpp"
 #include "polka/node_id.hpp"
 #include "polka/port_switching.hpp"
 #include "polka/route.hpp"
@@ -20,6 +22,7 @@ int main() {
   std::cout << "hops  radix | polka routeID bits | port-list bits | "
                "rewrites/path (polka vs list)\n";
   std::mt19937_64 rng(5);
+  hp::obs::BenchReport report("ablation_label_size");
   for (const unsigned radix : {4U, 16U}) {
     for (const std::size_t hops : {2U, 4U, 8U, 16U, 24U}) {
       polka::NodeIdAllocator alloc;
@@ -38,8 +41,16 @@ int main() {
                 << " | " << std::setw(18) << route.bit_length() << " | "
                 << std::setw(14) << label.bit_length() << " | 0 vs "
                 << hops << '\n';
+      const std::string key =
+          "r" + std::to_string(radix) + "/hops" + std::to_string(hops);
+      hp::obs::BenchResult& r = report.add(
+          "polka_routeid_bits/" + key,
+          static_cast<double>(route.bit_length()), "bits");
+      r.counters.emplace_back("port_list_bits",
+                              static_cast<double>(label.bit_length()));
     }
   }
+  std::cout << "wrote " << report.write_default() << '\n';
   std::cout << "\nreading: the routeID costs roughly sum(deg nodeID) bits "
                "-- comparable to\nthe port list for small radixes, larger "
                "when node IDs outgrow the port\nfield -- but it is *never "

@@ -22,6 +22,7 @@
 #include <random>
 
 #include "core/hecate.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -112,15 +113,25 @@ int main() {
   std::cout << "scenario: tunnel A = 22 Mbps with a 16 Mbps burst 15s "
                "on/off; tunnel B = steady 11 Mbps\n";
   std::cout << "decisions every 10 s over " << decisions << " windows\n\n";
+  const double denom = decisions != 0 ? static_cast<double>(decisions) : 1.0;
   std::cout << "policy       mean obtained Mbps   oracle-agreement\n";
-  std::cout << "oracle       " << std::setw(12) << got_oracle / decisions
+  std::cout << "oracle       " << std::setw(12) << got_oracle / denom
             << "           " << std::setw(5) << 100.0 << "%\n";
-  std::cout << "predictive   " << std::setw(12) << got_pred / decisions
-            << "           " << std::setw(5)
-            << 100.0 * pred_hits / decisions << "%\n";
-  std::cout << "reactive     " << std::setw(12) << got_react / decisions
-            << "           " << std::setw(5)
-            << 100.0 * react_hits / decisions << "%\n";
+  std::cout << "predictive   " << std::setw(12) << got_pred / denom
+            << "           " << std::setw(5) << 100.0 * pred_hits / denom
+            << "%\n";
+  std::cout << "reactive     " << std::setw(12) << got_react / denom
+            << "           " << std::setw(5) << 100.0 * react_hits / denom
+            << "%\n";
+  hp::obs::BenchReport report("ablation_predictive_routing");
+  report.add("mean_mbps/oracle", got_oracle / denom, "Mbps");
+  hp::obs::BenchResult& rp =
+      report.add("mean_mbps/predictive", got_pred / denom, "Mbps");
+  rp.counters.emplace_back("oracle_agreement_pct", 100.0 * pred_hits / denom);
+  hp::obs::BenchResult& rr =
+      report.add("mean_mbps/reactive", got_react / denom, "Mbps");
+  rr.counters.emplace_back("oracle_agreement_pct", 100.0 * react_hits / denom);
+  std::cout << "wrote " << report.write_default() << '\n';
   std::cout << "\nshape check: predictive > reactive -- the windowed "
                "forecast anticipates the\nrecurring burst that the "
                "last-sample policy keeps walking into.\n";

@@ -15,8 +15,10 @@
 #include <iostream>
 #include <random>
 #include <span>
+#include <string>
 
 #include "core/objective.hpp"
+#include "obs/export.hpp"
 #include "netsim/paths.hpp"
 #include "polka/crc.hpp"
 #include "polka/fastpath.hpp"
@@ -65,6 +67,7 @@ int main() {
   std::cout << "routers  hops  routeID(bits)  CRT(us)  per-hop mod(ns)  "
                "3-path LP(us)\n";
   std::cout << std::fixed << std::setprecision(1);
+  hp::obs::BenchReport report("ablation_scale");
 
   for (const std::size_t n : {10U, 20U, 40U, 80U, 160U}) {
     const Topology topo = make_wan(n, n * 31 + 7);
@@ -111,6 +114,12 @@ int main() {
               << std::setw(14) << route.bit_length() << std::setw(9)
               << crt_us << std::setw(17) << mod_ns << std::setw(14) << lp_us
               << '\n';
+    hp::obs::BenchResult& r = report.add(
+        "per_hop_mod_ns/n" + std::to_string(n), mod_ns, "ns");
+    r.counters.emplace_back("routeid_bits",
+                            static_cast<double>(route.bit_length()));
+    r.counters.emplace_back("crt_us", crt_us);
+    r.counters.emplace_back("lp_us", lp_us);
   }
 
   // --- batched fast-path throughput vs batch size --------------------
@@ -160,9 +169,12 @@ int main() {
         const double ns_per_pkt = us * 1e3 / static_cast<double>(batch);
         std::cout << "  " << std::setw(5) << batch << std::setw(13)
                   << 1e3 / ns_per_pkt << std::setw(10) << ns_per_pkt << '\n';
+        report.add("fastpath_ns_per_pkt/batch" + std::to_string(batch),
+                   ns_per_pkt, "ns");
       }
     }
   }
+  std::cout << "wrote " << report.write_default() << '\n';
 
   std::cout << "\nreading: the per-hop data-plane cost is *flat* in network "
                "size (it depends\nonly on the local nodeID degree and the "

@@ -10,6 +10,7 @@
 #include <iostream>
 
 #include "core/runtime.hpp"
+#include "obs/export.hpp"
 
 int main() {
   using namespace hp::core;
@@ -59,6 +60,26 @@ int main() {
             << " (one PBR rewrite)\n";
   std::cout << "core router updates required: 0 (stateless PolKA "
                "forwarding)\n";
+
+  // Phase means straddling the cut: steady, outage, recovered.
+  double steady = 0.0, recovered = 0.0;
+  int ns = 0, nr = 0;
+  for (const auto& sample : sim.flow_rate_series(flow)) {
+    if (sample.t_s >= 10.0 && sample.t_s < 60.0) {
+      steady += sample.value;
+      ++ns;
+    } else if (sample.t_s >= 70.0) {
+      recovered += sample.value;
+      ++nr;
+    }
+  }
+  hp::obs::BenchReport report("ext_failure_recovery");
+  report.add("steady_mbps", ns != 0 ? steady / ns : 0.0, "Mbps");
+  report.add("recovered_mbps", nr != 0 ? recovered / nr : 0.0, "Mbps");
+  report.add("flows_migrated", static_cast<double>(migrated), "flows");
+  report.add("edge_config_changes",
+             static_cast<double>(revision_after - revision_before), "rewrites");
+  std::cout << "wrote " << report.write_default() << '\n';
   std::cout << "\nshape check: throughput 20 -> 0 at the cut, restored to "
                "the best healthy\ntunnel's bottleneck (10 Mbps on "
                "MIA-CHI-AMS) after one control action.\n";

@@ -13,8 +13,10 @@
 
 #include <iomanip>
 #include <iostream>
+#include <string>
 
 #include "netsim/workload.hpp"
+#include "obs/export.hpp"
 #include "telemetry/agent.hpp"
 
 namespace {
@@ -106,6 +108,7 @@ int main() {
       {"round-robin   ", Policy::kRoundRobin},
       {"best-available", Policy::kBestAvailable},
   };
+  hp::obs::BenchReport report("ext_fct_workload");
   for (const auto& [label, policy] : policies) {
     const RunResult r = run_policy(policy);
     std::cout << label << "  " << std::setw(5) << r.stats.completed
@@ -113,7 +116,19 @@ int main() {
               << r.stats.mean_fct_s << "s" << std::setw(9)
               << r.stats.p95_fct_s << "s" << std::setw(9) << r.stats.max_fct_s
               << "s" << std::setw(10) << r.makespan << "s\n";
+    std::string key(label);
+    while (!key.empty() && key.back() == ' ') key.pop_back();
+    hp::obs::BenchResult& res =
+        report.add("mean_fct_s/" + key, r.stats.mean_fct_s, "s");
+    res.counters.emplace_back("p95_fct_s", r.stats.p95_fct_s);
+    res.counters.emplace_back("max_fct_s", r.stats.max_fct_s);
+    res.counters.emplace_back("completed",
+                              static_cast<double>(r.stats.completed));
+    res.counters.emplace_back("unfinished",
+                              static_cast<double>(r.stats.unfinished));
+    res.counters.emplace_back("makespan_s", r.makespan);
   }
+  std::cout << "wrote " << report.write_default() << '\n';
   std::cout << "\nshape check: load-aware placement cuts mean and tail "
                "FCT versus pinning\neverything behind tunnel 1's 20 Mbps "
                "bottleneck; round-robin helps but\nwastes the asymmetric "

@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <iostream>
 
 #include "freertr/parser.hpp"
@@ -66,7 +68,5 @@ int main(int argc, char** argv) {
   std::cout << "to_text round trip: " << (round_trip ? "exact" : "DIVERGES")
             << "\n\n";
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hp::benchjson::run_and_export(argc, argv, "fig10_config_parse");
 }

@@ -8,8 +8,10 @@
 
 #include <iomanip>
 #include <iostream>
+#include <string>
 
 #include "core/runtime.hpp"
+#include "obs/export.hpp"
 
 int main() {
   using namespace hp::core;
@@ -56,6 +58,7 @@ int main() {
   std::cout << "flow   ToS   tunnel  Mbps           tunnel  Mbps\n";
   double total_before = 0.0, total_after = 0.0;
   const unsigned phase1_tunnels[3] = {1, 1, 1};
+  hp::obs::BenchReport report("fig12_flow_aggregation");
   for (std::size_t k = 0; k < flows.size(); ++k) {
     const auto& managed = controller.managed(flows[k]);
     const double before = phase_mean(flows[k], 1.0, 59.0);
@@ -66,9 +69,17 @@ int main() {
               << "      " << phase1_tunnels[k] << "    " << std::setw(6)
               << before << "              " << managed.tunnel_id << "    "
               << std::setw(6) << after << '\n';
+    hp::obs::BenchResult& r = report.add(
+        "flow" + std::to_string(k + 1) + "_mbps_after", after, "Mbps");
+    r.counters.emplace_back("mbps_before", before);
+    r.counters.emplace_back("tunnel_after",
+                            static_cast<double>(managed.tunnel_id));
   }
   std::cout << "total            " << std::setw(11) << total_before
             << "                   " << std::setw(6) << total_after << '\n';
+  report.add("total_mbps_before", total_before, "Mbps");
+  report.add("total_mbps_after", total_after, "Mbps");
+  std::cout << "wrote " << report.write_default() << '\n';
 
   std::cout << '\n' << runtime.dashboard().link_occupation_report() << '\n';
   std::cout << "shape check vs paper: total rises from <=20 Mbps to ~"

@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <chrono>
 #include <iostream>
 #include <random>
@@ -201,7 +203,5 @@ int main(int argc, char** argv) {
 
   print_packets_per_sec_summary();
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hp::benchjson::run_and_export(argc, argv, "fig1_polka_forwarding");
 }

@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <iomanip>
 #include <iostream>
 
@@ -63,7 +65,5 @@ int main(int argc, char** argv) {
             << ", " << k3[1] << ", " << k3[2]
             << "}  (equal 0.8 utilization)\n\n";
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hp::benchjson::run_and_export(argc, argv, "fig2_minmax_lp");
 }

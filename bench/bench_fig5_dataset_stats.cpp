@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "dataset/uq_wireless.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -69,6 +70,7 @@ int main() {
   std::cout << "LTE   0-500s [" << strip(trace.lte) << "]\n\n";
 
   std::cout << std::fixed << std::setprecision(1);
+  hp::obs::BenchReport report("fig5_dataset_stats");
   std::cout << "regime        series   mean    sd     min    max (Mbps)\n";
   const std::pair<const char*, std::pair<std::size_t, std::size_t>> regimes[] =
       {{"indoor ", {0, 100}}, {"walking", {100, 180}}, {"outdoor", {180, 500}}};
@@ -79,8 +81,17 @@ int main() {
       std::cout << label << "       " << series_name << "   " << std::setw(6)
                 << s.mean << ' ' << std::setw(6) << s.sd << ' ' << std::setw(6)
                 << s.min << ' ' << std::setw(6) << s.max << '\n';
+      std::string regime(label);
+      while (!regime.empty() && regime.back() == ' ') regime.pop_back();
+      std::string name(series == &trace.wifi ? "wifi" : "lte");
+      hp::obs::BenchResult& r = report.add(
+          "mean_mbps/" + regime + "/" + name, s.mean, "Mbps");
+      r.counters.emplace_back("sd", s.sd);
+      r.counters.emplace_back("min", s.min);
+      r.counters.emplace_back("max", s.max);
     }
   }
+  std::cout << "wrote " << report.write_default() << '\n';
   std::cout << "\nshape check (as in the paper): WiFi >> LTE indoors; "
                "LTE >> WiFi outdoors.\n";
   return 0;

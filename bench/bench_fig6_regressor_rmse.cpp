@@ -15,6 +15,7 @@
 
 #include "core/hecate.hpp"
 #include "dataset/uq_wireless.hpp"
+#include "obs/export.hpp"
 
 int main() {
   std::cout << "=== Fig 6: regressor RMSE scatter (WiFi, LTE) ===\n\n";
@@ -41,6 +42,7 @@ int main() {
                "paper(LTE)\n";
   std::cout << "--------------------------------------------------------"
                "-----\n";
+  hp::obs::BenchReport report("fig6_regressor_rmse");
   for (std::size_t i = 0; i < wifi_scores.size(); ++i) {
     const auto& w = wifi_scores[i];
     const auto& l = lte_scores[i];
@@ -49,7 +51,14 @@ int main() {
               << std::setw(10) << w.rmse << ' ' << std::setw(10) << l.rmse
               << " | " << std::setw(10) << ref.first << ' ' << std::setw(10)
               << ref.second << '\n';
+    hp::obs::BenchResult& r =
+        report.add("rmse/wifi/" + w.short_name, w.rmse, "rmse");
+    r.counters.emplace_back("paper_wifi", ref.first);
+    hp::obs::BenchResult& r2 =
+        report.add("rmse/lte/" + w.short_name, l.rmse, "rmse");
+    r2.counters.emplace_back("paper_lte", ref.second);
   }
+  std::cout << "wrote " << report.write_default() << '\n';
 
   // Shape checks the paper draws from this figure.
   auto rank_of = [&](const std::vector<hp::core::ModelScore>& scores,

@@ -12,8 +12,11 @@
 #include "dataset/uq_wireless.hpp"
 #include "ml/metrics.hpp"
 #include "ml/registry.hpp"
+#include "obs/export.hpp"
 
 namespace {
+
+hp::obs::BenchReport g_report("fig7_rfr_prediction");
 
 std::string strip(const std::vector<double>& v, std::size_t width = 64) {
   static constexpr char kLevels[] = " .:-=+*#%@";
@@ -45,10 +48,15 @@ void report(const char* model_name, const char* path_name,
   std::cout << "  observed  [" << strip(result.observed) << "]\n";
   std::cout << "  predicted [" << strip(result.predicted) << "]\n";
   std::cout << std::fixed << std::setprecision(2);
-  std::cout << "  RMSE " << result.rmse << "  MAE "
-            << hp::ml::mae(result.observed, result.predicted) << "  R^2 "
-            << std::setprecision(3)
-            << hp::ml::r2(result.observed, result.predicted) << "\n\n";
+  const double mae = hp::ml::mae(result.observed, result.predicted);
+  const double r2 = hp::ml::r2(result.observed, result.predicted);
+  std::cout << "  RMSE " << result.rmse << "  MAE " << mae << "  R^2 "
+            << std::setprecision(3) << r2 << "\n\n";
+  hp::obs::BenchResult& r = g_report.add(
+      std::string("rmse/") + model_name + "/" + path_name, result.rmse,
+      "rmse");
+  r.counters.emplace_back("mae", mae);
+  r.counters.emplace_back("r2", r2);
 }
 
 }  // namespace
@@ -60,5 +68,6 @@ int main() {
   report("RFR", "LTE (Path 2)", trace.lte);
   std::cout << "shape check: predictions track the observed series "
                "(positive R^2 on both paths).\n";
+  std::cout << "wrote " << g_report.write_default() << '\n';
   return 0;
 }

@@ -13,11 +13,13 @@
 #include "dataset/uq_wireless.hpp"
 #include "ml/metrics.hpp"
 #include "ml/registry.hpp"
+#include "obs/export.hpp"
 
 int main() {
   std::cout << "=== Fig 8: Gaussian Process observed vs predicted ===\n\n";
   const auto trace = hp::dataset::generate_uq_trace();
   std::cout << std::fixed << std::setprecision(2);
+  hp::obs::BenchReport report("fig8_gpr_prediction");
 
   for (const auto& [path_name, series] :
        {std::pair{"WiFi (Path 1)", &trace.wifi},
@@ -54,7 +56,15 @@ int main() {
     std::cout << "  prediction spread " << pred_spread
               << " vs observed spread " << obs_spread
               << "  -> collapse toward the prior mean\n\n";
+    hp::obs::BenchResult& r = report.add(
+        std::string("gpr_rmse/") + path_name, gpr_result.rmse, "rmse");
+    r.counters.emplace_back("rfr_rmse", rfr_result.rmse);
+    r.counters.emplace_back(
+        "gpr_r2", hp::ml::r2(gpr_result.observed, gpr_result.predicted));
+    r.counters.emplace_back("pred_spread", pred_spread);
+    r.counters.emplace_back("obs_spread", obs_spread);
   }
+  std::cout << "wrote " << report.write_default() << '\n';
   std::cout << "shape check: GPR is several times worse than RFR on both "
                "paths,\nas in the paper (34.75/14.23 and 52.43/6.73).\n";
   return 0;

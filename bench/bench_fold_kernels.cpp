@@ -18,6 +18,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstddef>
 #include <map>
 #include <memory>
@@ -165,8 +167,5 @@ int main(int argc, char** argv) {
         (std::string("fold_one/") + hp::polka::to_string(kernel)).c_str(),
         [kernel](benchmark::State& s) { run_fold_one(s, kernel); });
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return hp::benchjson::run_and_export(argc, argv, "fold_kernels");
 }

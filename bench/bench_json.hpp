@@ -1,0 +1,77 @@
+#pragma once
+// Shared Google-Benchmark JSON export for the bench/ binaries.
+//
+// Every bench emits one machine-readable BENCH_<name>.json artifact
+// (the hp-bench-v1 schema from obs/export.hpp) next to its console
+// output, so CI can diff runs instead of scraping stdout.  The
+// JsonExportReporter rides along the normal ConsoleReporter: it
+// captures each finished Run's adjusted real time, unit, label and
+// user counters, then delegates to the console printer, so the human
+// output is untouched.
+//
+// Intentionally version-portable across Google Benchmark 1.6 .. 1.8:
+// it touches only Run members that exist in both (benchmark_name(),
+// GetAdjustedRealTime(), time_unit, report_label, iterations,
+// counters) -- neither `error_occurred` (gone in 1.8) nor `skipped`
+// (absent in 1.6).
+//
+// Plain (non-gbench) benches must NOT include this header (the build
+// links Google Benchmark only into sources mentioning its include
+// path); they write obs::BenchReport directly.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace hp::benchjson {
+
+/// Console reporter that also accumulates an obs::BenchReport.
+class JsonExportReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonExportReporter(std::string bench_name)
+      : report_(std::move(bench_name)) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      obs::BenchResult& r = report_.add(
+          run.benchmark_name(), run.GetAdjustedRealTime(),
+          benchmark::GetTimeUnitString(run.time_unit), run.report_label);
+      r.counters.emplace_back("iterations",
+                              static_cast<double>(run.iterations));
+      for (const auto& [name, counter] : run.counters) {
+        r.counters.emplace_back(name, static_cast<double>(counter.value));
+      }
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const obs::BenchReport& report() const noexcept {
+    return report_;
+  }
+
+  /// Write BENCH_<bench>.json into $HP_BENCH_JSON_DIR (default ".");
+  /// returns the written path.
+  std::string write() const { return report_.write_default(); }
+
+ private:
+  obs::BenchReport report_;
+};
+
+/// The whole gbench main tail in one call: initialize, run every
+/// registered benchmark through a JsonExportReporter, write
+/// BENCH_<bench_name>.json, shut down.
+inline int run_and_export(int argc, char** argv, std::string bench_name) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonExportReporter reporter(std::move(bench_name));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.write();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hp::benchjson

@@ -22,6 +22,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstddef>
 #include <stdexcept>
 #include <string>
@@ -221,8 +223,5 @@ int main(int argc, char** argv) {
         ->Arg(256)
         ->Unit(benchmark::kMillisecond);
   }
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return hp::benchjson::run_and_export(argc, argv, "route_compile");
 }

@@ -19,6 +19,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstddef>
 #include <map>
 #include <memory>
@@ -182,8 +184,5 @@ int main(int argc, char** argv) {
       "single_label/torus8x8",
       [](benchmark::State& s) { run_replay(s, "torus8x8", false); })
       ->Unit(benchmark::kMillisecond);
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return hp::benchjson::run_and_export(argc, argv, "segment_routes");
 }

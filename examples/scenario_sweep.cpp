@@ -5,15 +5,24 @@
 //   scenario_sweep --scenario torus4x4/hotspot --threads 4
 //   scenario_sweep --scenario ring12/uniform --fail r0:r1@0.5
 //   scenario_sweep                 # sweep all scenarios at 1 and 4 threads
+//
+// Observability outputs (all optional):
+//   --json PATH    hp-report-v1 JSON, one entry per scenario run
+//   --trace PATH   chrome://tracing JSON of replay epochs and repairs
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 namespace scenario = hp::scenario;
 
@@ -29,14 +38,37 @@ void print_report(const std::string& name, unsigned threads,
               report.fold_kernel_name());
 }
 
+/// ("name@tN", hp-report-v1 json) pairs collected for --json.
+using JsonEntries = std::vector<std::pair<std::string, std::string>>;
+
 int run_one(const scenario::ScenarioSpec& spec,
-            const scenario::RunnerOptions& options) {
+            const scenario::RunnerOptions& options, JsonEntries* json_out) {
   // Build once so a failure schedule acts on the same fabric/stream.
   scenario::BuiltFabric fabric(scenario::build_topology(spec));
   scenario::PacketStream stream = scenario::generate_traffic(fabric, spec.traffic);
   const auto report = scenario::ScenarioRunner(options).run(fabric, stream);
   print_report(spec.name, options.threads, report);
+  if (json_out != nullptr) {
+    json_out->emplace_back(spec.name + "@t" + std::to_string(options.threads),
+                           hp::obs::to_json(report));
+  }
   return report.wrong_egress == 0 ? 0 : 1;
+}
+
+/// One JSON object keyed by run name; values are already-valid
+/// hp-report-v1 documents, so this is plain concatenation.
+void write_json_entries(const std::string& path, const JsonEntries& entries) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n  ";
+    hp::obs::JsonWriter::escape_to(out, entries[i].first);
+    out += ": ";
+    out += entries[i].second;
+  }
+  out += "\n}\n";
+  hp::obs::write_text_file(path, out);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace
@@ -46,6 +78,8 @@ int main(int argc, char** argv) {
   scenario::RunnerOptions options;
   std::vector<std::string> failures;
   bool list = false;
+  std::string json_path;
+  std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -63,13 +97,25 @@ int main(int argc, char** argv) {
       options.threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--fail") {
       failures.emplace_back(next());  // "<nodeA>:<nodeB>@<fraction>"
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: scenario_sweep [--list] [--scenario NAME] "
-                   "[--threads N] [--fail a:b@frac]\n");
+                   "[--threads N] [--fail a:b@frac] [--json PATH] "
+                   "[--trace PATH]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
+
+  hp::obs::MetricRegistry registry;
+  hp::obs::TraceSink trace_sink;
+  JsonEntries json_entries;
+  JsonEntries* json_out = json_path.empty() ? nullptr : &json_entries;
+  if (!json_path.empty()) options.metrics = &registry;
+  if (!trace_path.empty()) options.trace = &trace_sink;
 
   if (list) {
     for (const auto& spec : scenario::builtin_scenarios()) {
@@ -112,13 +158,20 @@ int main(int argc, char** argv) {
       options.failures.push_back(failure);
     }
     if (options.threads == 0) options.threads = 1;
+    int status = 0;
     try {
-      return run_one(*spec, options);
+      status = run_one(*spec, options, json_out);
     } catch (const std::exception& e) {
       // e.g. a --fail pair that exists but is not linked.
       std::fprintf(stderr, "scenario failed: %s\n", e.what());
       return 2;
     }
+    if (json_out != nullptr) write_json_entries(json_path, json_entries);
+    if (!trace_path.empty()) {
+      trace_sink.write(trace_path);
+      std::printf("wrote %s\n", trace_path.c_str());
+    }
+    return status;
   }
 
   int status = 0;
@@ -127,8 +180,13 @@ int main(int argc, char** argv) {
       scenario::RunnerOptions sweep = options;
       sweep.threads = threads;
       sweep.failures.clear();
-      status |= run_one(spec, sweep);
+      status |= run_one(spec, sweep, json_out);
     }
+  }
+  if (json_out != nullptr) write_json_entries(json_path, json_entries);
+  if (!trace_path.empty()) {
+    trace_sink.write(trace_path);
+    std::printf("wrote %s\n", trace_path.c_str());
   }
   return status;
 }

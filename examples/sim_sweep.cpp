@@ -11,11 +11,22 @@
 // rate), --gap NS (inter-arrival of flow starts), --queue N (egress
 // FIFO capacity), --ecn N (mark threshold, 0 disables), --flow N
 // (packets per flow), --seed N.
+//
+// Observability outputs (all optional):
+//   --json PATH    hp-report-v1 JSON, one entry per scenario run
+//   --trace PATH   chrome://tracing JSON of the runner phases
+//   --flight PATH  hp-flight-v1 JSON from the sampled hop recorder
 
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/registry.hpp"
 #include "sim/runner.hpp"
 
@@ -36,14 +47,37 @@ void print_report(const std::string& name, const sim::SimReport& report) {
       report.forwarding.fold_kernel_name());
 }
 
+/// (scenario name, hp-report-v1 json) pairs collected for --json.
+using JsonEntries = std::vector<std::pair<std::string, std::string>>;
+
 int run_one(const scenario::ScenarioSpec& spec, const sim::SimOptions& options,
-            std::size_t packets_override, std::uint64_t seed_override) {
+            std::size_t packets_override, std::uint64_t seed_override,
+            JsonEntries* json_out) {
   scenario::ScenarioSpec spec_copy = spec;
   if (packets_override != 0) spec_copy.traffic.packets = packets_override;
   if (seed_override != 0) spec_copy.traffic.seed = seed_override;
   const sim::SimReport report = sim::run_sim_scenario(spec_copy, options);
   print_report(spec_copy.name, report);
+  if (json_out != nullptr) {
+    json_out->emplace_back(spec_copy.name, hp::obs::to_json(report));
+  }
   return report.forwarding.wrong_egress == 0 ? 0 : 1;
+}
+
+/// One JSON object keyed by scenario name; values are already-valid
+/// hp-report-v1 documents, so this is plain concatenation.
+void write_json_entries(const std::string& path, const JsonEntries& entries) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "\n  ";
+    hp::obs::JsonWriter::escape_to(out, entries[i].first);
+    out += ": ";
+    out += entries[i].second;
+  }
+  out += "\n}\n";
+  hp::obs::write_text_file(path, out);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace
@@ -54,6 +88,9 @@ int main(int argc, char** argv) {
   std::size_t packets = 0;
   std::uint64_t seed = 0;
   bool list = false;
+  std::string json_path;
+  std::string trace_path;
+  std::string flight_path;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
@@ -84,14 +121,29 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
+    } else if (arg == "--flight") {
+      flight_path = next();
     } else {
       std::fprintf(stderr,
                    "usage: sim_sweep [--list] [--scenario NAME] [--packets N] "
                    "[--rate MBPS] [--gap NS] [--queue N] [--ecn N] [--flow N] "
-                   "[--seed N]\n");
+                   "[--seed N] [--json PATH] [--trace PATH] [--flight PATH]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
+
+  hp::obs::MetricRegistry registry;
+  hp::obs::TraceSink trace_sink;
+  hp::obs::FlightRecorder recorder;
+  JsonEntries json_entries;
+  JsonEntries* json_out = json_path.empty() ? nullptr : &json_entries;
+  if (!json_path.empty()) options.metrics = &registry;
+  if (!trace_path.empty()) options.trace = &trace_sink;
+  if (!flight_path.empty()) options.recorder = &recorder;
 
   if (list) {
     for (const auto& spec : scenario::builtin_scenarios()) {
@@ -100,18 +152,28 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  int status = 0;
   if (!name.empty()) {
     const scenario::ScenarioSpec* spec = scenario::find_scenario(name);
     if (spec == nullptr) {
       std::fprintf(stderr, "unknown scenario %s (try --list)\n", name.c_str());
       return 2;
     }
-    return run_one(*spec, options, packets, seed);
+    status = run_one(*spec, options, packets, seed, json_out);
+  } else {
+    for (const auto& spec : scenario::builtin_scenarios()) {
+      status |= run_one(spec, options, packets, seed, json_out);
+    }
   }
 
-  int status = 0;
-  for (const auto& spec : scenario::builtin_scenarios()) {
-    status |= run_one(spec, options, packets, seed);
+  if (json_out != nullptr) write_json_entries(json_path, json_entries);
+  if (!trace_path.empty()) {
+    trace_sink.write(trace_path);
+    std::printf("wrote %s\n", trace_path.c_str());
+  }
+  if (!flight_path.empty()) {
+    hp::obs::write_text_file(flight_path, recorder.to_json());
+    std::printf("wrote %s\n", flight_path.c_str());
   }
   return status;
 }

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Validate BENCH_*.json artifacts against the hp-bench-v1 schema.
+
+Usage: check_bench_json.py PATH [PATH ...]
+
+Each PATH is a BENCH_*.json file or a directory to scan for them.  A
+valid document is an object with ``schema`` == "hp-bench-v1", a
+non-empty ``bench`` name, and a non-empty ``results`` array whose
+entries carry a string ``name``, a finite numeric ``value``, a string
+``unit``, an optional string ``label``, and an optional ``counters``
+object mapping names to finite numbers.  Exits 1 and prints one line
+per violation so CI fails when a bench writes malformed or NaN/Inf
+output.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA = "hp-bench-v1"
+
+
+def is_finite_number(value: object) -> bool:
+    return (
+        isinstance(value, (int, float))
+        and not isinstance(value, bool)
+        and math.isfinite(value)
+    )
+
+
+def check_result(entry: object, where: str) -> list[str]:
+    errors = []
+    if not isinstance(entry, dict):
+        return [f"{where}: result is not an object"]
+    if not isinstance(entry.get("name"), str) or not entry["name"]:
+        errors.append(f"{where}: missing or empty result name")
+    if not is_finite_number(entry.get("value")):
+        errors.append(f"{where}: value is not a finite number")
+    if not isinstance(entry.get("unit"), str):
+        errors.append(f"{where}: missing unit")
+    if "label" in entry and not isinstance(entry["label"], str):
+        errors.append(f"{where}: label is not a string")
+    counters = entry.get("counters", {})
+    if not isinstance(counters, dict):
+        errors.append(f"{where}: counters is not an object")
+    else:
+        for key, value in counters.items():
+            if not is_finite_number(value):
+                errors.append(f"{where}: counter {key!r} is not finite")
+    return errors
+
+
+def check_file(path: Path) -> list[str]:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return [f"{path}: unreadable or invalid JSON ({exc})"]
+    errors = []
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(f"{path}: schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        errors.append(f"{path}: missing or empty bench name")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        errors.append(f"{path}: results must be a non-empty array")
+        return errors
+    for i, entry in enumerate(results):
+        errors.extend(check_result(entry, f"{path}: results[{i}]"))
+    return errors
+
+
+def collect(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("BENCH_*.json")))
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: check_bench_json.py PATH [PATH ...]", file=sys.stderr)
+        return 2
+    files = collect(argv)
+    if not files:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 1
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for line in errors:
+        print(line)
+    if errors:
+        print(f"{len(errors)} bench JSON violation(s)", file=sys.stderr)
+        return 1
+    print(f"{len(files)} bench JSON file(s) OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

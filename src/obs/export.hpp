@@ -1,0 +1,125 @@
+#pragma once
+// Machine-readable export: one JSON writer, one schema, every report.
+//
+// Free-form printf reports cannot be diffed across PRs, so every
+// artifact the project emits for CI goes through here:
+//
+//  * JsonWriter -- a minimal, allocation-light JSON serializer (objects,
+//    arrays, escaped strings, integers, shortest-round-trip doubles).
+//    No external dependency; deterministic output for deterministic
+//    inputs, so fixed-seed reports diff bit-identically.
+//
+//  * BenchReport -- the `hp-bench-v1` schema behind every BENCH_*.json
+//    file: {"schema", "bench", "results": [{"name", "value", "unit",
+//    "label", "counters": {...}}]}.  Google-Benchmark binaries fill it
+//    through bench/bench_json.hpp's capturing reporter; plain-main
+//    benches append results directly.  write_default() drops
+//    BENCH_<bench>.json into $HP_BENCH_JSON_DIR (default: the current
+//    directory), which is what CI's bench-smoke validates with
+//    scripts/check_bench_json.py.
+//
+//  * to_json(...) -- `hp-report-v1` serializations of ScenarioReport,
+//    SimReport and MetricsSnapshot, used by the sweep CLIs' --json
+//    flags and by tests pinning snapshot determinism.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hp::scenario {
+struct ScenarioReport;
+}
+namespace hp::sim {
+struct SimReport;
+}
+
+namespace hp::obs {
+
+struct MetricsSnapshot;
+
+/// Streaming JSON serializer.  Call sequence is validated only by the
+/// emitted text (keep calls balanced); commas are managed internally.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  /// Object member key; must be followed by a value or container.
+  void key(std::string_view k);
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::uint64_t u);
+  void value(std::int64_t i);
+  void value(bool b);
+
+  /// The finished document.
+  [[nodiscard]] std::string str() && { return std::move(out_); }
+  [[nodiscard]] const std::string& text() const noexcept { return out_; }
+
+  /// Append `s` JSON-escaped (quotes added) -- exposed for tests.
+  static void escape_to(std::string& out, std::string_view s);
+
+ private:
+  void separate();
+
+  std::string out_;
+  std::vector<bool> first_;  ///< per open container: no comma yet?
+  bool pending_key_ = false;
+};
+
+/// One benchmark measurement in the `hp-bench-v1` schema.
+struct BenchResult {
+  std::string name;
+  double value = 0.0;  ///< the headline number (time, rate, score...)
+  std::string unit;    ///< e.g. "ns", "ms", "pps", "rmse"
+  std::string label;   ///< free-form context ("clmul-barrett, 64 flows")
+  /// Secondary numbers, serialized as a flat "counters" object in
+  /// insertion order.
+  std::vector<std::pair<std::string, double>> counters;
+};
+
+/// The machine-readable outcome of one bench binary.
+struct BenchReport {
+  static constexpr std::string_view kSchema = "hp-bench-v1";
+
+  explicit BenchReport(std::string bench_name)
+      : bench(std::move(bench_name)) {}
+
+  std::string bench;  ///< binary name, e.g. "bench_sim_fct"
+  std::vector<BenchResult> results;
+
+  /// Append a result and return it for counter additions.
+  BenchResult& add(std::string name, double value, std::string unit,
+                   std::string label = {});
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; throws std::runtime_error on failure.
+  void write(const std::string& path) const;
+
+  /// Write BENCH_<bench>.json into $HP_BENCH_JSON_DIR (or "."), the
+  /// location CI's bench-smoke collects; returns the path written.
+  std::string write_default() const;
+};
+
+/// `hp-report-v1` serializations (kind: "scenario" / "sim" /
+/// "metrics").  A SimReport embeds its forwarding ScenarioReport under
+/// "forwarding", mirroring the struct.
+[[nodiscard]] std::string to_json(const scenario::ScenarioReport& report);
+[[nodiscard]] std::string to_json(const sim::SimReport& report);
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snapshot);
+
+/// Serialize a snapshot inline into an open writer (after key()),
+/// shared by to_json overloads that embed snapshots.
+void write_snapshot(JsonWriter& json, const MetricsSnapshot& snapshot);
+
+/// Write `text` to `path` (binary, truncating); throws
+/// std::runtime_error on failure.  The one file-dump helper every
+/// exporter shares.
+void write_text_file(const std::string& path, std::string_view text);
+
+}  // namespace hp::obs

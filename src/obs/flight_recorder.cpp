@@ -1,0 +1,94 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+
+#include "obs/export.hpp"
+
+namespace hp::obs {
+
+const char* to_string(HopOutcome outcome) noexcept {
+  switch (outcome) {
+    case HopOutcome::kForwarded:
+      return "forwarded";
+    case HopOutcome::kDelivered:
+      return "delivered";
+    case HopOutcome::kTailDrop:
+      return "tail_drop";
+    case HopOutcome::kTtlExpired:
+      return "ttl_expired";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity,
+                               std::uint32_t sample_every)
+    : ring_(std::max<std::size_t>(capacity, 1)),
+      sample_every_(std::max<std::uint32_t>(sample_every, 1)) {}
+
+void FlightRecorder::record(const HopRecord& r) noexcept {
+  ring_[head_] = r;
+  head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+  ++total_;
+}
+
+std::vector<HopRecord> FlightRecorder::records() const {
+  std::vector<HopRecord> out;
+  const std::size_t kept = std::min<std::uint64_t>(total_, ring_.size());
+  out.reserve(kept);
+  // Oldest record: at head_ once the ring has wrapped, else at 0.
+  const std::size_t start = total_ >= ring_.size() ? head_ : 0;
+  for (std::size_t i = 0; i < kept; ++i) {
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() noexcept {
+  head_ = 0;
+  total_ = 0;
+}
+
+std::string FlightRecorder::to_json() const {
+  const std::vector<HopRecord> kept = records();
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema");
+  json.value("hp-flight-v1");
+  json.key("sample_every");
+  json.value(std::uint64_t{sample_every_});
+  json.key("capacity");
+  json.value(static_cast<std::uint64_t>(ring_.size()));
+  json.key("total_recorded");
+  json.value(total_);
+  json.key("overwritten");
+  json.value(total_ - kept.size());
+  json.key("records");
+  json.begin_array();
+  for (const HopRecord& r : kept) {
+    json.begin_object();
+    json.key("tick_ns");
+    json.value(r.tick_ns);
+    json.key("flow");
+    json.value(std::uint64_t{r.flow});
+    json.key("packet");
+    json.value(std::uint64_t{r.packet});
+    json.key("node");
+    json.value(std::uint64_t{r.node});
+    json.key("port");
+    json.value(std::uint64_t{r.port});
+    json.key("queue_depth");
+    json.value(std::uint64_t{r.queue_depth});
+    json.key("outcome");
+    json.value(to_string(r.outcome));
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+void FlightRecorder::write(const std::string& path) const {
+  write_text_file(path, to_json());
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,96 @@
+#pragma once
+// FlightRecorder: a sampled hop-level ring buffer for the packet sim.
+//
+// Aggregate counters say *that* a queue overflowed; they cannot say
+// which flow was crossing which node when it happened.  The flight
+// recorder keeps the last `capacity` per-hop records of every sampled
+// flow (1-in-N by flow handle, so sampling is deterministic for a
+// fixed flow enumeration): at each hop the simulator logs the node,
+// the egress port its fold computed, the egress-queue depth right
+// after the enqueue, the simulated tick and the hop's outcome.  The
+// ring overwrites oldest-first, so post-mortems always hold the most
+// recent window; records() returns chronological order and to_json()
+// dumps the `hp-flight-v1` document CI uploads as an artifact.
+//
+// Recording is plain (non-atomic) state: PacketSim is single-threaded
+// by design, and the recorder inherits its determinism -- a fixed-seed
+// run dumps bit-identical JSON at any thread count.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hp::obs {
+
+/// What happened to the packet at this hop.
+enum class HopOutcome : std::uint8_t {
+  kForwarded,   ///< enqueued onto the egress channel
+  kDelivered,   ///< folded onto an unwired port: left the fabric
+  kTailDrop,    ///< egress queue full
+  kTtlExpired,  ///< hop cap reached
+};
+
+[[nodiscard]] const char* to_string(HopOutcome outcome) noexcept;
+
+/// One sampled hop.
+struct HopRecord {
+  std::uint64_t tick_ns = 0;      ///< simulated arrival time
+  std::uint32_t flow = 0;         ///< PacketSim flow handle
+  std::uint32_t packet = 0;       ///< injection index within the sim
+  std::uint32_t node = 0;         ///< fabric node making the decision
+  std::uint32_t port = 0;         ///< egress port the fold computed
+  std::uint32_t queue_depth = 0;  ///< egress queue depth after enqueue
+  HopOutcome outcome = HopOutcome::kForwarded;
+
+  friend bool operator==(const HopRecord&, const HopRecord&) = default;
+};
+
+class FlightRecorder {
+ public:
+  /// \param capacity ring size in records (>= 1; clamped)
+  /// \param sample_every record flows whose handle % N == 0 (>= 1;
+  ///   clamped -- 1 records every flow)
+  explicit FlightRecorder(std::size_t capacity = 4096,
+                          std::uint32_t sample_every = 16);
+
+  /// Should this flow's hops be recorded?
+  [[nodiscard]] bool sampled(std::uint32_t flow) const noexcept {
+    return flow % sample_every_ == 0;
+  }
+
+  [[nodiscard]] std::uint32_t sample_every() const noexcept {
+    return sample_every_;
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return ring_.size();
+  }
+
+  /// Append one record, overwriting the oldest when full.
+  void record(const HopRecord& r) noexcept;
+
+  /// Records seen so far (including overwritten ones).
+  [[nodiscard]] std::uint64_t total_recorded() const noexcept {
+    return total_;
+  }
+
+  /// Retained records, oldest first.
+  [[nodiscard]] std::vector<HopRecord> records() const;
+
+  /// Drop everything recorded so far (capacity/sampling unchanged).
+  void clear() noexcept;
+
+  /// The `hp-flight-v1` JSON document (sampling parameters, overwrite
+  /// count, then every retained record oldest-first).
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; throws std::runtime_error on failure.
+  void write(const std::string& path) const;
+
+ private:
+  std::vector<HopRecord> ring_;
+  std::size_t head_ = 0;     ///< next write position
+  std::uint64_t total_ = 0;  ///< lifetime record() calls
+  std::uint32_t sample_every_;
+};
+
+}  // namespace hp::obs

@@ -1,0 +1,14 @@
+#include "obs/telemetry_bridge.hpp"
+
+namespace hp::obs {
+
+std::size_t TelemetryBridge::sample(double t_s) {
+  const auto gauges = registry_.gauges();
+  for (const auto& [name, value] : gauges) {
+    store_.append(name, telemetry::Point{t_s, static_cast<double>(value)});
+  }
+  ++samples_;
+  return gauges.size();
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,48 @@
+#pragma once
+// TelemetryBridge: sample registry gauges into the Telemetry Service.
+//
+// The paper's control loop reads per-path load and latency as
+// time-indexed series from a Telemetry Service (src/telemetry's
+// TimeSeriesStore); the reproduction's packet-level data plane exposes
+// its live state as MetricRegistry gauges.  The bridge is the thin
+// joint: each sample(t_s) call appends every registered gauge's
+// current value to the store under its metric name, so the seed's
+// range/last-k query API -- and everything stacked on it (the ML
+// regressors' windowing, the controller) -- now reads real simulated
+// data-plane state.
+//
+// Who drives the tick matters: PacketSim calls sample() on *simulated*
+// tick boundaries (SimOptions::telemetry_period_ns), never wall clock,
+// so a fixed-seed run writes a bit-identical series set at any thread
+// count.
+
+#include "obs/metrics.hpp"
+#include "telemetry/store.hpp"
+
+namespace hp::obs {
+
+class TelemetryBridge {
+ public:
+  /// Both the registry and the store are borrowed and must outlive the
+  /// bridge.
+  TelemetryBridge(const MetricRegistry& registry,
+                  telemetry::TimeSeriesStore& store)
+      : registry_(registry), store_(store) {}
+
+  /// Append every gauge's current value at time `t_s` (seconds).
+  /// Returns the number of series written.  Timestamps must be
+  /// non-decreasing across calls (the store enforces per-series
+  /// monotonicity).
+  std::size_t sample(double t_s);
+
+  [[nodiscard]] std::size_t samples_taken() const noexcept {
+    return samples_;
+  }
+
+ private:
+  const MetricRegistry& registry_;
+  telemetry::TimeSeriesStore& store_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace hp::obs

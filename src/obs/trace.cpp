@@ -1,0 +1,94 @@
+#include "obs/trace.hpp"
+
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/export.hpp"
+
+namespace hp::obs {
+
+namespace {
+
+/// Process-wide small thread id, assigned on each thread's first
+/// traced event (the Trace Event Format only needs tids to be stable
+/// and distinct per thread).
+std::uint32_t this_thread_trace_tid() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+}  // namespace
+
+void TraceSink::record(std::string_view name, std::string_view category,
+                       Clock::time_point start, Clock::time_point end) {
+  using std::chrono::duration_cast;
+  using std::chrono::microseconds;
+  if (end < start) end = start;
+  TraceEvent e;
+  e.name = std::string(name);
+  e.category = std::string(category);
+  e.ts_us = static_cast<std::uint64_t>(
+      duration_cast<microseconds>(start - epoch_).count());
+  e.dur_us = static_cast<std::uint64_t>(
+      duration_cast<microseconds>(end - start).count());
+  e.tid = this_thread_trace_tid();
+  const std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::size_t TraceSink::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::string TraceSink::to_json() const {
+  const std::vector<TraceEvent> events = this->events();
+  JsonWriter json;
+  json.begin_object();
+  json.key("displayTimeUnit");
+  json.value("ms");
+  json.key("traceEvents");
+  json.begin_array();
+  for (const TraceEvent& e : events) {
+    json.begin_object();
+    json.key("name");
+    json.value(e.name);
+    json.key("cat");
+    json.value(e.category);
+    json.key("ph");
+    json.value("X");
+    json.key("ts");
+    json.value(e.ts_us);
+    json.key("dur");
+    json.value(e.dur_us);
+    json.key("pid");
+    json.value(std::uint64_t{1});
+    json.key("tid");
+    json.value(std::uint64_t{e.tid});
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return std::move(json).str();
+}
+
+void TraceSink::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("TraceSink: cannot open " + path);
+  }
+  out << to_json() << '\n';
+  if (!out) {
+    throw std::runtime_error("TraceSink: write failed for " + path);
+  }
+}
+
+}  // namespace hp::obs

@@ -1,0 +1,97 @@
+#pragma once
+// Phase tracing: RAII scopes emitting chrome://tracing trace events.
+//
+// A TraceSink collects complete ("ph": "X") trace events -- name,
+// category, per-thread id, microsecond timestamp and duration relative
+// to the sink's construction -- and serializes them as the Trace Event
+// Format JSON that chrome://tracing and https://ui.perfetto.dev open
+// directly.  TraceScope is the only producer most code needs:
+//
+//   {
+//     obs::TraceScope scope(sink, "compile.all_pairs");
+//     fabric.compile_all_pairs(threads);
+//   }  // one "X" event with the measured duration
+//
+// Scopes are cheap (two steady_clock reads and one short mutex hold at
+// destruction; phase events fire a handful of times per run, never per
+// packet) and null-safe: a nullptr sink makes the scope a no-op, the
+// same convention as MetricRegistry*.  Thread ids are small integers
+// assigned on each thread's first event, so per-thread tracks render
+// compactly in the viewer.
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hp::obs {
+
+/// One complete-phase event, microseconds relative to the sink epoch.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;   ///< start, relative to the sink's epoch
+  std::uint64_t dur_us = 0;  ///< duration
+  std::uint32_t tid = 0;     ///< small per-thread id (first-event order)
+
+  friend bool operator==(const TraceEvent&, const TraceEvent&) = default;
+};
+
+/// Collects trace events and writes Trace Event Format JSON.
+class TraceSink {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  TraceSink() : epoch_(Clock::now()) {}
+
+  /// The sink's time origin (TraceScope measures against it).
+  [[nodiscard]] Clock::time_point epoch() const noexcept { return epoch_; }
+
+  /// Append one complete event (thread-safe).
+  void record(std::string_view name, std::string_view category,
+              Clock::time_point start, Clock::time_point end);
+
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// {"traceEvents": [...]} -- the JSON chrome://tracing consumes.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; throws std::runtime_error on I/O error.
+  void write(const std::string& path) const;
+
+ private:
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII phase timer: records one complete event on destruction.  Null
+/// sink = disabled.  The name/category strings must outlive the scope
+/// (string literals in practice).
+class TraceScope {
+ public:
+  TraceScope(TraceSink* sink, const char* name,
+             const char* category = "phase") noexcept
+      : sink_(sink), name_(name), category_(category) {
+    if (sink_ != nullptr) start_ = TraceSink::Clock::now();
+  }
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+  ~TraceScope() {
+    if (sink_ != nullptr) {
+      sink_->record(name_, category_, start_, TraceSink::Clock::now());
+    }
+  }
+
+ private:
+  TraceSink* sink_;
+  const char* name_;
+  const char* category_;
+  TraceSink::Clock::time_point start_{};
+};
+
+}  // namespace hp::obs

@@ -1,10 +1,13 @@
 #include "scenario/fabric_builder.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 #include <thread>
 
 #include "gf2/crt.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "polka/route.hpp"
 #include "scenario/shard.hpp"
 
@@ -16,6 +19,24 @@ using netsim::kInvalidIndex;
 using netsim::NodeIndex;
 
 }  // namespace
+
+void BuiltFabric::note_compile(
+    const char* phase, const CompileStats& before,
+    std::chrono::steady_clock::time_point start) const {
+  if (metrics_ == nullptr) return;
+  metrics_->counter("compile.routes")
+      .add(stats_.routes_compiled - before.routes_compiled);
+  metrics_->counter("compile.trees")
+      .add(stats_.trees_built - before.trees_built);
+  metrics_->counter("compile.crt_steps")
+      .add(stats_.crt_steps - before.crt_steps);
+  char name[48];
+  std::snprintf(name, sizeof(name), "compile.%s_ns", phase);
+  metrics_->histogram(name).record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count()));
+}
 
 BuiltFabric::BuiltFabric(netsim::Topology topo, polka::ModEngine engine)
     : topo_(std::move(topo)), fabric_(engine) {
@@ -115,6 +136,8 @@ const CompiledRoute* BuiltFabric::route(NodeIndex src, NodeIndex dst) {
   }
   (void)fabric_index(src);  // validates both endpoints are routers
   (void)fabric_index(dst);
+  const CompileStats before = stats_;
+  const auto t0 = std::chrono::steady_clock::now();
   const auto path = netsim::tree_path(tree_for(src), topo_, dst);
   if (!path) return nullptr;
 
@@ -141,7 +164,9 @@ const CompiledRoute* BuiltFabric::route(NodeIndex src, NodeIndex dst) {
   route.expected.egress_port = egress_port(egress_node);
   route.expected.hops = static_cast<std::uint32_t>(fabric_path.size());
   stats_.crt_steps += fabric_path.size();
-  return &store_route(key, std::move(route));
+  CompiledRoute& stored = store_route(key, std::move(route));
+  note_compile("route", before, t0);
+  return &stored;
 }
 
 void BuiltFabric::compile_tree_routes(const netsim::PathTree& tree,
@@ -254,6 +279,9 @@ void BuiltFabric::compile_tree_routes(const netsim::PathTree& tree,
 }
 
 std::size_t BuiltFabric::compile_all_pairs(unsigned threads) {
+  obs::TraceScope scope(trace_, "compile.all_pairs", "compile");
+  const CompileStats before = stats_;
+  const auto t0 = std::chrono::steady_clock::now();
   const std::size_t sources = fabric_to_topo_.size();
   struct SourceCompile {
     std::optional<netsim::PathTree> fresh;  ///< built when not cached
@@ -313,11 +341,15 @@ std::size_t BuiltFabric::compile_all_pairs(unsigned threads) {
       ++written;
     }
   }
+  note_compile("all_pairs", before, t0);
   return written;
 }
 
 std::size_t BuiltFabric::compile_subtree(NodeIndex src,
                                          std::span<const NodeIndex> dsts) {
+  obs::TraceScope scope(trace_, "compile.subtree", "compile");
+  const CompileStats before = stats_;
+  const auto t0 = std::chrono::steady_clock::now();
   (void)fabric_index(src);  // validates src is a router
   const netsim::PathTree& tree = tree_for(src);
 
@@ -345,11 +377,14 @@ std::size_t BuiltFabric::compile_subtree(NodeIndex src,
   compile_tree_routes(tree, &descend, &emit, out, crt_steps);
   stats_.crt_steps += crt_steps;
   for (auto& [key, route] : out) store_route(key, std::move(route));
+  note_compile("subtree", before, t0);
   return out.size();
 }
 
 std::vector<std::pair<NodeIndex, NodeIndex>> BuiltFabric::fail_link(
     NodeIndex a, NodeIndex b) {
+  obs::TraceScope scope(trace_, "compile.fail_link", "compile");
+  const auto t0 = std::chrono::steady_clock::now();
   const auto fwd = topo_.link_between(a, b);
   const auto rev = topo_.link_between(b, a);
   if (!fwd || !rev) {
@@ -412,6 +447,9 @@ std::vector<std::pair<NodeIndex, NodeIndex>> BuiltFabric::fail_link(
   for (const auto& [src, dsts] : by_source) {
     (void)compile_subtree(src, dsts);
   }
+  // The repair's stats deltas were already recorded by the inner
+  // compile_subtree calls; this notes only the phase's wall clock.
+  note_compile("fail_link", stats_, t0);
   return affected;
 }
 

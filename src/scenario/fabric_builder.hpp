@@ -31,6 +31,7 @@
 // O(affected), only the Dijkstra trees that used the dead link are
 // rebuilt, and the severed destinations are recompiled subtree-scoped.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -43,6 +44,11 @@
 #include "netsim/topology.hpp"
 #include "polka/forwarding.hpp"
 #include "polka/label.hpp"
+
+namespace hp::obs {
+class MetricRegistry;
+class TraceSink;
+}  // namespace hp::obs
 
 namespace hp::scenario {
 
@@ -149,6 +155,19 @@ class BuiltFabric {
     return banned_links_;
   }
 
+  /// Attach observability taps (borrowed, both optional; nullptr
+  /// detaches).  With metrics set, every compile entry point (route,
+  /// compile_all_pairs, compile_subtree, fail_link) adds its
+  /// CompileStats deltas to the compile.routes/.trees/.crt_steps
+  /// counters and records its wall clock in a compile.<phase>_ns
+  /// histogram; with trace set, the batch entry points emit one
+  /// complete phase event each.
+  void set_observability(obs::MetricRegistry* metrics,
+                         obs::TraceSink* trace) noexcept {
+    metrics_ = metrics;
+    trace_ = trace;
+  }
+
   [[nodiscard]] const CompileStats& compile_stats() const noexcept {
     return stats_;
   }
@@ -181,6 +200,11 @@ class BuiltFabric {
   CompiledRoute& store_route(RouteKey key, CompiledRoute&& route);
   void unindex_route(RouteKey key, const netsim::Path& path);
 
+  /// Record one compile phase's stats deltas and wall clock into the
+  /// attached registry (no-op when detached).
+  void note_compile(const char* phase, const CompileStats& before,
+                    std::chrono::steady_clock::time_point start) const;
+
   netsim::Topology topo_;
   polka::PolkaFabric fabric_;
   std::vector<std::size_t> topo_to_fabric_;  // kInvalidIndex for hosts
@@ -203,6 +227,8 @@ class BuiltFabric {
   std::unordered_map<netsim::LinkIndex, std::vector<RouteKey>>
       routes_by_link_;
   CompileStats stats_;
+  obs::MetricRegistry* metrics_ = nullptr;
+  obs::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace hp::scenario

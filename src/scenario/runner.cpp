@@ -7,11 +7,42 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/shard.hpp"
 
 namespace hp::scenario {
 
 namespace {
+
+/// Handles resolved once per replay (registration takes a mutex; the
+/// workers then only touch their lock-free shards).  Null when metrics
+/// are off.
+struct ReplayMetrics {
+  obs::Counter* packets = nullptr;       ///< added per batch flush
+  obs::Counter* folds = nullptr;         ///< added per batch flush
+  obs::Counter* wrong_egress = nullptr;  ///< the rest: added per slice
+  obs::Counter* ttl_expired = nullptr;
+  obs::Counter* dropped_packets = nullptr;
+  obs::Counter* segmented_packets = nullptr;
+  obs::Counter* segment_swaps = nullptr;
+  obs::Counter* slices = nullptr;
+  obs::Histogram* slice_ns = nullptr;  ///< wall clock of one worker slice
+
+  static ReplayMetrics resolve(obs::MetricRegistry& reg) {
+    ReplayMetrics m;
+    m.packets = &reg.counter("replay.packets");
+    m.folds = &reg.counter("replay.folds");
+    m.wrong_egress = &reg.counter("replay.wrong_egress");
+    m.ttl_expired = &reg.counter("replay.ttl_expired");
+    m.dropped_packets = &reg.counter("replay.dropped_packets");
+    m.segmented_packets = &reg.counter("replay.segmented_packets");
+    m.segment_swaps = &reg.counter("replay.segment_swaps");
+    m.slices = &reg.counter("replay.slices");
+    m.slice_ns = &reg.histogram("replay.slice_ns");
+    return m;
+  }
+};
 
 /// One worker's walk over its slice: fill private batch buffers
 /// (skipping dead pairs), stream them through the compiled fabric and
@@ -26,7 +57,9 @@ void replay_slice(const polka::CompiledFabric& fabric,
                   std::span<const polka::PacketResult> expected,
                   std::span<const std::uint8_t> alive,
                   const SegmentTable& segments, std::size_t batch_size,
-                  std::size_t max_hops, ScenarioReport& out) {
+                  std::size_t max_hops, ScenarioReport& out,
+                  const ReplayMetrics* rm) {
+  const auto slice_start = std::chrono::steady_clock::now();
   std::vector<polka::RouteLabel> batch_labels(batch_size);
   std::vector<std::uint32_t> batch_firsts(batch_size);
   std::vector<std::uint32_t> batch_index(batch_size);
@@ -48,28 +81,39 @@ void replay_slice(const polka::CompiledFabric& fabric,
   };
   auto flush = [&] {
     if (fill == 0) return;
-    out.mod_operations += fabric.forward_batch(
+    const std::size_t mods = fabric.forward_batch(
         std::span<const polka::RouteLabel>(batch_labels.data(), fill),
         std::span<const std::uint32_t>(batch_firsts.data(), fill),
         std::span<polka::PacketResult>(batch_results.data(), fill), max_hops);
+    out.mod_operations += mods;
     for (std::size_t i = 0; i < fill; ++i) {
       score(batch_results[i], batch_index[i]);
     }
     out.packets += fill;
+    // Flush-granular, never per-packet: one sharded add per batch.
+    if (rm != nullptr) {
+      rm->packets->add(fill);
+      rm->folds->add(mods);
+    }
     fill = 0;
   };
   auto flush_segmented = [&] {
     if (seg_fill == 0) return;
-    out.mod_operations += fabric.forward_batch_segmented(
+    const std::size_t mods = fabric.forward_batch_segmented(
         segments.labels, segments.waypoints,
         std::span<const polka::SegmentRef>(seg_refs.data(), seg_fill),
         std::span<const std::uint32_t>(seg_firsts.data(), seg_fill),
         std::span<polka::PacketResult>(seg_results.data(), seg_fill),
         max_hops);
+    out.mod_operations += mods;
     for (std::size_t i = 0; i < seg_fill; ++i) {
       score(seg_results[i], seg_index[i]);
     }
     out.packets += seg_fill;
+    if (rm != nullptr) {
+      rm->packets->add(seg_fill);
+      rm->folds->add(mods);
+    }
     seg_fill = 0;
   };
   for (std::size_t i = 0; i < labels.size(); ++i) {
@@ -96,6 +140,18 @@ void replay_slice(const polka::CompiledFabric& fabric,
   }
   flush();
   flush_segmented();
+  if (rm != nullptr) {
+    rm->wrong_egress->add(out.wrong_egress);
+    rm->ttl_expired->add(out.ttl_expired);
+    rm->dropped_packets->add(out.dropped_packets);
+    rm->segmented_packets->add(out.segmented_packets);
+    rm->segment_swaps->add(out.segment_swaps);
+    rm->slices->add(1);
+    rm->slice_ns->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - slice_start)
+            .count()));
+  }
 }
 
 }  // namespace
@@ -107,7 +163,8 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
                              std::span<const polka::PacketResult> expected,
                              std::span<const std::uint8_t> alive,
                              SegmentTable segments, unsigned threads,
-                             std::size_t batch_size, std::size_t max_hops) {
+                             std::size_t batch_size, std::size_t max_hops,
+                             obs::MetricRegistry* metrics) {
   if (labels.size() != ingress.size() || labels.size() != index.size()) {
     throw std::invalid_argument("replay_shards: span length mismatch");
   }
@@ -122,11 +179,20 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
   std::size_t workers = std::max<unsigned>(threads, 1);
   workers = std::min(workers, std::max<std::size_t>(total, 1));
 
+  // Resolve handles before spawning anyone; workers then record on
+  // their lock-free shards only.
+  ReplayMetrics rm_storage;
+  const ReplayMetrics* rm = nullptr;
+  if (metrics != nullptr) {
+    rm_storage = ReplayMetrics::resolve(*metrics);
+    rm = &rm_storage;
+  }
+
   const auto start = std::chrono::steady_clock::now();
   std::vector<ScenarioReport> partial(workers);
   if (workers == 1) {
     replay_slice(fabric, labels, ingress, index, expected, alive, segments,
-                 batch_size, max_hops, partial[0]);
+                 batch_size, max_hops, partial[0], rm);
   } else {
     std::vector<std::thread> pool;
     pool.reserve(workers);
@@ -136,7 +202,7 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
         replay_slice(fabric, labels.subspan(begin, end - begin),
                      ingress.subspan(begin, end - begin),
                      index.subspan(begin, end - begin), expected, alive,
-                     segments, batch_size, max_hops, partial[w]);
+                     segments, batch_size, max_hops, partial[w], rm);
       });
     }
     for (auto& t : pool) t.join();
@@ -155,6 +221,12 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
 
 ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
                                    PacketStream& stream) const {
+  // Hand the taps to the fabric too, so failure repairs below show up
+  // as compile.* metrics/phases (skip when we have none to offer --
+  // the caller may have attached its own).
+  if (options_.metrics != nullptr || options_.trace != nullptr) {
+    fabric.set_observability(options_.metrics, options_.trace);
+  }
   const std::size_t total = stream.size();
   // Compile the flattened view before any thread is spawned: the lazy
   // compiled() cache is not thread-safe to build concurrently.
@@ -191,6 +263,7 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
     }
     if (end > done) {
       const std::size_t count = end - done;
+      obs::TraceScope epoch_scope(options_.trace, "replay.epoch", "replay");
       // Spans over the stream's pools are rebuilt per epoch: failure
       // repair below may grow them (and reallocate).
       const SegmentTable segments{stream.seg_labels, stream.seg_waypoints,
@@ -202,12 +275,16 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
           std::span<const std::uint32_t>(stream.ingress.data() + done, count),
           std::span<const std::uint32_t>(stream.pair.data() + done, count),
           expected, alive, segments, options_.threads, options_.batch_size,
-          options_.max_hops);
+          options_.max_hops, options_.metrics);
       // Sequential epoch partials: counters and wall clock both sum.
       report.merge_from(epoch);
+      if (options_.metrics != nullptr) {
+        options_.metrics->counter("replay.epochs").add(1);
+      }
       done = end;
     }
     if (next_failure < failures.size()) {
+      obs::TraceScope repair_scope(options_.trace, "replay.repair", "replay");
       const LinkFailure& failure = failures[next_failure++];
       const auto affected = fabric.fail_link(failure.a, failure.b);
       if (affected.empty()) continue;
@@ -242,6 +319,10 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
         if (it != new_label.end()) stream.labels[i] = it->second;
       }
     }
+  }
+  if (options_.metrics != nullptr) {
+    options_.metrics->counter("replay.rerouted_pairs")
+        .add(report.rerouted_pairs);
   }
   return report;
 }

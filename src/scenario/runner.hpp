@@ -23,6 +23,11 @@
 #include "scenario/fabric_builder.hpp"
 #include "scenario/traffic.hpp"
 
+namespace hp::obs {
+class MetricRegistry;
+class TraceSink;
+}  // namespace hp::obs
+
 namespace hp::scenario {
 
 /// One scheduled duplex-link failure.
@@ -37,6 +42,13 @@ struct RunnerOptions {
   std::size_t batch_size = 1024; ///< packets per forward_batch call
   std::size_t max_hops = 64;
   std::vector<LinkFailure> failures;  ///< applied in at_fraction order
+  /// Optional observability taps (borrowed).  Workers record replay.*
+  /// counters at flush/slice granularity -- never per packet -- so the
+  /// enabled hot path stays within the <2% pps budget the overhead
+  /// bench pins; the trace sink gets one replay.epoch / replay.repair
+  /// event per phase.
+  obs::MetricRegistry* metrics = nullptr;
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Merged counters of one replay.
@@ -117,6 +129,10 @@ struct SegmentTable {
 /// dropped); `segments.refs`, when nonempty, must cover every lane
 /// value.  This is the primitive both ScenarioRunner and
 /// core::PolkaService build on.
+/// `metrics`, when set, receives replay.* counters (packets and folds
+/// added per batch flush, outcome counters per slice) recorded
+/// concurrently by every worker -- the registry's sharded hot path is
+/// exactly what absorbs that.
 ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
                              std::span<const polka::RouteLabel> labels,
                              std::span<const std::uint32_t> ingress,
@@ -124,7 +140,8 @@ ScenarioReport replay_shards(const polka::CompiledFabric& fabric,
                              std::span<const polka::PacketResult> expected,
                              std::span<const std::uint8_t> alive,
                              SegmentTable segments, unsigned threads,
-                             std::size_t batch_size, std::size_t max_hops = 64);
+                             std::size_t batch_size, std::size_t max_hops = 64,
+                             obs::MetricRegistry* metrics = nullptr);
 
 /// Single-label convenience overload (no segment table).
 inline ScenarioReport replay_shards(
@@ -134,9 +151,10 @@ inline ScenarioReport replay_shards(
     std::span<const std::uint32_t> index,
     std::span<const polka::PacketResult> expected,
     std::span<const std::uint8_t> alive, unsigned threads,
-    std::size_t batch_size, std::size_t max_hops = 64) {
+    std::size_t batch_size, std::size_t max_hops = 64,
+    obs::MetricRegistry* metrics = nullptr) {
   return replay_shards(fabric, labels, ingress, index, expected, alive,
-                       SegmentTable{}, threads, batch_size, max_hops);
+                       SegmentTable{}, threads, batch_size, max_hops, metrics);
 }
 
 /// Replays a stream over its fabric, applying the failure schedule.

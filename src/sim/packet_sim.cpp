@@ -1,7 +1,12 @@
 #include "sim/packet_sim.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry_bridge.hpp"
 
 namespace hp::sim {
 
@@ -43,6 +48,35 @@ PacketSim::PacketSim(const polka::CompiledFabric& fabric,
   }
   result_.links.assign(channels_.size(), LinkStat{});
   channel_state_.assign(channels_.size(), ChannelState{});
+  register_metrics();
+}
+
+void PacketSim::register_metrics() {
+  obs::MetricRegistry* reg = config_.metrics;
+  if (reg == nullptr) return;
+  obs_.injected = &reg->counter("sim.injected");
+  obs_.delivered = &reg->counter("sim.delivered");
+  obs_.tail_drops = &reg->counter("sim.tail_drops");
+  obs_.ttl_expired = &reg->counter("sim.ttl_expired");
+  obs_.ecn_marked = &reg->counter("sim.ecn_marked");
+  obs_.folds = &reg->counter("sim.folds");
+  obs_.segment_swaps = &reg->counter("sim.segment_swaps");
+  obs_.wrong_egress = &reg->counter("sim.wrong_egress");
+  obs_.in_flight = &reg->gauge("sim.in_flight");
+  obs_.queue_depth = &reg->histogram("sim.queue_depth");
+  obs_.link_depth.reserve(channels_.size());
+  obs_.link_drops.reserve(channels_.size());
+  obs_.link_ecn.reserve(channels_.size());
+  char name[48];
+  for (std::size_t ch = 0; ch < channels_.size(); ++ch) {
+    // Zero-padded so the name-sorted snapshot lists links numerically.
+    std::snprintf(name, sizeof(name), "sim.link.%05zu.queue_depth", ch);
+    obs_.link_depth.push_back(&reg->gauge(name));
+    std::snprintf(name, sizeof(name), "sim.link.%05zu.drops", ch);
+    obs_.link_drops.push_back(&reg->counter(name));
+    std::snprintf(name, sizeof(name), "sim.link.%05zu.ecn", ch);
+    obs_.link_ecn.push_back(&reg->counter(name));
+  }
 }
 
 void PacketSim::set_segment_pool(std::span<const polka::RouteLabel> labels,
@@ -88,12 +122,22 @@ void PacketSim::inject(Tick at, polka::RouteLabel label, polka::SegmentRef ref,
   ++fs.packets;
   ++result_.counters.injected;
   if (ref.label_count > 1) ++result_.counters.segmented_packets;
+  if (obs_.injected != nullptr) {
+    obs_.injected->add(1);
+    obs_.in_flight->add(1);
+  }
   queue_.push(at, kArrive, index);
 }
 
 void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
   PacketState& s = packets_[packet];
   SimCounters& c = result_.counters;
+  // 1-in-N flight recording resolved once per hop; flight is a null
+  // pointer for unsampled flows so every tap below is one branch.
+  obs::FlightRecorder* const flight =
+      config_.recorder != nullptr && config_.recorder->sampled(s.flow)
+          ? config_.recorder
+          : nullptr;
   // Waypoint re-label before this node's mod, exactly as the batch walk
   // kernel does (fold_kernels.hpp): a waypoint folds once like every
   // other node, just with its fresh label.
@@ -102,36 +146,56 @@ void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
     ++s.seg;
     s.label = pool_labels_[s.ref.first_label + s.seg].bits;
     ++c.segment_swaps;
+    if (obs_.segment_swaps != nullptr) obs_.segment_swaps->add(1);
   }
   const std::uint32_t port =
       fabric_.port_of(polka::RouteLabel{s.label}, s.node);
   ++c.mod_operations;
   ++s.hops;
+  if (obs_.folds != nullptr) obs_.folds->add(1);
   const std::uint32_t peer = fabric_.neighbor(s.node, port);
   FlowStat& fs = result_.flows[s.flow];
-  if (peer == polka::CompiledFabric::kNoNode) {
-    // Unwired port: the packet egresses here -- a delivery.
+  // Shared delivery tail: the unwired-port and channel-less-port exits.
+  const auto deliver = [&] {
     ++c.delivered;
     ++fs.delivered;
     fs.last_delivery = std::max(fs.last_delivery, t);
     const polka::PacketResult got{s.node, port, s.hops, false};
-    if (got != flow_expected_[s.flow]) ++c.wrong_egress;
+    const bool wrong = got != flow_expected_[s.flow];
+    if (wrong) ++c.wrong_egress;
+    if (obs_.delivered != nullptr) {
+      obs_.delivered->add(1);
+      obs_.in_flight->sub(1);
+      if (wrong) obs_.wrong_egress->add(1);
+    }
+    if (flight != nullptr) {
+      flight->record({t, s.flow, packet, s.node, port, 0,
+                      obs::HopOutcome::kDelivered});
+    }
+  };
+  if (peer == polka::CompiledFabric::kNoNode) {
+    // Unwired port: the packet egresses here -- a delivery.
+    deliver();
     return;
   }
   if (s.hops >= config_.max_hops) {
     ++c.ttl_expired;
     ++fs.ttl_expired;
+    if (obs_.ttl_expired != nullptr) {
+      obs_.ttl_expired->add(1);
+      obs_.in_flight->sub(1);
+    }
+    if (flight != nullptr) {
+      flight->record({t, s.flow, packet, s.node, port, 0,
+                      obs::HopOutcome::kTtlExpired});
+    }
     return;
   }
   const std::uint32_t ch = port_channel_[node_offset_[s.node] + port];
   if (ch == kNoChannel) {
     // A wired fabric port the runner gave no channel (should not happen
     // on runner-built maps); treat as an egress so the walk terminates.
-    ++c.delivered;
-    ++fs.delivered;
-    fs.last_delivery = std::max(fs.last_delivery, t);
-    const polka::PacketResult got{s.node, port, s.hops, false};
-    if (got != flow_expected_[s.flow]) ++c.wrong_egress;
+    deliver();
     return;
   }
   const Channel& link = channels_[ch];
@@ -142,14 +206,37 @@ void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
     ++c.dropped;
     ++fs.dropped;
     ++stat.tail_drops;
+    if (obs_.tail_drops != nullptr) {
+      obs_.tail_drops->add(1);
+      obs_.link_drops[ch]->add(1);
+      obs_.in_flight->sub(1);
+    }
+    if (flight != nullptr) {
+      flight->record({t, s.flow, packet, s.node, port, state.queued,
+                      obs::HopOutcome::kTailDrop});
+    }
     return;
   }
   ++state.queued;
   stat.max_queue_depth = std::max(stat.max_queue_depth, state.queued);
-  if (link.ecn_threshold != 0 && state.queued >= link.ecn_threshold) {
+  const bool ecn =
+      link.ecn_threshold != 0 && state.queued >= link.ecn_threshold;
+  if (ecn) {
     ++c.ecn_marked;
     ++stat.ecn_marks;
     if (config_.ecn_hook) config_.ecn_hook(ch, state.queued);
+  }
+  if (obs_.queue_depth != nullptr) {
+    obs_.queue_depth->record(state.queued);
+    obs_.link_depth[ch]->add(1);
+    if (ecn) {
+      obs_.ecn_marked->add(1);
+      obs_.link_ecn[ch]->add(1);
+    }
+  }
+  if (flight != nullptr) {
+    flight->record({t, s.flow, packet, s.node, port, state.queued,
+                    obs::HopOutcome::kForwarded});
   }
   // FIFO serialization: the wire commits to this packet after everything
   // already queued; the departure time is known at enqueue time.
@@ -166,8 +253,23 @@ void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
 }
 
 SimResult PacketSim::run() {
+  const Tick period = config_.telemetry_period_ns;
+  const bool sampling = config_.telemetry != nullptr && period > 0;
+  // First boundary at one full period (a t=0 sample would only ever see
+  // zeros); next_sample_ persists across run() calls so phased feeding
+  // keeps one monotonic series.
+  if (sampling && next_sample_ == 0) next_sample_ = period;
   while (!queue_.empty()) {
     const Event e = queue_.pop();
+    if (sampling) {
+      // Sample every boundary at or before this event, *before*
+      // processing it: each point is the state as of the boundary tick,
+      // pinned to event order, never wall clock.
+      while (next_sample_ <= e.at) {
+        config_.telemetry->sample(static_cast<double>(next_sample_) * 1e-9);
+        next_sample_ += period;
+      }
+    }
     now_ = e.at;
     switch (e.kind) {
       case kArrive:
@@ -175,6 +277,7 @@ SimResult PacketSim::run() {
         break;
       case kDrain:
         --channel_state_[e.arg].queued;
+        if (obs_.queue_depth != nullptr) obs_.link_depth[e.arg]->sub(1);
         break;
       default:
         throw std::logic_error("PacketSim: unknown event kind");

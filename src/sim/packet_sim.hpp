@@ -40,6 +40,15 @@
 #include "polka/label.hpp"
 #include "sim/event_queue.hpp"
 
+namespace hp::obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricRegistry;
+class FlightRecorder;
+class TelemetryBridge;
+}  // namespace hp::obs
+
 namespace hp::sim {
 
 /// One directed channel: the timing constants of a router-to-router
@@ -97,6 +106,21 @@ struct SimConfig {
   /// queue depth after enqueue).  Marks are counted either way; the
   /// hook is where a congestion-control layer (or a test) taps in.
   std::function<void(std::uint32_t channel, std::uint32_t depth)> ecn_hook;
+  /// Observability taps, all optional (borrowed; must outlive run()).
+  /// With `metrics` set the engine registers sim.* counters, the
+  /// sim.queue_depth histogram and one sim.link.NNNNN.queue_depth gauge
+  /// (plus .drops/.ecn counters) per channel.  Everything recorded
+  /// derives from simulated ticks and event order -- never wall clock
+  /// -- so a fixed-seed run snapshots bit-identically.
+  obs::MetricRegistry* metrics = nullptr;
+  /// Hop-level ring for 1-in-N flows (see obs/flight_recorder.hpp).
+  obs::FlightRecorder* recorder = nullptr;
+  /// Sampled on simulated-tick boundaries: every `telemetry_period_ns`
+  /// the engine appends each registry gauge to the bridge's store at
+  /// t = tick * 1e-9 s, *before* processing any event at or past the
+  /// boundary.  0 disables sampling.
+  obs::TelemetryBridge* telemetry = nullptr;
+  Tick telemetry_period_ns = 0;
 };
 
 /// Merged outcome of one PacketSim::run().
@@ -190,6 +214,25 @@ class PacketSim {
     Tick free_at = 0;          ///< when the wire finishes its last commit
   };
 
+  /// Metric handles resolved once at construction (all null when
+  /// config_.metrics is null, so the disabled path costs one branch).
+  struct ObsHandles {
+    obs::Counter* injected = nullptr;
+    obs::Counter* delivered = nullptr;
+    obs::Counter* tail_drops = nullptr;
+    obs::Counter* ttl_expired = nullptr;
+    obs::Counter* ecn_marked = nullptr;
+    obs::Counter* folds = nullptr;
+    obs::Counter* segment_swaps = nullptr;
+    obs::Counter* wrong_egress = nullptr;
+    obs::Gauge* in_flight = nullptr;
+    obs::Histogram* queue_depth = nullptr;
+    std::vector<obs::Gauge*> link_depth;     ///< one per channel
+    std::vector<obs::Counter*> link_drops;   ///< one per channel
+    std::vector<obs::Counter*> link_ecn;     ///< one per channel
+  };
+
+  void register_metrics();
   void handle_arrival(Tick t, std::uint32_t packet);
 
   const polka::CompiledFabric& fabric_;
@@ -204,7 +247,9 @@ class PacketSim {
   std::vector<ChannelState> channel_state_;
   EventQueue queue_;
   Tick now_ = 0;
+  Tick next_sample_ = 0;  ///< next telemetry-bridge tick boundary
   SimResult result_;
+  ObsHandles obs_;
 };
 
 }  // namespace hp::sim

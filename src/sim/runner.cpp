@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/telemetry_bridge.hpp"
+#include "obs/trace.hpp"
 
 namespace hp::sim {
 
@@ -27,6 +33,24 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
   const polka::CompiledFabric& fast = fabric.compiled();
   const netsim::Topology& topo = fabric.topology();
   const std::size_t n = fast.node_count();
+
+  // Telemetry sampling needs gauges to read; when the caller asked for
+  // a telemetry store but gave no registry, a private one supplies
+  // them (its snapshot is simply never read).
+  obs::MetricRegistry private_registry;
+  const bool want_bridge =
+      options_.telemetry != nullptr && options_.telemetry_period_ns > 0;
+  obs::MetricRegistry* registry = options_.metrics != nullptr
+                                      ? options_.metrics
+                                      : (want_bridge ? &private_registry
+                                                     : nullptr);
+  std::optional<obs::TelemetryBridge> bridge;
+  if (want_bridge) bridge.emplace(*registry, *options_.telemetry);
+
+  // Phase timer: each emplace closes the previous phase's event and
+  // opens the next (TraceScope records on destruction).
+  std::optional<obs::TraceScope> phase;
+  phase.emplace(options_.trace, "sim.wire", "sim");
 
   // --- wire the channels: one per directed router adjacency ----------
   std::vector<std::uint32_t> node_offset(n + 1, 0);
@@ -61,9 +85,15 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
 
   SimConfig config;
   config.max_hops = options_.max_hops;
+  config.metrics = registry;
+  config.recorder = options_.recorder;
+  config.telemetry = want_bridge ? &*bridge : nullptr;
+  config.telemetry_period_ns = options_.telemetry_period_ns;
   PacketSim sim(fast, std::move(channels), std::move(node_offset),
                 std::move(port_channel), std::move(config));
   sim.set_segment_pool(stream.seg_labels, stream.seg_waypoints);
+
+  phase.emplace(options_.trace, "sim.schedule", "sim");
 
   // --- chop the stream into flows and schedule the injections --------
   // A flow is up to flow_packets consecutive packets of one pair (in
@@ -99,7 +129,9 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
     flow.next_inject += src_gap;
   }
 
+  phase.emplace(options_.trace, "sim.simulate", "sim");
   const SimResult result = sim.run();
+  phase.emplace(options_.trace, "sim.report", "sim");
 
   // --- shape the result into the report -------------------------------
   SimReport report;
@@ -117,10 +149,17 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
   report.forwarding.seconds = static_cast<double>(report.duration_ns) * 1e-9;
   report.flows = result.flows.size();
   report.ecn_marked = result.counters.ecn_marked;
+  obs::Histogram* fct_hist =
+      registry != nullptr ? &registry->histogram("sim.fct_ns") : nullptr;
   for (const FlowStat& flow : result.flows) {
     if (!flow.complete()) continue;
     ++report.completed_flows;
     report.fct_ns.push_back(flow.fct_ns());
+    if (fct_hist != nullptr) fct_hist->record(flow.fct_ns());
+  }
+  if (registry != nullptr) {
+    registry->counter("sim.flows").add(report.flows);
+    registry->counter("sim.completed_flows").add(report.completed_flows);
   }
   double util_sum = 0.0;
   std::size_t util_links = 0;
@@ -143,6 +182,7 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
 SimReport run_sim_scenario(const scenario::ScenarioSpec& spec,
                            const SimOptions& options) {
   scenario::BuiltFabric fabric(scenario::build_topology(spec));
+  fabric.set_observability(options.metrics, options.trace);
   // Precompile every route up front (sharded across compile_threads);
   // generate_traffic then reuses the cache instead of compiling lazily.
   fabric.compile_all_pairs(options.compile_threads);

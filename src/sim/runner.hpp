@@ -33,6 +33,16 @@
 #include "scenario/traffic.hpp"
 #include "sim/report.hpp"
 
+namespace hp::obs {
+class MetricRegistry;
+class TraceSink;
+class FlightRecorder;
+}  // namespace hp::obs
+
+namespace hp::telemetry {
+class TimeSeriesStore;
+}  // namespace hp::telemetry
+
 namespace hp::sim {
 
 /// Timing and queueing knobs of a simulated run.
@@ -48,6 +58,24 @@ struct SimOptions {
   /// precompiles routes (the simulation itself is single-threaded and
   /// its report is identical for every value here).
   unsigned compile_threads = 1;
+
+  // --- observability taps (all optional, borrowed) -------------------
+  /// Registry for the engine's sim.* metrics plus the runner's
+  /// sim.fct_ns histogram and flow counters.  Everything recorded under
+  /// it derives from simulated ticks, so fixed-seed snapshots are
+  /// bit-identical across runs and thread counts.
+  obs::MetricRegistry* metrics = nullptr;
+  /// Phase timer sink (sim.wire / sim.schedule / sim.simulate /
+  /// sim.report complete events).
+  obs::TraceSink* trace = nullptr;
+  /// Hop-level flight recorder handed to PacketSim.
+  obs::FlightRecorder* recorder = nullptr;
+  /// Telemetry store sampled every `telemetry_period_ns` simulated ns:
+  /// each registry gauge (per-link queue depth, in-flight packets)
+  /// becomes one time series.  When set without `metrics`, the runner
+  /// uses a private registry so the bridge still has gauges to read.
+  telemetry::TimeSeriesStore* telemetry = nullptr;
+  Tick telemetry_period_ns = 100'000;  ///< 100 us of simulated time
 };
 
 /// Runs PacketSim over a built fabric and a generated stream.

@@ -46,6 +46,7 @@ std::vector<Point> TimeSeriesStore::range(const std::string& series, double t0,
   const auto hi = std::upper_bound(
       data.begin(), data.end(), t1,
       [](double t, const Point& p) { return t < p.t_s; });
+  if (hi < lo) return {};  // inverted window (t1 < t0)
   return {lo, hi};
 }
 

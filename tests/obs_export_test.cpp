@@ -1,0 +1,126 @@
+// JSON export tests: writer escaping, the hp-bench-v1 report document,
+// $HP_BENCH_JSON_DIR routing, and the hp-report-v1 serializations --
+// including the empty-run cases the divide-by-zero audit pinned (a
+// zero-packet SimReport must export finite numbers, never NaN).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "scenario/runner.hpp"
+#include "sim/report.hpp"
+
+namespace hp::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(JsonWriter, EscapesControlAndQuoteCharacters) {
+  std::string out;
+  JsonWriter::escape_to(out, "a\"b\\c\nd\te\x01" "f");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+}
+
+TEST(JsonWriter, BuildsNestedDocuments) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("name");
+  json.value("x");
+  json.key("list");
+  json.begin_array();
+  json.value(1.5);
+  json.value(std::uint64_t{2});
+  json.end_array();
+  json.end_object();
+  EXPECT_EQ(std::move(json).str(), "{\"name\":\"x\",\"list\":[1.5,2]}");
+}
+
+TEST(BenchReport, EmitsSchemaAndResults) {
+  BenchReport report("unit_test");
+  BenchResult& r = report.add("replay/ring", 12.5, "ms", "table");
+  r.counters.emplace_back("pps", 1e6);
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"schema\":\"hp-bench-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"replay/ring\""), std::string::npos);
+  EXPECT_NE(json.find("\"unit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\":\"table\""), std::string::npos);
+  EXPECT_NE(json.find("\"pps\""), std::string::npos);
+}
+
+TEST(BenchReport, WriteDefaultHonorsEnvDir) {
+  const std::string dir = ::testing::TempDir();
+  ASSERT_EQ(setenv("HP_BENCH_JSON_DIR", dir.c_str(), 1), 0);
+  BenchReport report("envtest");
+  report.add("metric", 1.0, "unit");
+  const std::string path = report.write_default();
+  unsetenv("HP_BENCH_JSON_DIR");
+  EXPECT_NE(path.find(dir), std::string::npos);
+  EXPECT_NE(path.find("BENCH_envtest.json"), std::string::npos);
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("hp-bench-v1"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportExport, ScenarioReportRoundTrips) {
+  scenario::ScenarioReport report;
+  report.packets = 10;
+  report.mod_operations = 40;
+  report.seconds = 0.5;
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"schema\":\"hp-report-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"kind\":\"scenario\""), std::string::npos);
+  EXPECT_NE(json.find("\"packets\":10"), std::string::npos);
+  EXPECT_NE(json.find("\"mod_operations\":40"), std::string::npos);
+}
+
+TEST(ReportExport, ZeroPacketSimReportIsFinite) {
+  // The empty-run audit case: no packets, no flows, no elapsed time.
+  const sim::SimReport report;
+  EXPECT_DOUBLE_EQ(report.drop_rate(), 0.0);
+  EXPECT_EQ(report.fct_p50_ns(), 0u);
+  EXPECT_EQ(report.fct_p95_ns(), 0u);
+  EXPECT_DOUBLE_EQ(report.forwarding.packets_per_sec(), 0.0);
+
+  const std::string json = to_json(report);
+  EXPECT_NE(json.find("\"kind\":\"sim\""), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+  EXPECT_NE(json.find("\"drop_rate\":0"), std::string::npos);
+}
+
+TEST(ReportExport, MetricsSnapshotSerializesEveryKind) {
+  MetricRegistry reg;
+  reg.counter("c").add(7);
+  reg.gauge("g").set(-3);
+  reg.histogram("h").record(9);
+  const std::string json = to_json(reg.snapshot());
+  EXPECT_NE(json.find("\"kind\":\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"c\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"value\":-3"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+}
+
+TEST(ReportExport, WriteTextFileWritesAndThrows) {
+  const std::string path = ::testing::TempDir() + "/obs_export_test.txt";
+  write_text_file(path, "hello");
+  EXPECT_EQ(slurp(path), "hello\n");  // files get a trailing newline
+  std::remove(path.c_str());
+  EXPECT_THROW(write_text_file("/nonexistent-dir-xyz/file", "x"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hp::obs

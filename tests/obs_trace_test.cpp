@@ -1,0 +1,81 @@
+// TraceSink / TraceScope tests: RAII complete events, null-sink
+// no-ops, and the chrome://tracing JSON shape.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+
+#include "obs/trace.hpp"
+
+namespace hp::obs {
+namespace {
+
+TEST(TraceScope, RecordsOneCompleteEvent) {
+  TraceSink sink;
+  {
+    TraceScope scope(&sink, "compile.all_pairs", "compile");
+  }
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "compile.all_pairs");
+  EXPECT_EQ(events[0].category, "compile");
+}
+
+TEST(TraceScope, NullSinkIsNoOp) {
+  TraceScope scope(nullptr, "ignored");
+  SUCCEED();
+}
+
+TEST(TraceScope, SequentialScopesPreserveOrder) {
+  TraceSink sink;
+  {
+    TraceScope a(&sink, "first");
+  }
+  {
+    TraceScope b(&sink, "second");
+  }
+  const auto events = sink.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "first");
+  EXPECT_EQ(events[1].name, "second");
+  EXPECT_LE(events[0].ts_us, events[1].ts_us);
+}
+
+TEST(TraceSink, ThreadsRecordConcurrently) {
+  TraceSink sink;
+  constexpr int kThreads = 4;
+  constexpr int kScopes = 50;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&sink] {
+      for (int i = 0; i < kScopes; ++i) {
+        TraceScope scope(&sink, "work", "test");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(sink.size(), static_cast<std::size_t>(kThreads * kScopes));
+}
+
+TEST(TraceSink, EmitsTraceEventFormat) {
+  TraceSink sink;
+  {
+    TraceScope scope(&sink, "sim.simulate", "sim");
+  }
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\""), std::string::npos);
+  EXPECT_NE(json.find("\"X\""), std::string::npos);
+  EXPECT_NE(json.find("sim.simulate"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\""), std::string::npos);
+}
+
+TEST(TraceSink, EmptySinkStillValidJson) {
+  TraceSink sink;
+  const std::string json = sink.to_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hp::obs

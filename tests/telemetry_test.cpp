@@ -33,6 +33,36 @@ TEST(TimeSeriesStore, RangeQuery) {
   EXPECT_TRUE(store.range("unknown", 0.0, 1.0).empty());
 }
 
+TEST(TimeSeriesStore, RangeOnLargeSeriesIsExactAtBoundaries) {
+  // Regression pin for the lower_bound-based range(): on a large series
+  // the scan must return exactly the [t0, t1] window -- no off-by-one
+  // at either boundary, no linear-scan shortcuts that misbehave at
+  // scale.
+  TimeSeriesStore store;
+  constexpr int kPoints = 200'000;
+  for (int i = 0; i < kPoints; ++i) {
+    store.append("big", {static_cast<double>(i), static_cast<double>(i)});
+  }
+  // Interior window with exact endpoints.
+  const auto mid = store.range("big", 50'000.0, 50'010.0);
+  ASSERT_EQ(mid.size(), 11u);
+  EXPECT_DOUBLE_EQ(mid.front().t_s, 50'000.0);
+  EXPECT_DOUBLE_EQ(mid.back().t_s, 50'010.0);
+  // Window straddling a point: only interior samples.
+  const auto frac = store.range("big", 99'999.5, 100'001.5);
+  ASSERT_EQ(frac.size(), 2u);
+  EXPECT_DOUBLE_EQ(frac.front().t_s, 100'000.0);
+  EXPECT_DOUBLE_EQ(frac.back().t_s, 100'001.0);
+  // Edges of the series.
+  EXPECT_EQ(store.range("big", -10.0, 0.0).size(), 1u);
+  EXPECT_EQ(store.range("big", kPoints - 1.0, 1e18).size(), 1u);
+  // Empty windows between samples and beyond the series.
+  EXPECT_TRUE(store.range("big", 10.25, 10.75).empty());
+  EXPECT_TRUE(store.range("big", 1e9, 2e9).empty());
+  // Inverted window is empty, not a crash or a wraparound.
+  EXPECT_TRUE(store.range("big", 500.0, 400.0).empty());
+}
+
 TEST(TimeSeriesStore, LastKOldestFirst) {
   TimeSeriesStore store;
   for (int i = 0; i < 5; ++i) {
