@@ -4,15 +4,24 @@
 //   scenario_sweep --list
 //   scenario_sweep --scenario torus4x4/hotspot --threads 4
 //   scenario_sweep --scenario ring12/uniform --fail r0:r1@0.5
+//   scenario_sweep --fail-schedule storm --protect 1   # injected failover
 //   scenario_sweep                 # sweep all scenarios at 1 and 4 threads
+//
+// Failover knobs (all optional): --fail a:b@frac names one link by hand;
+// --fail-schedule single|storm|flap generates a deterministic schedule
+// per scenario topology (--fail-seed N, --fail-count N tune it);
+// --protect K pre-installs K link-disjoint backups per pair;
+// --loss-window N charges each recompiled pair N packets of loss.
 //
 // Observability outputs (all optional):
 //   --json PATH    hp-report-v1 JSON, one entry per scenario run
 //   --trace PATH   chrome://tracing JSON of replay epochs and repairs
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -21,6 +30,7 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "scenario/failure_injector.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 
@@ -36,18 +46,43 @@ void print_report(const std::string& name, unsigned threads,
               report.wrong_egress, report.dropped_packets,
               report.rerouted_pairs, report.packets_per_sec() / 1e6,
               report.fold_kernel_name());
+  if (report.backup_swapped_pairs + report.failover_packets_lost +
+          report.unroutable_pairs + report.window_recompiles !=
+      0) {
+    std::printf("%-28s      failover: %zu swapped  %zu lost  %zu unroutable"
+                "  %zu window recompiles  %zu lazy\n",
+                "", report.backup_swapped_pairs, report.failover_packets_lost,
+                report.unroutable_pairs, report.window_recompiles,
+                report.lazy_repaired_pairs);
+  }
 }
 
 /// ("name@tN", hp-report-v1 json) pairs collected for --json.
 using JsonEntries = std::vector<std::pair<std::string, std::string>>;
 
 int run_one(const scenario::ScenarioSpec& spec,
-            const scenario::RunnerOptions& options, JsonEntries* json_out) {
+            const scenario::RunnerOptions& options,
+            const std::optional<scenario::FailureInjectorParams>& inject,
+            JsonEntries* json_out) {
   // Build once so a failure schedule acts on the same fabric/stream.
   scenario::BuiltFabric fabric(scenario::build_topology(spec));
   scenario::PacketStream stream = scenario::generate_traffic(fabric, spec.traffic);
-  const auto report = scenario::ScenarioRunner(options).run(fabric, stream);
-  print_report(spec.name, options.threads, report);
+  scenario::RunnerOptions run_options = options;
+  if (inject.has_value()) {
+    // The schedule is a pure function of (topology, params), so each
+    // sweep entry gets its own deterministic events.
+    const auto schedule =
+        scenario::make_failure_schedule(fabric.topology(), *inject);
+    run_options.failures.insert(run_options.failures.end(), schedule.begin(),
+                                schedule.end());
+    std::stable_sort(run_options.failures.begin(), run_options.failures.end(),
+                     [](const scenario::LinkFailure& lhs,
+                        const scenario::LinkFailure& rhs) {
+                       return lhs.at_fraction < rhs.at_fraction;
+                     });
+  }
+  const auto report = scenario::ScenarioRunner(run_options).run(fabric, stream);
+  print_report(spec.name, run_options.threads, report);
   if (json_out != nullptr) {
     json_out->emplace_back(spec.name + "@t" + std::to_string(options.threads),
                            hp::obs::to_json(report));
@@ -77,6 +112,11 @@ int main(int argc, char** argv) {
   std::string name;
   scenario::RunnerOptions options;
   std::vector<std::string> failures;
+  std::optional<scenario::FailureInjectorParams> inject;
+  auto injector = [&]() -> scenario::FailureInjectorParams& {
+    if (!inject.has_value()) inject.emplace();
+    return *inject;
+  };
   bool list = false;
   std::string json_path;
   std::string trace_path;
@@ -97,6 +137,26 @@ int main(int argc, char** argv) {
       options.threads = static_cast<unsigned>(std::atoi(next()));
     } else if (arg == "--fail") {
       failures.emplace_back(next());  // "<nodeA>:<nodeB>@<fraction>"
+    } else if (arg == "--fail-schedule") {
+      const char* preset_name = next();
+      const auto preset = scenario::parse_failure_preset(preset_name);
+      if (!preset.has_value()) {
+        std::fprintf(stderr,
+                     "bad --fail-schedule %s (want single|storm|flap)\n",
+                     preset_name);
+        return 2;
+      }
+      injector().preset = *preset;
+    } else if (arg == "--fail-seed") {
+      injector().seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fail-count") {
+      injector().count =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--protect") {
+      options.protection_k = static_cast<unsigned>(std::atoi(next()));
+    } else if (arg == "--loss-window") {
+      options.loss_window_per_recompile =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--trace") {
@@ -104,8 +164,10 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: scenario_sweep [--list] [--scenario NAME] "
-                   "[--threads N] [--fail a:b@frac] [--json PATH] "
-                   "[--trace PATH]\n");
+                   "[--threads N] [--fail a:b@frac] "
+                   "[--fail-schedule single|storm|flap] [--fail-seed N] "
+                   "[--fail-count N] [--protect K] [--loss-window N] "
+                   "[--json PATH] [--trace PATH]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
@@ -160,7 +222,7 @@ int main(int argc, char** argv) {
     if (options.threads == 0) options.threads = 1;
     int status = 0;
     try {
-      status = run_one(*spec, options, json_out);
+      status = run_one(*spec, options, inject, json_out);
     } catch (const std::exception& e) {
       // e.g. a --fail pair that exists but is not linked.
       std::fprintf(stderr, "scenario failed: %s\n", e.what());
@@ -179,8 +241,8 @@ int main(int argc, char** argv) {
     for (const unsigned threads : {1u, 4u}) {
       scenario::RunnerOptions sweep = options;
       sweep.threads = threads;
-      sweep.failures.clear();
-      status |= run_one(spec, sweep, json_out);
+      sweep.failures.clear();  // hand-named links only bind to --scenario
+      status |= run_one(spec, sweep, inject, json_out);
     }
   }
   if (json_out != nullptr) write_json_entries(json_path, json_entries);

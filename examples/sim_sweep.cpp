@@ -12,6 +12,12 @@
 // FIFO capacity), --ecn N (mark threshold, 0 disables), --flow N
 // (packets per flow), --seed N.
 //
+// Failover knobs (all optional): --fail-schedule single|storm|flap
+// generates a deterministic link-event schedule per scenario topology
+// (--fail-seed N, --fail-count N tune it); --protect K pre-installs K
+// link-disjoint backups per pair, shrinking the dead-wire loss window
+// from the recompile latency to the switchover latency.
+//
 // Observability outputs (all optional):
 //   --json PATH    hp-report-v1 JSON, one entry per scenario run
 //   --trace PATH   chrome://tracing JSON of the runner phases
@@ -19,6 +25,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -27,6 +34,7 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "scenario/failure_injector.hpp"
 #include "scenario/registry.hpp"
 #include "sim/runner.hpp"
 
@@ -45,6 +53,16 @@ void print_report(const std::string& name, const sim::SimReport& report) {
       static_cast<double>(report.fct_p95_ns()) / 1e3,
       report.max_queue_depth, report.max_link_utilization, report.ecn_marked,
       report.forwarding.fold_kernel_name());
+  const auto& fwd = report.forwarding;
+  if (fwd.backup_swapped_pairs + fwd.failover_packets_lost +
+          fwd.unroutable_pairs + fwd.window_recompiles + fwd.rerouted_pairs !=
+      0) {
+    std::printf("%-28s failover: %zu rerouted (%zu swapped)  %zu lost"
+                "  %zu unroutable  %zu window recompiles\n",
+                "", fwd.rerouted_pairs, fwd.backup_swapped_pairs,
+                fwd.failover_packets_lost, fwd.unroutable_pairs,
+                fwd.window_recompiles);
+  }
 }
 
 /// (scenario name, hp-report-v1 json) pairs collected for --json.
@@ -52,11 +70,19 @@ using JsonEntries = std::vector<std::pair<std::string, std::string>>;
 
 int run_one(const scenario::ScenarioSpec& spec, const sim::SimOptions& options,
             std::size_t packets_override, std::uint64_t seed_override,
+            const std::optional<scenario::FailureInjectorParams>& inject,
             JsonEntries* json_out) {
   scenario::ScenarioSpec spec_copy = spec;
   if (packets_override != 0) spec_copy.traffic.packets = packets_override;
   if (seed_override != 0) spec_copy.traffic.seed = seed_override;
-  const sim::SimReport report = sim::run_sim_scenario(spec_copy, options);
+  sim::SimOptions run_options = options;
+  if (inject.has_value()) {
+    // Deterministic per-topology events (the schedule is a pure
+    // function of topology + params, so every run reproduces).
+    run_options.failures = scenario::make_failure_schedule(
+        scenario::build_topology(spec_copy), *inject);
+  }
+  const sim::SimReport report = sim::run_sim_scenario(spec_copy, run_options);
   print_report(spec_copy.name, report);
   if (json_out != nullptr) {
     json_out->emplace_back(spec_copy.name, hp::obs::to_json(report));
@@ -87,6 +113,11 @@ int main(int argc, char** argv) {
   sim::SimOptions options;
   std::size_t packets = 0;
   std::uint64_t seed = 0;
+  std::optional<scenario::FailureInjectorParams> inject;
+  auto injector = [&]() -> scenario::FailureInjectorParams& {
+    if (!inject.has_value()) inject.emplace();
+    return *inject;
+  };
   bool list = false;
   std::string json_path;
   std::string trace_path;
@@ -121,6 +152,24 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fail-schedule") {
+      const char* preset_name = next();
+      const auto preset = scenario::parse_failure_preset(preset_name);
+      if (!preset.has_value()) {
+        std::fprintf(stderr,
+                     "bad --fail-schedule %s (want single|storm|flap)\n",
+                     preset_name);
+        return 2;
+      }
+      injector().preset = *preset;
+    } else if (arg == "--fail-seed") {
+      injector().seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--fail-count") {
+      injector().count =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--protect") {
+      options.protection_k =
+          static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--trace") {
@@ -131,7 +180,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: sim_sweep [--list] [--scenario NAME] [--packets N] "
                    "[--rate MBPS] [--gap NS] [--queue N] [--ecn N] [--flow N] "
-                   "[--seed N] [--json PATH] [--trace PATH] [--flight PATH]\n");
+                   "[--seed N] [--fail-schedule single|storm|flap] "
+                   "[--fail-seed N] [--fail-count N] [--protect K] "
+                   "[--json PATH] [--trace PATH] [--flight PATH]\n");
       return arg == "--help" ? 0 : 2;
     }
   }
@@ -159,10 +210,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "unknown scenario %s (try --list)\n", name.c_str());
       return 2;
     }
-    status = run_one(*spec, options, packets, seed, json_out);
+    status = run_one(*spec, options, packets, seed, inject, json_out);
   } else {
     for (const auto& spec : scenario::builtin_scenarios()) {
-      status |= run_one(spec, options, packets, seed, json_out);
+      status |= run_one(spec, options, packets, seed, inject, json_out);
     }
   }
 

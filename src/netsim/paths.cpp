@@ -219,4 +219,32 @@ std::vector<Path> k_shortest_paths(const Topology& topo, NodeIndex src,
   return result;
 }
 
+std::vector<Path> k_disjoint_paths(const Topology& topo, NodeIndex src,
+                                   NodeIndex dst, std::size_t k,
+                                   PathMetric metric,
+                                   const std::vector<LinkIndex>& banned) {
+  if (src >= topo.node_count() || dst >= topo.node_count()) {
+    throw std::out_of_range("k_disjoint_paths: bad node index");
+  }
+  std::vector<Path> result;
+  if (k == 0 || src == dst) return result;
+  // Iterative Dijkstra with an accumulating ban set: each found path
+  // retires its links (both directions) before the next search, so the
+  // results are mutually duplex-link-disjoint by construction.
+  std::set<LinkIndex> banned_links(banned.begin(), banned.end());
+  while (result.size() < k) {
+    auto path = dijkstra(topo, src, dst, metric, {}, banned_links);
+    if (!path || path->empty()) break;
+    for (const LinkIndex l : *path) {
+      banned_links.insert(l);
+      const Link& link = topo.link(l);
+      if (const auto rev = topo.link_between(link.to, link.from)) {
+        banned_links.insert(*rev);
+      }
+    }
+    result.push_back(std::move(*path));
+  }
+  return result;
+}
+
 }  // namespace hp::netsim

@@ -70,6 +70,20 @@ struct PathTree {
     const Topology& topo, NodeIndex src, NodeIndex dst, std::size_t k,
     PathMetric metric = PathMetric::kDelay);
 
+/// Disjointness-filtered variant of k_shortest_paths: up to `k`
+/// mutually link-disjoint paths, best first (the first is the shortest
+/// path itself).  Disjointness is duplex -- once a path uses a link,
+/// *both* directions are banned for later paths -- so any returned
+/// path survives the duplex failure of every link the paths before it
+/// used.  This is the protection-set planner: a primary plus the paths
+/// returned with its links in `banned` form a 1:k protected pair.
+/// Links in `banned` are excluded from every path.  Returns fewer than
+/// `k` paths when the graph runs out of disjoint alternatives.
+[[nodiscard]] std::vector<Path> k_disjoint_paths(
+    const Topology& topo, NodeIndex src, NodeIndex dst, std::size_t k,
+    PathMetric metric = PathMetric::kDelay,
+    const std::vector<LinkIndex>& banned = {});
+
 /// Total weight of a path under a metric.
 [[nodiscard]] double path_weight(const Topology& topo, const Path& path,
                                  PathMetric metric);

@@ -225,6 +225,16 @@ void write_scenario_fields(JsonWriter& json,
   json.value(static_cast<std::uint64_t>(report.segmented_packets));
   json.key("segment_swaps");
   json.value(static_cast<std::uint64_t>(report.segment_swaps));
+  json.key("backup_swapped_pairs");
+  json.value(static_cast<std::uint64_t>(report.backup_swapped_pairs));
+  json.key("failover_packets_lost");
+  json.value(static_cast<std::uint64_t>(report.failover_packets_lost));
+  json.key("unroutable_pairs");
+  json.value(static_cast<std::uint64_t>(report.unroutable_pairs));
+  json.key("lazy_repaired_pairs");
+  json.value(static_cast<std::uint64_t>(report.lazy_repaired_pairs));
+  json.key("window_recompiles");
+  json.value(static_cast<std::uint64_t>(report.window_recompiles));
   json.key("fold_kernel");
   json.value(report.fold_kernel_name());
   json.key("seconds");

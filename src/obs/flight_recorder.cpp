@@ -16,6 +16,8 @@ const char* to_string(HopOutcome outcome) noexcept {
       return "tail_drop";
     case HopOutcome::kTtlExpired:
       return "ttl_expired";
+    case HopOutcome::kLinkDown:
+      return "link_down";
   }
   return "unknown";
 }

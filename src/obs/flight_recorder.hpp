@@ -28,6 +28,7 @@ enum class HopOutcome : std::uint8_t {
   kDelivered,   ///< folded onto an unwired port: left the fabric
   kTailDrop,    ///< egress queue full
   kTtlExpired,  ///< hop cap reached
+  kLinkDown,    ///< routed onto a failed link: failover loss
 };
 
 [[nodiscard]] const char* to_string(HopOutcome outcome) noexcept;

@@ -68,6 +68,7 @@ BuiltFabric::BuiltFabric(netsim::Topology topo, polka::ModEngine engine)
       fabric_.connect(topo_to_fabric_[n], port++, topo_to_fabric_[peer]);
     }
   }
+  link_down_.assign(topo_.link_count(), 0);
   node_bits_.resize(fabric_.node_count());
   node_degree_.resize(fabric_.node_count());
   for (std::size_t f = 0; f < fabric_.node_count(); ++f) {
@@ -102,14 +103,15 @@ const netsim::PathTree& BuiltFabric::tree_for(NodeIndex src) {
   return it->second;
 }
 
-CompiledRoute& BuiltFabric::store_route(RouteKey key, CompiledRoute&& route) {
+CompiledRoute& BuiltFabric::store_route(RouteKey key, CompiledRoute&& route,
+                                        bool count_compile) {
   const auto [it, inserted] = routes_.try_emplace(key);
   if (!inserted) unindex_route(key, it->second.path);
   it->second = std::move(route);
   for (const netsim::LinkIndex l : it->second.path) {
     routes_by_link_[l].push_back(key);
   }
-  ++stats_.routes_compiled;
+  if (count_compile) ++stats_.routes_compiled;
   return it->second;
 }
 
@@ -141,14 +143,24 @@ const CompiledRoute* BuiltFabric::route(NodeIndex src, NodeIndex dst) {
   const auto path = netsim::tree_path(tree_for(src), topo_, dst);
   if (!path) return nullptr;
 
-  // Per-path baseline: re-derives the whole congruence system for this
+  std::size_t crt_steps = 0;
+  CompiledRoute route = compile_path_route(*path, crt_steps);
+  stats_.crt_steps += crt_steps;
+  CompiledRoute& stored = store_route(key, std::move(route));
+  note_compile("route", before, t0);
+  return &stored;
+}
+
+CompiledRoute BuiltFabric::compile_path_route(const netsim::Path& path,
+                                              std::size_t& crt_steps) const {
+  // Per-path baseline: derives the whole congruence system for this
   // one destination (one CRT fold per hop plus the egress fold),
   // cutting segments at the same 64-bit boundary as the tree compiler.
   CompiledRoute route;
-  route.path = *path;
+  route.path = path;
   std::vector<std::size_t> fabric_path;
-  fabric_path.reserve(path->size() + 1);
-  for (const NodeIndex n : netsim::path_nodes(topo_, *path)) {
+  fabric_path.reserve(path.size() + 1);
+  for (const NodeIndex n : netsim::path_nodes(topo_, path)) {
     fabric_path.push_back(topo_to_fabric_[n]);
   }
   const std::size_t egress_node = fabric_path.back();
@@ -163,10 +175,8 @@ const CompiledRoute* BuiltFabric::route(NodeIndex src, NodeIndex dst) {
   route.expected.egress_node = static_cast<std::uint32_t>(egress_node);
   route.expected.egress_port = egress_port(egress_node);
   route.expected.hops = static_cast<std::uint32_t>(fabric_path.size());
-  stats_.crt_steps += fabric_path.size();
-  CompiledRoute& stored = store_route(key, std::move(route));
-  note_compile("route", before, t0);
-  return &stored;
+  crt_steps += fabric_path.size();
+  return route;
 }
 
 void BuiltFabric::compile_tree_routes(const netsim::PathTree& tree,
@@ -381,22 +391,79 @@ std::size_t BuiltFabric::compile_subtree(NodeIndex src,
   return out.size();
 }
 
-std::vector<std::pair<NodeIndex, NodeIndex>> BuiltFabric::fail_link(
-    NodeIndex a, NodeIndex b) {
-  obs::TraceScope scope(trace_, "compile.fail_link", "compile");
+std::size_t BuiltFabric::enable_protection(unsigned k) {
+  obs::TraceScope scope(trace_, "compile.protect", "compile");
+  const CompileStats before = stats_;
   const auto t0 = std::chrono::steady_clock::now();
-  const auto fwd = topo_.link_between(a, b);
-  const auto rev = topo_.link_between(b, a);
-  if (!fwd || !rev) {
-    throw std::invalid_argument("BuiltFabric::fail_link: no such link");
+  protection_k_ = k;
+  if (k == 0) {
+    backups_.clear();
+    saved_primary_.clear();
+    return 0;
   }
-  banned_links_.push_back(*fwd);
-  banned_links_.push_back(*rev);
+  std::size_t installed = 0;
+  // Deterministic planning order (routes_ iteration order is not).
+  std::vector<RouteKey> keys;
+  keys.reserve(routes_.size());
+  for (const auto& [key, route] : routes_) keys.push_back(key);
+  std::ranges::sort(keys);
+  for (const RouteKey key : keys) {
+    if (backups_.protects(key)) continue;
+    installed += protect_pair(key, routes_.at(key));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("compile.backup_routes")
+        .add(stats_.backup_routes - before.backup_routes);
+  }
+  note_compile("protect", before, t0);
+  return installed;
+}
 
+std::size_t BuiltFabric::protect_pair(RouteKey key,
+                                      const CompiledRoute& primary) {
+  const auto [src, dst] = netsim::node_pair_from_key(key);
+  // Disjoint alternates: ban the primary's links (both directions) on
+  // top of everything already failed, then peel off k disjoint paths.
+  std::vector<netsim::LinkIndex> banned = banned_links_;
+  for (const netsim::LinkIndex l : primary.path) {
+    banned.push_back(l);
+    const netsim::Link& link = topo_.link(l);
+    if (const auto rev = topo_.link_between(link.to, link.from)) {
+      banned.push_back(*rev);
+    }
+  }
+  const auto paths = netsim::k_disjoint_paths(
+      topo_, src, dst, protection_k_, netsim::PathMetric::kHopCount, banned);
+  std::vector<BackupRoute> backups;
+  backups.reserve(paths.size());
+  for (const netsim::Path& path : paths) {
+    std::size_t crt_steps = 0;
+    CompiledRoute compiled = compile_path_route(path, crt_steps);
+    stats_.crt_steps += crt_steps;
+    BackupRoute backup;
+    backup.segments = std::move(compiled.segments);
+    backup.expected = compiled.expected;
+    backup.path = std::move(compiled.path);
+    backup.ingress = compiled.ingress;
+    backup.stretch = primary.path.empty()
+                         ? 1.0
+                         : static_cast<double>(path.size()) /
+                               static_cast<double>(primary.path.size());
+    backups.push_back(std::move(backup));
+  }
+  const std::size_t count = backups.size();
+  stats_.backup_routes += count;
+  backups_.install(key, std::move(backups));
+  return count;
+}
+
+std::vector<std::pair<NodeIndex, NodeIndex>>
+BuiltFabric::evict_crossing_routes(netsim::LinkIndex fwd,
+                                   netsim::LinkIndex rev) {
   // The inverted index names exactly the crossing routes: O(affected),
   // not O(routes * hops).  Sorted for a deterministic return order.
   std::vector<RouteKey> keys;
-  for (const netsim::LinkIndex dead : {*fwd, *rev}) {
+  for (const netsim::LinkIndex dead : {fwd, rev}) {
     if (const auto it = routes_by_link_.find(dead);
         it != routes_by_link_.end()) {
       keys.insert(keys.end(), it->second.begin(), it->second.end());
@@ -414,6 +481,10 @@ std::vector<std::pair<NodeIndex, NodeIndex>> BuiltFabric::fail_link(
   affected.reserve(keys.size());
   for (const RouteKey key : keys) {
     const auto it = routes_.find(key);
+    // Protected fabrics remember the displaced route so restore_link
+    // can revert hitlessly; the original primary wins over later
+    // backup-on-backup displacements (try_emplace keeps the first).
+    if (protection_k_ > 0) saved_primary_.try_emplace(key, it->second);
     touched.insert(touched.end(), it->second.path.begin(),
                    it->second.path.end());
     routes_.erase(it);
@@ -428,6 +499,31 @@ std::vector<std::pair<NodeIndex, NodeIndex>> BuiltFabric::fail_link(
                   [&](RouteKey k) { return evicted.contains(k); });
     if (it->second.empty()) routes_by_link_.erase(it);
   }
+  return affected;
+}
+
+FailoverReport BuiltFabric::apply_failure(NodeIndex a, NodeIndex b) {
+  obs::TraceScope scope(trace_, "compile.fail_link", "compile");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto fwd = topo_.link_between(a, b);
+  const auto rev = topo_.link_between(b, a);
+  if (!fwd || !rev) {
+    throw std::invalid_argument("BuiltFabric::apply_failure: no such link");
+  }
+  FailoverReport report;
+  if (link_down_[*fwd] != 0) {
+    // Graceful degradation: failing a dead link must not throw, loop
+    // or double-ban -- storms and flap schedules hit this constantly.
+    report.duplicate = true;
+    return report;
+  }
+  const CompileStats before = stats_;
+  banned_links_.push_back(*fwd);
+  banned_links_.push_back(*rev);
+  link_down_[*fwd] = 1;
+  link_down_[*rev] = 1;
+
+  report.affected = evict_crossing_routes(*fwd, *rev);
 
   // Drop only the trees that routed through the dead link.  Every other
   // cached tree remains a valid shortest-path tree: removing links it
@@ -439,18 +535,153 @@ std::vector<std::pair<NodeIndex, NodeIndex>> BuiltFabric::fail_link(
     it = uses ? trees_.erase(it) : ++it;
   }
 
-  // Subtree-scoped repair: recompile each source's severed destinations
-  // against its rebuilt tree.  Pairs the failure disconnected stay
-  // evicted and report unreachable from route().
+  if (protection_k_ > 0) {
+    // Hitless path: each affected pair swaps to its best live backup.
+    // The whole window is table lookups and label copies -- no
+    // Dijkstra, no CRT, zero routes_compiled (the acceptance bar).
+    for (const auto& pr : report.affected) {
+      const RouteKey key = netsim::node_pair_key(pr.first, pr.second);
+      const BackupRoute* backup = backups_.activate(key, link_down_);
+      if (backup == nullptr) {
+        report.pending.push_back(pr);
+        pending_.push_back(pr);
+        continue;
+      }
+      CompiledRoute route;
+      route.segments = backup->segments;
+      if (route.segments.single_label()) {
+        route.label = route.segments.labels.front();
+        route.id = polka::unpack_label(*route.label);
+      }
+      route.ingress = backup->ingress;
+      route.expected = backup->expected;
+      route.path = backup->path;
+      store_route(key, std::move(route), /*count_compile=*/false);
+      ++stats_.backup_swaps;
+      report.swapped.push_back(pr);
+      report.swap_stretch.push_back(backup->stretch);
+    }
+    if (metrics_ != nullptr && !report.swapped.empty()) {
+      metrics_->counter("compile.backup_swaps").add(report.swapped.size());
+    }
+  } else {
+    // Eager path (the pre-protection behaviour): subtree-scoped repair
+    // of each source's severed destinations inside the event.
+    std::unordered_map<NodeIndex, std::vector<NodeIndex>> by_source;
+    for (const auto& [src, dst] : report.affected) {
+      by_source[src].push_back(dst);
+    }
+    for (const auto& [src, dsts] : by_source) {
+      (void)compile_subtree(src, dsts);
+    }
+    for (const auto& pr : report.affected) {
+      if (routes_.contains(netsim::node_pair_key(pr.first, pr.second))) {
+        report.repaired.push_back(pr);
+      } else {
+        report.unroutable.push_back(pr);
+      }
+    }
+  }
+  report.window_recompiles = stats_.routes_compiled - before.routes_compiled;
+  // Inner compile_subtree calls recorded their own stats deltas; this
+  // notes only the phase's wall clock.
+  note_compile("fail_link", stats_, t0);
+  return report;
+}
+
+FailoverReport BuiltFabric::repair_pending() {
+  FailoverReport report;
+  if (pending_.empty()) return report;
+  obs::TraceScope scope(trace_, "compile.repair_pending", "compile");
+  const auto t0 = std::chrono::steady_clock::now();
+  const CompileStats before = stats_;
+  std::vector<std::pair<NodeIndex, NodeIndex>> work;
+  pending_.swap(work);
+  std::ranges::sort(work);
+  work.erase(std::unique(work.begin(), work.end()), work.end());
+
   std::unordered_map<NodeIndex, std::vector<NodeIndex>> by_source;
-  for (const auto& [src, dst] : affected) by_source[src].push_back(dst);
+  for (const auto& [src, dst] : work) by_source[src].push_back(dst);
   for (const auto& [src, dsts] : by_source) {
     (void)compile_subtree(src, dsts);
   }
-  // The repair's stats deltas were already recorded by the inner
-  // compile_subtree calls; this notes only the phase's wall clock.
-  note_compile("fail_link", stats_, t0);
-  return affected;
+  for (const auto& pr : work) {
+    const RouteKey key = netsim::node_pair_key(pr.first, pr.second);
+    const auto it = routes_.find(key);
+    if (it == routes_.end()) {
+      report.unroutable.push_back(pr);
+      continue;
+    }
+    report.repaired.push_back(pr);
+    // The pair's old protection set is dead; replan it against the
+    // repaired primary and the degraded topology.
+    if (protection_k_ > 0) (void)protect_pair(key, it->second);
+  }
+  report.window_recompiles = stats_.routes_compiled - before.routes_compiled;
+  note_compile("repair_pending", stats_, t0);
+  return report;
+}
+
+FailoverReport BuiltFabric::restore_link(NodeIndex a, NodeIndex b) {
+  obs::TraceScope scope(trace_, "compile.restore_link", "compile");
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto fwd = topo_.link_between(a, b);
+  const auto rev = topo_.link_between(b, a);
+  if (!fwd || !rev) {
+    throw std::invalid_argument("BuiltFabric::restore_link: no such link");
+  }
+  FailoverReport report;
+  if (link_down_[*fwd] == 0) {
+    report.duplicate = true;
+    return report;
+  }
+  link_down_[*fwd] = 0;
+  link_down_[*rev] = 0;
+  std::erase(banned_links_, *fwd);
+  std::erase(banned_links_, *rev);
+  // Any cached tree may now be improvable by the revived link; flush
+  // them all (rebuilt lazily).  Cached routes stay valid -- their
+  // paths still exist -- they are just possibly no longer shortest.
+  trees_.clear();
+
+  if (protection_k_ > 0) {
+    // Revert every displaced pair whose saved primary is fully alive
+    // again -- including pairs a failure had severed outright, whose
+    // routes revive here without any recompile.
+    std::vector<RouteKey> revived;
+    for (const auto& [key, primary] : saved_primary_) {
+      const bool alive = std::ranges::none_of(
+          primary.path,
+          [&](netsim::LinkIndex l) { return link_down_[l] != 0; });
+      if (alive) revived.push_back(key);
+    }
+    std::ranges::sort(revived);
+    for (const RouteKey key : revived) {
+      auto it = saved_primary_.find(key);
+      const auto pr = netsim::node_pair_from_key(key);
+      store_route(key, std::move(it->second), /*count_compile=*/false);
+      saved_primary_.erase(it);
+      backups_.release(key);
+      ++stats_.backup_swaps;
+      report.affected.push_back(pr);
+      report.swapped.push_back(pr);
+      report.swap_stretch.push_back(1.0);  // back on the primary
+      // A revived pair is no longer waiting on the lazy recompiler.
+      std::erase(pending_, pr);
+    }
+    if (metrics_ != nullptr && !report.swapped.empty()) {
+      metrics_->counter("compile.backup_swaps").add(report.swapped.size());
+    }
+  }
+  note_compile("restore_link", stats_, t0);
+  return report;
+}
+
+std::vector<std::pair<NodeIndex, NodeIndex>> BuiltFabric::fail_link(
+    NodeIndex a, NodeIndex b) {
+  FailoverReport report = apply_failure(a, b);
+  if (!report.pending.empty()) (void)repair_pending();
+  return std::move(report.affected);
 }
 
 }  // namespace hp::scenario

@@ -44,6 +44,7 @@
 #include "netsim/topology.hpp"
 #include "polka/forwarding.hpp"
 #include "polka/label.hpp"
+#include "scenario/protection.hpp"
 
 namespace hp::obs {
 class MetricRegistry;
@@ -77,6 +78,35 @@ struct CompileStats {
   std::size_t routes_compiled = 0;  ///< CompiledRoute entries written
   std::size_t trees_built = 0;      ///< single-source Dijkstra runs
   std::size_t crt_steps = 0;        ///< congruences folded into solutions
+  std::size_t backup_routes = 0;    ///< protection backups precompiled
+  /// Hitless primary<->backup label swaps (failures and restore
+  /// reverts).  Swaps never count in routes_compiled: the whole point
+  /// of protection is that the failure window compiles nothing.
+  std::size_t backup_swaps = 0;
+};
+
+/// Outcome of one failure or restore event, pair-classified.  Pairs
+/// are (src, dst) topology indices; `affected` is every pair whose
+/// cached route the event touched, in deterministic (sorted-key)
+/// order, and the other lists partition it:
+///  * swapped     served hitlessly by a pre-installed backup (or, on
+///                restore, reverted to its revived primary);
+///                swap_stretch is parallel to it;
+///  * repaired    eagerly recompiled inside the event (unprotected
+///                fabrics only);
+///  * pending     protection set entirely dead; parked for
+///                repair_pending() (the lazy window);
+///  * unroutable  no path left in the degraded topology (repair_pending
+///                moves pending pairs here when Dijkstra agrees).
+struct FailoverReport {
+  std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>> affected;
+  std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>> swapped;
+  std::vector<double> swap_stretch;
+  std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>> repaired;
+  std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>> pending;
+  std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>> unroutable;
+  std::size_t window_recompiles = 0;  ///< routes compiled inside the event
+  bool duplicate = false;  ///< link already in the requested state: no-op
 };
 
 /// A topology wired as a PolKA fabric, with route compilation on top.
@@ -138,14 +168,58 @@ class BuiltFabric {
   std::size_t compile_subtree(netsim::NodeIndex src,
                               std::span<const netsim::NodeIndex> dsts);
 
+  /// Pre-plan k mutually link-disjoint backups for every *currently
+  /// cached* route (compile or generate traffic first) and arm the
+  /// protection layer: subsequent apply_failure calls swap crossing
+  /// primaries to backups instead of recompiling.  Pairs with no
+  /// disjoint alternative stay unprotected and fall back to the lazy
+  /// recompiler.  Idempotent per pair; k = 0 disarms.  Returns the
+  /// number of backups installed by this call.
+  std::size_t enable_protection(unsigned k);
+
+  [[nodiscard]] unsigned protection_k() const noexcept {
+    return protection_k_;
+  }
+  [[nodiscard]] const BackupTable& backup_table() const noexcept {
+    return backups_;
+  }
+
   /// Remove the duplex link a<->b from path computation (the fabric
   /// wiring is untouched: ports still exist, packets simply route
-  /// around).  Throws std::invalid_argument when no such link exists.
-  /// Returns the (src, dst) pairs whose cached route crossed the link.
-  /// Crossing routes are recompiled in place, subtree-scoped (pairs the
-  /// failure disconnected are evicted and report unreachable from
-  /// route()); untouched routes, and Dijkstra trees that never used the
-  /// link, stay cached.
+  /// around).  Throws std::invalid_argument when no such link exists;
+  /// failing an already-failed link is a graceful no-op (duplicate set
+  /// in the report).  Crossing routes are evicted and then, with
+  /// protection armed, hitlessly swapped to pre-installed backups --
+  /// zero path computation, zero CRT work in the window; pairs whose
+  /// whole protection set died are parked in `pending` until
+  /// repair_pending().  Without protection they are eagerly recompiled
+  /// subtree-scoped, exactly as fail_link always did.  Pairs the
+  /// failure disconnected land in `unroutable` and report unreachable
+  /// from route().
+  FailoverReport apply_failure(netsim::NodeIndex a, netsim::NodeIndex b);
+
+  /// Bring the duplex link a<->b back.  Dirty shortest-path trees are
+  /// flushed (rebuilt lazily); with protection armed, every pair whose
+  /// saved primary is fully alive again reverts to it -- a hitless
+  /// swap back, listed in `swapped` -- including pairs a failure had
+  /// severed entirely (their routes revive without a recompile).
+  /// Restoring a link that is not failed is a no-op (duplicate set).
+  FailoverReport restore_link(netsim::NodeIndex a, netsim::NodeIndex b);
+
+  /// Lazily recompile the pairs apply_failure parked in `pending`
+  /// (their protection set was dead).  Pairs that recompile land in
+  /// `repaired` and get a fresh protection set planned against the
+  /// degraded topology; pairs with no path left land in `unroutable`.
+  FailoverReport repair_pending();
+
+  [[nodiscard]] std::size_t pending_repair_count() const noexcept {
+    return pending_.size();
+  }
+
+  /// Legacy eager entry point, kept for callers that want the
+  /// "everything handled before return" contract: apply_failure plus
+  /// an immediate repair_pending.  Returns every affected (src, dst)
+  /// pair, as before.
   std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>> fail_link(
       netsim::NodeIndex a, netsim::NodeIndex b);
 
@@ -196,9 +270,28 @@ class BuiltFabric {
                            std::size_t& crt_steps) const;
 
   /// Insert or overwrite one cache entry, keeping the link index true;
-  /// returns the stored entry.
-  CompiledRoute& store_route(RouteKey key, CompiledRoute&& route);
+  /// returns the stored entry.  Hitless backup swaps pass
+  /// count_compile = false: installing a pre-compiled label is not a
+  /// route compilation.
+  CompiledRoute& store_route(RouteKey key, CompiledRoute&& route,
+                             bool count_compile = true);
   void unindex_route(RouteKey key, const netsim::Path& path);
+
+  /// Compile one explicit path into a route (segments, expectation,
+  /// ingress) without touching the cache or stats; `crt_steps` gets
+  /// the fold count.  Shared by route() and the backup planner.
+  [[nodiscard]] CompiledRoute compile_path_route(const netsim::Path& path,
+                                                 std::size_t& crt_steps) const;
+
+  /// Plan and install `protection_k_` disjoint backups for one pair
+  /// against its primary; returns how many were installed.
+  std::size_t protect_pair(RouteKey key, const CompiledRoute& primary);
+
+  /// Evict every cached route crossing the two directed links; returns
+  /// the affected pairs in sorted-key order.  Protected fabrics save
+  /// each pair's pre-failure primary for revert-on-restore.
+  std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>>
+  evict_crossing_routes(netsim::LinkIndex fwd, netsim::LinkIndex rev);
 
   /// Record one compile phase's stats deltas and wall clock into the
   /// attached registry (no-op when detached).
@@ -217,6 +310,18 @@ class BuiltFabric {
   /// segment closes when its accumulated modulus degree would pass 64).
   std::vector<int> node_degree_;
   std::vector<netsim::LinkIndex> banned_links_;
+  /// Per directed link: 1 while failed.  The O(1) form of
+  /// banned_links_, sized at construction, consulted by backup
+  /// selection and restore reverts.
+  std::vector<char> link_down_;
+  unsigned protection_k_ = 0;
+  BackupTable backups_;
+  /// Pre-failure primaries of pairs a failure displaced (or severed),
+  /// keyed like routes_; restore_link reverts from here.  The
+  /// *original* primary is kept across repeated failures.
+  std::unordered_map<RouteKey, CompiledRoute> saved_primary_;
+  /// Pairs whose protection set died, awaiting repair_pending().
+  std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>> pending_;
   std::unordered_map<netsim::NodeIndex, netsim::PathTree> trees_;
   std::unordered_map<RouteKey, CompiledRoute> routes_;
   /// Inverted index: directed link -> keys of cached routes over it,

@@ -1,0 +1,66 @@
+#pragma once
+// Deterministic failure-schedule generation.
+//
+// The runners accept a vector<LinkFailure> but nothing in the repo
+// could *produce* realistic ones -- every bench hand-picked a link.
+// The injector turns (topology, preset, seed) into a reproducible
+// schedule over the topology's duplex router-router links:
+//
+//   kSingle  `count` independent single-link failures at random points
+//            of the schedule window;
+//   kStorm   `count` correlated node storms -- a router fails, taking
+//            every duplex link adjacent to it down at the same instant;
+//   kFlap    `count` flapping links, each cycling down/up with
+//            exponential dwell times (mean_up_fraction is the MTBF,
+//            mean_down_fraction the MTTR, both as stream fractions);
+//            down events carry restore = false, up events restore =
+//            true.
+//
+// Determinism is a hard contract: the schedule is a pure function of
+// (topology, params).  All randomness is hand-rolled over mt19937_64
+// raw output -- std::uniform_real_distribution and friends are
+// implementation-defined and would break bit-identical reports across
+// standard libraries.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "netsim/topology.hpp"
+#include "scenario/runner.hpp"
+
+namespace hp::scenario {
+
+enum class FailurePreset {
+  kSingle,  ///< independent single-link failures
+  kStorm,   ///< node storms: every adjacent link fails at once
+  kFlap,    ///< links cycling down/up (MTBF/MTTR)
+};
+
+[[nodiscard]] const char* to_string(FailurePreset preset) noexcept;
+
+/// Parse "single" / "storm" / "flap"; nullopt otherwise.
+[[nodiscard]] std::optional<FailurePreset> parse_failure_preset(
+    std::string_view name) noexcept;
+
+struct FailureInjectorParams {
+  FailurePreset preset = FailurePreset::kSingle;
+  std::uint64_t seed = 1;  ///< drives every random choice
+  /// Failed links (kSingle), storm epicentre nodes (kStorm) or
+  /// flapping links (kFlap); clamped to the eligible population.
+  std::size_t count = 1;
+  double start_fraction = 0.25;  ///< no event before this stream point
+  double end_fraction = 0.90;    ///< no event at/after this stream point
+  double mean_up_fraction = 0.20;    ///< kFlap: mean dwell while up
+  double mean_down_fraction = 0.05;  ///< kFlap: mean dwell while down
+};
+
+/// Build a deterministic schedule over the duplex router-router links
+/// of `topo`, sorted by at_fraction (ties keep generation order).
+/// Throws std::invalid_argument when the fraction window is empty/out
+/// of range or the topology has no eligible duplex router link.
+[[nodiscard]] std::vector<LinkFailure> make_failure_schedule(
+    const netsim::Topology& topo, const FailureInjectorParams& params);
+
+}  // namespace hp::scenario

@@ -1,0 +1,56 @@
+#include "scenario/protection.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hp::scenario {
+
+void BackupTable::install(PairKey pair, std::vector<BackupRoute> backups) {
+  if (const auto it = pairs_.find(pair); it != pairs_.end()) {
+    backup_count_ -= it->second.backups.size();
+    pairs_.erase(it);
+  }
+  if (backups.empty()) return;
+  backup_count_ += backups.size();
+  pairs_.emplace(pair, PairProtection{std::move(backups), kNone});
+}
+
+void BackupTable::clear() {
+  pairs_.clear();
+  backup_count_ = 0;
+}
+
+const std::vector<BackupRoute>* BackupTable::backups_for(PairKey pair) const {
+  const auto it = pairs_.find(pair);
+  return it == pairs_.end() ? nullptr : &it->second.backups;
+}
+
+const BackupRoute* BackupTable::activate(PairKey pair,
+                                         const std::vector<char>& link_down) {
+  const auto it = pairs_.find(pair);
+  if (it == pairs_.end()) return nullptr;
+  PairProtection& p = it->second;
+  for (std::size_t i = 0; i < p.backups.size(); ++i) {
+    const bool dead = std::ranges::any_of(
+        p.backups[i].path, [&](netsim::LinkIndex l) {
+          return l < link_down.size() && link_down[l] != 0;
+        });
+    if (dead) continue;
+    p.active = i;
+    return &p.backups[i];
+  }
+  return nullptr;
+}
+
+void BackupTable::release(PairKey pair) {
+  if (const auto it = pairs_.find(pair); it != pairs_.end()) {
+    it->second.active = kNone;
+  }
+}
+
+std::size_t BackupTable::active_index(PairKey pair) const {
+  const auto it = pairs_.find(pair);
+  return it == pairs_.end() ? kNone : it->second.active;
+}
+
+}  // namespace hp::scenario

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -228,6 +229,12 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
     fabric.set_observability(options_.metrics, options_.trace);
   }
   const std::size_t total = stream.size();
+  // Pre-install the protection plane before any packet moves: failures
+  // then swap to backups in O(1) instead of recompiling.
+  if (options_.protection_k > 0) {
+    obs::TraceScope protect_scope(options_.trace, "replay.protect", "replay");
+    (void)fabric.enable_protection(options_.protection_k);
+  }
   // Compile the flattened view before any thread is spawned: the lazy
   // compiled() cache is not thread-safe to build concurrently.
   const polka::CompiledFabric& fast = fabric.compiled();
@@ -248,10 +255,56 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
     expected[i] = stream.pairs[i].expected;
   }
 
+  // Streams intern each (src, dst) once; resolve lane by pair key once
+  // instead of per failure event (flap schedules fire dozens).
+  std::unordered_map<std::uint64_t, std::uint32_t> lane_of;
+  for (std::uint32_t lane = 0; lane < stream.pairs.size(); ++lane) {
+    lane_of.emplace(
+        netsim::node_pair_key(stream.pairs[lane].src, stream.pairs[lane].dst),
+        lane);
+  }
+
   ScenarioReport report;
   report.fold_kernel = fast.kernel();
   std::size_t done = 0;
   std::size_t next_failure = 0;
+
+  // Repoint every listed pair's lane at its current cached route (all
+  // cache hits: the failover event already stored them) and rewrite the
+  // unreplayed tail's labels in one pass.  `revive` resurrects lanes a
+  // previous failure severed (link restores bring their routes back);
+  // `touched` collects the updated lanes for the caller's loss window.
+  auto relabel =
+      [&](const std::vector<std::pair<netsim::NodeIndex, netsim::NodeIndex>>&
+              pairs,
+          bool revive, std::vector<std::uint32_t>* touched) {
+        std::unordered_map<std::uint32_t, polka::RouteLabel> new_label;
+        for (const auto& [src, dst] : pairs) {
+          const auto it = lane_of.find(netsim::node_pair_key(src, dst));
+          if (it == lane_of.end()) continue;
+          const std::uint32_t lane = it->second;
+          if (!alive[lane] && !revive) continue;
+          const CompiledRoute* route = fabric.route(src, dst);
+          if (route == nullptr || route->segments.labels.empty()) {
+            alive[lane] = 0;
+            continue;
+          }
+          alive[lane] = 1;
+          ++report.rerouted_pairs;
+          stream.pairs[lane].expected = route->expected;
+          expected[lane] = route->expected;
+          new_label.emplace(lane, route->segments.labels.front());
+          // A detour may gain or lose segments; pool the new list and
+          // repoint the lane (orphaning its old slice is harmless).
+          stream.seg_refs[lane] = append_segments(stream, route->segments);
+          if (touched != nullptr) touched->push_back(lane);
+        }
+        for (std::size_t i = done; i < total && !new_label.empty(); ++i) {
+          const auto it = new_label.find(stream.pair[i]);
+          if (it != new_label.end()) stream.labels[i] = it->second;
+        }
+      };
+
   while (done < total || next_failure < failures.size()) {
     std::size_t end = total;
     if (next_failure < failures.size()) {
@@ -284,39 +337,150 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
       done = end;
     }
     if (next_failure < failures.size()) {
-      obs::TraceScope repair_scope(options_.trace, "replay.repair", "replay");
       const LinkFailure& failure = failures[next_failure++];
-      const auto affected = fabric.fail_link(failure.a, failure.b);
-      if (affected.empty()) continue;
-      // Recompile each affected pair once (streams intern each pair
-      // once), then relabel the stream tail in a single pass.
-      std::unordered_map<std::uint64_t, std::uint32_t> lane_of;
-      for (std::uint32_t lane = 0; lane < stream.pairs.size(); ++lane) {
-        lane_of.emplace(netsim::node_pair_key(stream.pairs[lane].src,
-                                              stream.pairs[lane].dst),
-                        lane);
+      obs::TraceScope repair_scope(
+          options_.trace, failure.restore ? "replay.restore" : "replay.repair",
+          "replay");
+      const auto t0 = std::chrono::steady_clock::now();
+      const FailoverReport ev =
+          failure.restore ? fabric.restore_link(failure.a, failure.b)
+                          : fabric.apply_failure(failure.a, failure.b);
+      // Graceful degradation: failing a dead link (or restoring a live
+      // one) is a no-op, not an error -- storms hit this constantly.
+      if (ev.duplicate) continue;
+
+      // Hitless swaps first (no loss window), then in-event repairs,
+      // then the lazy recompiler for pairs whose protection set died.
+      std::vector<std::uint32_t> window_lanes;
+      relabel(ev.swapped, failure.restore, nullptr);
+      relabel(ev.repaired, false, &window_lanes);
+      FailoverReport lazy;
+      if (fabric.pending_repair_count() > 0) {
+        lazy = fabric.repair_pending();
+        relabel(lazy.repaired, false, &window_lanes);
       }
-      std::unordered_map<std::uint32_t, polka::RouteLabel> new_label;
-      for (const auto& [src, dst] : affected) {
-        const auto it = lane_of.find(netsim::node_pair_key(src, dst));
-        if (it == lane_of.end() || !alive[it->second]) continue;
-        const std::uint32_t lane = it->second;
-        const CompiledRoute* route = fabric.route(src, dst);
-        if (route && !route->segments.labels.empty()) {
-          ++report.rerouted_pairs;
-          stream.pairs[lane].expected = route->expected;
-          expected[lane] = route->expected;
-          new_label.emplace(lane, route->segments.labels.front());
-          // A detour may gain or lose segments; pool the new list and
-          // repoint the lane (orphaning its old slice is harmless).
-          stream.seg_refs[lane] = append_segments(stream, route->segments);
-        } else {
-          alive[lane] = 0;  // unroutable: remaining packets drop
+
+      // Severed pairs: mark dead (remaining packets drop) and charge
+      // their unreplayed tail to the failover loss account.
+      std::vector<std::uint32_t> severed;
+      for (const auto* list : {&ev.unroutable, &std::as_const(lazy).unroutable}) {
+        for (const auto& [src, dst] : *list) {
+          const auto it = lane_of.find(netsim::node_pair_key(src, dst));
+          if (it == lane_of.end() || !alive[it->second]) continue;
+          alive[it->second] = 0;
+          severed.push_back(it->second);
+          ++report.unroutable_pairs;
         }
       }
-      for (std::size_t i = done; i < total && !new_label.empty(); ++i) {
-        const auto it = new_label.find(stream.pair[i]);
-        if (it != new_label.end()) stream.labels[i] = it->second;
+      std::size_t lost = 0;
+      if (!severed.empty()) {
+        std::vector<char> is_severed(stream.pairs.size(), 0);
+        for (const std::uint32_t lane : severed) is_severed[lane] = 1;
+        for (std::size_t i = done; i < total; ++i) {
+          if (is_severed[stream.pair[i]] != 0) ++lost;
+        }
+      }
+      report.backup_swapped_pairs += ev.swapped.size();
+      report.window_recompiles += ev.window_recompiles;
+      report.lazy_repaired_pairs += lazy.repaired.size();
+
+      // Convergence-loss model: each *recompiled* pair loses its own
+      // next loss_window_per_recompile packets.  The tail is chopped at
+      // each lane's window end and replayed with the still-converging
+      // lanes masked dead, so drops thread through the normal shard
+      // accounting and stay per-pair exact.  Swapped pairs never enter
+      // this block: that asymmetry is what "hitless" means.
+      if (!window_lanes.empty() && options_.loss_window_per_recompile > 0 &&
+          done < total) {
+        // Windows never run past the next scheduled event.
+        std::size_t bound = total;
+        if (next_failure < failures.size()) {
+          const double f =
+              std::clamp(failures[next_failure].at_fraction, 0.0, 1.0);
+          const auto boundary = static_cast<std::size_t>(
+              std::llround(f * static_cast<double>(total)));
+          bound = std::clamp(boundary, done, total);
+        }
+        std::unordered_map<std::uint32_t, std::size_t> quota;
+        for (const std::uint32_t lane : window_lanes) {
+          if (alive[lane] != 0) {
+            quota.emplace(lane, options_.loss_window_per_recompile);
+          }
+        }
+        // One forward walk finds each lane's window end (the stream
+        // position of its last lost packet) and the loss count.
+        std::vector<std::pair<std::size_t, std::uint32_t>> chops;
+        std::vector<std::uint32_t> unfinished;
+        {
+          auto remaining = quota;
+          for (std::size_t i = done; i < bound && !remaining.empty(); ++i) {
+            const auto it = remaining.find(stream.pair[i]);
+            if (it == remaining.end()) continue;
+            ++lost;
+            if (--it->second == 0) {
+              chops.emplace_back(i + 1, it->first);
+              remaining.erase(it);
+            }
+          }
+          for (const auto& [lane, left] : remaining) {
+            unfinished.push_back(lane);
+          }
+        }
+        for (const auto& [lane, left] : quota) alive[lane] = 0;
+        auto replay_to = [&](std::size_t end) {
+          if (end <= done) return;
+          const SegmentTable segments{stream.seg_labels, stream.seg_waypoints,
+                                      stream.seg_refs};
+          const std::size_t count = end - done;
+          const ScenarioReport window = replay_shards(
+              fast,
+              std::span<const polka::RouteLabel>(stream.labels.data() + done,
+                                                 count),
+              std::span<const std::uint32_t>(stream.ingress.data() + done,
+                                             count),
+              std::span<const std::uint32_t>(stream.pair.data() + done, count),
+              expected, alive, segments, options_.threads,
+              options_.batch_size, options_.max_hops, options_.metrics);
+          report.merge_from(window);
+          done = end;
+        };
+        for (const auto& [end, lane] : chops) {
+          replay_to(end);
+          alive[lane] = 1;  // this lane converged; it forwards again
+        }
+        if (!unfinished.empty()) {
+          // Lanes whose window outlives the inter-event gap (or the
+          // stream) stay masked to the bound, then resume.
+          replay_to(bound);
+          for (const std::uint32_t lane : unfinished) alive[lane] = 1;
+        }
+      }
+      report.failover_packets_lost += lost;
+
+      if (options_.metrics != nullptr) {
+        obs::MetricRegistry& reg = *options_.metrics;
+        reg.counter(failure.restore ? "replay.failover.restores"
+                                    : "replay.failover.failures")
+            .add(1);
+        reg.counter("replay.failover.swaps").add(ev.swapped.size());
+        reg.counter("replay.failover.window_recompiles")
+            .add(ev.window_recompiles);
+        reg.counter("replay.failover.lazy_repairs").add(lazy.repaired.size());
+        reg.counter("replay.failover.packets_lost").add(lost);
+        reg.counter("replay.failover.unroutable_pairs").add(severed.size());
+        // Backup-path stretch in percent: deterministic content (a
+        // pure path-length ratio), unlike the wall-clock histogram
+        // below whose _ns suffix keeps it out of snapshot diffing.
+        for (const double stretch : ev.swap_stretch) {
+          reg.histogram("replay.failover.stretch_pct")
+              .record(static_cast<std::uint64_t>(
+                  std::llround(stretch * 100.0)));
+        }
+        reg.histogram("replay.failover.switchover_ns")
+            .record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
       }
     }
   }

@@ -30,11 +30,13 @@ class TraceSink;
 
 namespace hp::scenario {
 
-/// One scheduled duplex-link failure.
+/// One scheduled duplex-link event: a failure, or -- when `restore` is
+/// set -- the link coming back up (flap schedules alternate the two).
 struct LinkFailure {
   double at_fraction = 0.5;   ///< stream position in [0, 1)
   netsim::NodeIndex a = 0;    ///< topology endpoints of the duplex link
   netsim::NodeIndex b = 0;
+  bool restore = false;       ///< true: the link comes back up
 };
 
 struct RunnerOptions {
@@ -42,6 +44,16 @@ struct RunnerOptions {
   std::size_t batch_size = 1024; ///< packets per forward_batch call
   std::size_t max_hops = 64;
   std::vector<LinkFailure> failures;  ///< applied in at_fraction order
+  /// Pre-install up to this many link-disjoint backup routes per pair
+  /// before the replay starts (BuiltFabric::enable_protection).  With
+  /// protection on, a failure swaps affected pairs to their backups in
+  /// O(1) label copies instead of recompiling; only pairs whose whole
+  /// protection set died recompile lazily.  0 keeps the eager repair.
+  unsigned protection_k = 0;
+  /// Convergence-loss model: each recompiled (not swapped!) pair costs
+  /// this many of its next packets, dropped inside the failure window.
+  /// 0 (the default) keeps the historic loss-free instant repair.
+  std::size_t loss_window_per_recompile = 0;
   /// Optional observability taps (borrowed).  Workers record replay.*
   /// counters at flush/slice granularity -- never per packet -- so the
   /// enabled hot path stays within the <2% pps budget the overhead
@@ -81,6 +93,12 @@ struct ScenarioReport {
   /// their routes encode.  Both zero on fully single-label runs.
   std::size_t segmented_packets = 0;
   std::size_t segment_swaps = 0;
+  /// Failover accounting (all zero on failure-free runs):
+  std::size_t backup_swapped_pairs = 0;   ///< pairs moved via backup swap
+  std::size_t failover_packets_lost = 0;  ///< loss-window + severed drops
+  std::size_t unroutable_pairs = 0;       ///< pairs severed, no path left
+  std::size_t lazy_repaired_pairs = 0;    ///< pairs recompiled lazily
+  std::size_t window_recompiles = 0;      ///< recompiles inside fail events
   /// The per-hop reduction kernel the replayed fabric ran (PCLMUL
   /// Barrett vs slice-by-8 table -- see polka/fastpath.hpp), so replay
   /// reports say which data-plane path produced their numbers.
@@ -105,6 +123,11 @@ struct ScenarioReport {
     ttl_expired += partial.ttl_expired;
     segmented_packets += partial.segmented_packets;
     segment_swaps += partial.segment_swaps;
+    backup_swapped_pairs += partial.backup_swapped_pairs;
+    failover_packets_lost += partial.failover_packets_lost;
+    unroutable_pairs += partial.unroutable_pairs;
+    lazy_repaired_pairs += partial.lazy_repaired_pairs;
+    window_recompiles += partial.window_recompiles;
     seconds += partial.seconds;
   }
 

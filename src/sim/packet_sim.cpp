@@ -14,8 +14,10 @@ namespace {
 
 /// Event kinds on the engine's queue.
 enum EventKind : std::uint32_t {
-  kArrive = 0,  ///< arg = packet index; packet reaches its state's node
-  kDrain = 1,   ///< arg = channel index; one serialization finished
+  kArrive = 0,    ///< arg = packet index; packet reaches its state's node
+  kDrain = 1,     ///< arg = channel index; one serialization finished
+  kLinkDown = 2,  ///< arg = channel index; the wire disappears
+  kLinkUp = 3,    ///< arg = channel index; the wire comes back
 };
 
 }  // namespace
@@ -48,6 +50,7 @@ PacketSim::PacketSim(const polka::CompiledFabric& fabric,
   }
   result_.links.assign(channels_.size(), LinkStat{});
   channel_state_.assign(channels_.size(), ChannelState{});
+  link_up_.assign(channels_.size(), 1);
   register_metrics();
 }
 
@@ -62,6 +65,8 @@ void PacketSim::register_metrics() {
   obs_.folds = &reg->counter("sim.folds");
   obs_.segment_swaps = &reg->counter("sim.segment_swaps");
   obs_.wrong_egress = &reg->counter("sim.wrong_egress");
+  obs_.failover_lost = &reg->counter("sim.failover.packets_lost");
+  obs_.link_events = &reg->counter("sim.failover.link_events");
   obs_.in_flight = &reg->gauge("sim.in_flight");
   obs_.queue_depth = &reg->histogram("sim.queue_depth");
   obs_.link_depth.reserve(channels_.size());
@@ -83,6 +88,14 @@ void PacketSim::set_segment_pool(std::span<const polka::RouteLabel> labels,
                                  std::span<const std::uint32_t> waypoints) {
   pool_labels_ = labels;
   pool_waypoints_ = waypoints;
+}
+
+void PacketSim::schedule_link_state(Tick at, std::uint32_t channel, bool up) {
+  if (channel >= channels_.size()) {
+    throw std::invalid_argument(
+        "PacketSim::schedule_link_state: bad channel index");
+  }
+  queue_.push(at, up ? kLinkUp : kLinkDown, channel);
 }
 
 std::uint32_t PacketSim::add_flow(const polka::PacketResult& expected) {
@@ -201,6 +214,25 @@ void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
   const Channel& link = channels_[ch];
   ChannelState& state = channel_state_[ch];
   LinkStat& stat = result_.links[ch];
+  if (link_up_[ch] == 0) {
+    // The wire is gone: nothing to queue behind, the packet is lost.
+    // This is the loss window hitless failover shrinks -- packets that
+    // left their source before the control plane swapped the route.
+    ++c.dropped;
+    ++c.failover_lost;
+    ++fs.dropped;
+    ++stat.failover_drops;
+    if (obs_.failover_lost != nullptr) {
+      obs_.failover_lost->add(1);
+      obs_.link_drops[ch]->add(1);
+      obs_.in_flight->sub(1);
+    }
+    if (flight != nullptr) {
+      flight->record({t, s.flow, packet, s.node, port, state.queued,
+                      obs::HopOutcome::kLinkDown});
+    }
+    return;
+  }
   if (state.queued >= link.queue_capacity) {
     // Tail drop: the egress FIFO is full.
     ++c.dropped;
@@ -278,6 +310,15 @@ SimResult PacketSim::run() {
       case kDrain:
         --channel_state_[e.arg].queued;
         if (obs_.queue_depth != nullptr) obs_.link_depth[e.arg]->sub(1);
+        break;
+      case kLinkDown:
+        link_up_[e.arg] = 0;
+        ++result_.counters.link_down_events;
+        if (obs_.link_events != nullptr) obs_.link_events->add(1);
+        break;
+      case kLinkUp:
+        link_up_[e.arg] = 1;
+        if (obs_.link_events != nullptr) obs_.link_events->add(1);
         break;
       default:
         throw std::logic_error("PacketSim: unknown event kind");

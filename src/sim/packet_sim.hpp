@@ -64,6 +64,7 @@ struct Channel {
 struct LinkStat {
   std::uint64_t forwarded = 0;   ///< packets serialized onto the wire
   std::uint64_t tail_drops = 0;  ///< arrivals at a full egress queue
+  std::uint64_t failover_drops = 0;  ///< arrivals while the link was down
   std::uint64_t ecn_marks = 0;   ///< enqueues at/above the ECN threshold
   std::uint32_t max_queue_depth = 0;  ///< high-water mark (packets)
   Tick busy_ns = 0;  ///< total time the wire was serializing
@@ -127,7 +128,9 @@ struct SimConfig {
 struct SimCounters {
   std::size_t injected = 0;
   std::size_t delivered = 0;
-  std::size_t dropped = 0;        ///< tail drops
+  std::size_t dropped = 0;        ///< tail + failover drops
+  std::size_t failover_lost = 0;  ///< of `dropped`: arrivals at a dead link
+  std::size_t link_down_events = 0;  ///< kLinkDown events processed
   std::size_t ttl_expired = 0;
   std::size_t wrong_egress = 0;   ///< delivery diverged from expectation
   std::size_t mod_operations = 0; ///< label folds == hops walked
@@ -191,6 +194,15 @@ class PacketSim {
   void inject(Tick at, polka::RouteLabel label, polka::SegmentRef ref,
               std::uint32_t source, std::uint32_t flow);
 
+  /// Schedule the directed channel to go down (up = false) or come
+  /// back (up = true) at simulated time `at`.  While a channel is
+  /// down, every packet routed onto it is dropped and counted as
+  /// failover loss (the wire is gone -- no queueing, no ECN).  Packets
+  /// already committed to the wire before `at` still arrive: failing a
+  /// link does not destroy in-flight serializations.  Throws
+  /// std::invalid_argument on a bad channel index.
+  void schedule_link_state(Tick at, std::uint32_t channel, bool up);
+
   /// Process every pending event; returns the accumulated result.
   /// Resets nothing: a second run() continues from the drained state
   /// (inject more first), which is how arrival schedules can be fed in
@@ -225,6 +237,8 @@ class PacketSim {
     obs::Counter* folds = nullptr;
     obs::Counter* segment_swaps = nullptr;
     obs::Counter* wrong_egress = nullptr;
+    obs::Counter* failover_lost = nullptr;
+    obs::Counter* link_events = nullptr;
     obs::Gauge* in_flight = nullptr;
     obs::Histogram* queue_depth = nullptr;
     std::vector<obs::Gauge*> link_depth;     ///< one per channel
@@ -245,6 +259,7 @@ class PacketSim {
   std::vector<polka::PacketResult> flow_expected_;
   std::vector<PacketState> packets_;
   std::vector<ChannelState> channel_state_;
+  std::vector<char> link_up_;  ///< per channel: 1 while the wire exists
   EventQueue queue_;
   Tick now_ = 0;
   Tick next_sample_ = 0;  ///< next telemetry-bridge tick boundary

@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "obs/flight_recorder.hpp"
@@ -60,6 +61,9 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
   std::vector<std::uint32_t> port_channel(node_offset[n],
                                           PacketSim::kNoChannel);
   std::vector<Channel> channels;
+  // Directed topology pair -> channel index, so the failure schedule
+  // below can take the physical wire down at the right tick.
+  std::unordered_map<std::uint64_t, std::uint32_t> channel_of;
   for (std::size_t node = 0; node < n; ++node) {
     for (std::uint32_t port = 0; port < fast.port_count(node); ++port) {
       const std::uint32_t peer = fast.neighbor(node, port);
@@ -77,6 +81,10 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
       ch.serialize_ns = serialize_ns(options_.packet_bytes, l.capacity_mbps);
       ch.queue_capacity = options_.queue_capacity;
       ch.ecn_threshold = options_.ecn_threshold;
+      channel_of.emplace(
+          netsim::node_pair_key(fabric.topo_index(node),
+                                fabric.topo_index(peer)),
+          static_cast<std::uint32_t>(channels.size()));
       port_channel[node_offset[node] + port] =
           static_cast<std::uint32_t>(channels.size());
       channels.push_back(ch);
@@ -91,42 +99,202 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
   config.telemetry_period_ns = options_.telemetry_period_ns;
   PacketSim sim(fast, std::move(channels), std::move(node_offset),
                 std::move(port_channel), std::move(config));
-  sim.set_segment_pool(stream.seg_labels, stream.seg_waypoints);
 
   phase.emplace(options_.trace, "sim.schedule", "sim");
 
-  // --- chop the stream into flows and schedule the injections --------
+  // --- pass 1: the unsplit injection schedule -------------------------
   // A flow is up to flow_packets consecutive packets of one pair (in
   // stream emission order); flow k starts k * flow_gap_ns after t = 0
-  // and its source injects back-to-back at source_rate_mbps.
+  // and its source injects back-to-back at source_rate_mbps.  The
+  // per-packet ticks are computed first and reused verbatim below, so
+  // the failure schedule (whose fractions map onto the last injection
+  // tick) cannot perturb packet timing -- a protected and an
+  // unprotected run offer the exact same load.
   const Tick src_gap =
       serialize_ns(options_.packet_bytes, options_.source_rate_mbps);
+  std::vector<Tick> inject_at(stream.size(), 0);
+  Tick last_inject = 0;
+  {
+    struct Cadence {
+      std::size_t injected = 0;
+      Tick next_inject = 0;
+    };
+    std::unordered_map<std::uint32_t, Cadence> cadence;  // lane -> state
+    std::size_t flow_count = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const std::uint32_t lane = stream.pair[i];
+      auto it = cadence.find(lane);
+      if (it == cadence.end() ||
+          it->second.injected >= options_.flow_packets) {
+        Cadence fresh;
+        fresh.next_inject =
+            static_cast<Tick>(flow_count) * options_.flow_gap_ns;
+        ++flow_count;
+        it = cadence.insert_or_assign(lane, fresh).first;
+      }
+      inject_at[i] = it->second.next_inject;
+      last_inject = std::max(last_inject, inject_at[i]);
+      ++it->second.injected;
+      it->second.next_inject += src_gap;
+    }
+  }
+
+  // --- play the failure schedule against the control plane ------------
+  // Each event takes the physical wires down (or up) at its tick and
+  // asks the fabric for the rerouted labels; a lane adopts its new
+  // route one control-plane latency later -- switchover_latency_ns for
+  // a hitless backup swap, repair_latency_ns for a recompile.  Packets
+  // the source emits before the adoption tick still carry the dead
+  // route and die at the wire: that gap, times the offered rate, IS the
+  // packets-lost-per-failure the reports compare.
+  struct RouteVersion {
+    Tick at = 0;  ///< adoption tick: injections at/after use this route
+    polka::RouteLabel label{};
+    polka::SegmentRef ref{};
+    polka::PacketResult expected{};
+  };
+  std::unordered_map<std::uint32_t, std::vector<RouteVersion>> versions;
+  // Failure rewrites pool fresh segment lists on private copies -- the
+  // caller's stream is never mutated (contract of run()).
+  std::vector<polka::RouteLabel> pool_labels(stream.seg_labels.begin(),
+                                             stream.seg_labels.end());
+  std::vector<std::uint32_t> pool_waypoints(stream.seg_waypoints.begin(),
+                                            stream.seg_waypoints.end());
+  std::size_t swapped_pairs = 0;
+  std::size_t lazy_repairs = 0;
+  std::size_t unroutable_pairs = 0;
+  std::size_t window_recompiles = 0;
+  std::size_t rerouted_pairs = 0;
+  if (!options_.failures.empty() || options_.protection_k > 0) {
+    if (options_.protection_k > 0) {
+      (void)fabric.enable_protection(options_.protection_k);
+    }
+    std::unordered_map<std::uint64_t, std::uint32_t> lane_of;
+    for (std::uint32_t lane = 0; lane < stream.pairs.size(); ++lane) {
+      lane_of.emplace(netsim::node_pair_key(stream.pairs[lane].src,
+                                            stream.pairs[lane].dst),
+                      lane);
+    }
+    auto append_ref =
+        [&](const polka::SegmentedRoute& route) -> polka::SegmentRef {
+      polka::SegmentRef ref;
+      if (route.single_label()) return ref;
+      ref.first_label = static_cast<std::uint32_t>(pool_labels.size());
+      ref.first_waypoint = static_cast<std::uint32_t>(pool_waypoints.size());
+      ref.label_count = static_cast<std::uint32_t>(route.labels.size());
+      pool_labels.insert(pool_labels.end(), route.labels.begin(),
+                         route.labels.end());
+      pool_waypoints.insert(pool_waypoints.end(), route.waypoints.begin(),
+                            route.waypoints.end());
+      return ref;
+    };
+    auto adopt =
+        [&](const std::vector<std::pair<netsim::NodeIndex,
+                                        netsim::NodeIndex>>& pairs,
+            Tick effective) {
+          std::size_t matched = 0;
+          for (const auto& [src, dst] : pairs) {
+            const auto it = lane_of.find(netsim::node_pair_key(src, dst));
+            if (it == lane_of.end()) continue;
+            const scenario::CompiledRoute* route = fabric.route(src, dst);
+            if (route == nullptr || route->segments.labels.empty()) continue;
+            RouteVersion v;
+            v.at = effective;
+            v.label = route->segments.labels.front();
+            v.ref = append_ref(route->segments);
+            v.expected = route->expected;
+            versions[it->second].push_back(v);
+            ++matched;
+            ++rerouted_pairs;
+          }
+          return matched;
+        };
+    std::vector<scenario::LinkFailure> failures = options_.failures;
+    std::ranges::stable_sort(failures, {},
+                             &scenario::LinkFailure::at_fraction);
+    for (const scenario::LinkFailure& failure : failures) {
+      const double f = std::clamp(failure.at_fraction, 0.0, 1.0);
+      const Tick at = static_cast<Tick>(
+          std::llround(f * static_cast<double>(last_inject)));
+      const scenario::FailoverReport ev =
+          failure.restore ? fabric.restore_link(failure.a, failure.b)
+                          : fabric.apply_failure(failure.a, failure.b);
+      if (ev.duplicate) continue;
+      for (const std::uint64_t key :
+           {netsim::node_pair_key(failure.a, failure.b),
+            netsim::node_pair_key(failure.b, failure.a)}) {
+        if (const auto it = channel_of.find(key); it != channel_of.end()) {
+          sim.schedule_link_state(at, it->second, failure.restore);
+        }
+      }
+      swapped_pairs += adopt(ev.swapped, at + options_.switchover_latency_ns);
+      (void)adopt(ev.repaired, at + options_.repair_latency_ns);
+      window_recompiles += ev.window_recompiles;
+      scenario::FailoverReport lazy;
+      if (fabric.pending_repair_count() > 0) {
+        lazy = fabric.repair_pending();
+        lazy_repairs += adopt(lazy.repaired, at + options_.repair_latency_ns);
+      }
+      for (const auto* list :
+           {&ev.unroutable, &std::as_const(lazy).unroutable}) {
+        for (const auto& [src, dst] : *list) {
+          if (lane_of.contains(netsim::node_pair_key(src, dst))) {
+            ++unroutable_pairs;
+          }
+        }
+      }
+    }
+    // Events land in tick order but the two control-plane latencies can
+    // interleave adoptions; keep each lane's timeline sorted.
+    for (auto& [lane, timeline] : versions) {
+      std::ranges::stable_sort(timeline, {}, &RouteVersion::at);
+    }
+  }
+  sim.set_segment_pool(pool_labels, pool_waypoints);
+
+  // --- pass 2: register flows and inject -----------------------------
+  // Identical to pass 1 except that a lane whose route version changed
+  // (by adoption tick) force-opens a new flow: the new route's hop
+  // count changes the delivery expectation, and a flow's expectation is
+  // fixed at registration.  Forced flows keep the lane's cadence, so
+  // the packet timing stays exactly pass 1's.
+  auto version_of = [&](std::uint32_t lane, Tick at) -> const RouteVersion* {
+    const auto it = versions.find(lane);
+    if (it == versions.end()) return nullptr;
+    const RouteVersion* best = nullptr;
+    for (const RouteVersion& v : it->second) {  // timelines are tiny
+      if (v.at <= at) best = &v;
+    }
+    return best;
+  };
   struct OpenFlow {
     std::uint32_t handle = 0;
     std::size_t injected = 0;
-    Tick next_inject = 0;
+    const RouteVersion* version = nullptr;
   };
   std::unordered_map<std::uint32_t, OpenFlow> open;  // lane -> open flow
-  std::size_t flow_count = 0;
   for (std::size_t i = 0; i < stream.size(); ++i) {
     const std::uint32_t lane = stream.pair[i];
+    const Tick at = inject_at[i];
+    const RouteVersion* ver = version_of(lane, at);
     auto it = open.find(lane);
-    if (it == open.end() || it->second.injected >= options_.flow_packets) {
+    if (it == open.end() || it->second.injected >= options_.flow_packets ||
+        it->second.version != ver) {
       OpenFlow flow;
-      flow.handle = sim.add_flow(stream.pairs[lane].expected);
-      flow.next_inject =
-          static_cast<Tick>(flow_count) * options_.flow_gap_ns;
-      ++flow_count;
+      flow.handle = sim.add_flow(ver != nullptr ? ver->expected
+                                                : stream.pairs[lane].expected);
+      flow.version = ver;
       it = open.insert_or_assign(lane, flow).first;
     }
     OpenFlow& flow = it->second;
-    const polka::SegmentRef ref = lane < stream.seg_refs.size()
-                                      ? stream.seg_refs[lane]
-                                      : polka::SegmentRef{};
-    sim.inject(flow.next_inject, stream.labels[i], ref, stream.ingress[i],
-               flow.handle);
+    const polka::RouteLabel label =
+        ver != nullptr ? ver->label : stream.labels[i];
+    const polka::SegmentRef ref =
+        ver != nullptr ? ver->ref
+                       : (lane < stream.seg_refs.size() ? stream.seg_refs[lane]
+                                                        : polka::SegmentRef{});
+    sim.inject(at, label, ref, stream.ingress[i], flow.handle);
     ++flow.injected;
-    flow.next_inject += src_gap;
   }
 
   phase.emplace(options_.trace, "sim.simulate", "sim");
@@ -144,6 +312,12 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
   report.forwarding.ttl_expired = result.counters.ttl_expired;
   report.forwarding.segmented_packets = result.counters.segmented_packets;
   report.forwarding.segment_swaps = result.counters.segment_swaps;
+  report.forwarding.rerouted_pairs = rerouted_pairs;
+  report.forwarding.backup_swapped_pairs = swapped_pairs;
+  report.forwarding.failover_packets_lost = result.counters.failover_lost;
+  report.forwarding.unroutable_pairs = unroutable_pairs;
+  report.forwarding.lazy_repaired_pairs = lazy_repairs;
+  report.forwarding.window_recompiles = window_recompiles;
   report.duration_ns = result.counters.end_ns;
   // Simulated seconds (deterministic), not wall clock: see SimReport.
   report.forwarding.seconds = static_cast<double>(report.duration_ns) * 1e-9;
@@ -160,6 +334,15 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
   if (registry != nullptr) {
     registry->counter("sim.flows").add(report.flows);
     registry->counter("sim.completed_flows").add(report.completed_flows);
+    if (!options_.failures.empty() || options_.protection_k > 0) {
+      // All simulated-schedule derived, so they snapshot identically
+      // across runs and thread counts like every other sim.* metric.
+      registry->counter("sim.failover.swaps").add(swapped_pairs);
+      registry->counter("sim.failover.lazy_repairs").add(lazy_repairs);
+      registry->counter("sim.failover.unroutable_pairs").add(unroutable_pairs);
+      registry->counter("sim.failover.window_recompiles")
+          .add(window_recompiles);
+    }
   }
   double util_sum = 0.0;
   std::size_t util_links = 0;

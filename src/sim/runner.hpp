@@ -27,9 +27,11 @@
 // tests pin this, including against `compile_threads`).
 
 #include <cstdint>
+#include <vector>
 
 #include "scenario/fabric_builder.hpp"
 #include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 #include "scenario/traffic.hpp"
 #include "sim/report.hpp"
 
@@ -58,6 +60,23 @@ struct SimOptions {
   /// precompiles routes (the simulation itself is single-threaded and
   /// its report is identical for every value here).
   unsigned compile_threads = 1;
+
+  // --- failure schedule (all simulated-time deterministic) -----------
+  /// Link events, at_fraction mapped onto the injection window (the
+  /// last scheduled injection tick).  At each event's tick the directed
+  /// channels physically go down (or come back, restore = true):
+  /// packets already routed onto a dead wire are failover losses.  The
+  /// control plane reacts `switchover_latency_ns` later when a backup
+  /// swap serves the pair, `repair_latency_ns` later when it had to
+  /// recompile -- packets a source emits inside that window still carry
+  /// the dead route and die at the wire, which is exactly the loss gap
+  /// hitless protection shrinks.
+  std::vector<scenario::LinkFailure> failures;
+  /// Pre-install up to k disjoint backups per pair before simulating
+  /// (BuiltFabric::enable_protection).  0 leaves the fabric eager.
+  unsigned protection_k = 0;
+  Tick switchover_latency_ns = 1'000;  ///< label swap from a warm table
+  Tick repair_latency_ns = 200'000;    ///< Dijkstra + CRT recompile path
 
   // --- observability taps (all optional, borrowed) -------------------
   /// Registry for the engine's sim.* metrics plus the runner's
@@ -88,7 +107,8 @@ class SimRunner {
   }
 
   /// Simulate the stream on the fabric's topology links.  The stream
-  /// is read-only (no failure schedule; replay owns that path).
+  /// itself is read-only; failure schedules rewrite labels on private
+  /// copies of the segment pools, never on the caller's stream.
   /// \return the merged SimReport; `forwarding.fold_kernel` names the
   ///   kernel that made every per-hop decision.
   [[nodiscard]] SimReport run(scenario::BuiltFabric& fabric,

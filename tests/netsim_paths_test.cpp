@@ -90,6 +90,75 @@ TEST(KShortest, PathsAreLooplessAndDistinct) {
   }
 }
 
+// Undirected identity of a directed link, for disjointness checks.
+std::pair<NodeIndex, NodeIndex> undirected(const Topology& topo,
+                                           LinkIndex idx) {
+  const Link& link = topo.link(idx);
+  return {std::min(link.from, link.to), std::max(link.from, link.to)};
+}
+
+TEST(KDisjoint, FirstPathIsTheShortest) {
+  const Topology topo = make_global_p4_lab();
+  const auto src = topo.index_of("MIA");
+  const auto dst = topo.index_of("AMS");
+  const auto paths = k_disjoint_paths(topo, src, dst, 3, PathMetric::kDelay);
+  ASSERT_FALSE(paths.empty());
+  const auto shortest = shortest_path(topo, src, dst, PathMetric::kDelay);
+  ASSERT_TRUE(shortest.has_value());
+  EXPECT_EQ(paths.front(), *shortest);
+}
+
+TEST(KDisjoint, PathsShareNoDuplexLink) {
+  const Topology topo = make_global_p4_lab();
+  const auto paths = k_disjoint_paths(topo, topo.index_of("MIA"),
+                                      topo.index_of("AMS"), 4);
+  ASSERT_GE(paths.size(), 2U);
+  std::set<std::pair<NodeIndex, NodeIndex>> used;
+  for (const Path& path : paths) {
+    EXPECT_TRUE(topo.is_connected_path(path));
+    for (const LinkIndex idx : path) {
+      // Duplex disjointness: neither direction of a link may recur.
+      EXPECT_TRUE(used.insert(undirected(topo, idx)).second)
+          << "link reused across supposedly disjoint paths";
+    }
+  }
+}
+
+TEST(KDisjoint, RingYieldsExactlyTheTwoArcs) {
+  // A 6-ring has exactly two link-disjoint routes between any pair:
+  // clockwise and anticlockwise.  Asking for more must not invent a
+  // third.
+  Topology topo;
+  for (int i = 0; i < 6; ++i) topo.add_node("r" + std::to_string(i));
+  for (NodeIndex i = 0; i < 6; ++i) {
+    topo.add_duplex_link(i, (i + 1) % 6, 100.0, 1.0);
+  }
+  const auto paths = k_disjoint_paths(topo, 0, 3, 5, PathMetric::kHopCount);
+  ASSERT_EQ(paths.size(), 2U);
+  EXPECT_EQ(paths[0].size(), 3U);
+  EXPECT_EQ(paths[1].size(), 3U);
+}
+
+TEST(KDisjoint, BannedLinksExcludedFromEveryPath) {
+  // Ban one arc of a 4-ring: only the other arc remains, and it must be
+  // the single path returned.
+  Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_node("r" + std::to_string(i));
+  std::vector<LinkIndex> ring_links;
+  for (NodeIndex i = 0; i < 4; ++i) {
+    ring_links.push_back(topo.add_duplex_link(i, (i + 1) % 4, 100.0, 1.0));
+  }
+  // Kill r0->r1 in both directions; the 0 -> 2 route must go via r3.
+  const std::vector<LinkIndex> banned{ring_links[0], ring_links[0] + 1};
+  const auto paths =
+      k_disjoint_paths(topo, 0, 2, 3, PathMetric::kHopCount, banned);
+  ASSERT_EQ(paths.size(), 1U);
+  for (const LinkIndex idx : paths[0]) {
+    EXPECT_NE(undirected(topo, idx), undirected(topo, ring_links[0]));
+  }
+  EXPECT_TRUE(k_disjoint_paths(topo, 0, 2, 0).empty());
+}
+
 TEST(KShortest, ExhaustsFiniteGraphs) {
   // A triangle a-b, b-c, a-c has exactly two simple a->c paths.
   Topology topo;

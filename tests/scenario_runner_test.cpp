@@ -149,6 +149,9 @@ TEST(ScenarioRunner, DisconnectionDropsRemainingPackets) {
   EXPECT_EQ(report.wrong_egress, 0u);
   EXPECT_GT(report.dropped_packets, 0u);
   EXPECT_EQ(report.packets + report.dropped_packets, 4000u);
+  // Severed pairs are reported explicitly, not just as silent drops.
+  EXPECT_GT(report.unroutable_pairs, 0u);
+  EXPECT_EQ(report.failover_packets_lost, report.dropped_packets);
   // The pre-failure quarter ran in full, and pairs inside each island
   // kept flowing afterwards.
   EXPECT_GT(report.packets, 1000u);

@@ -8,12 +8,14 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "scenario/fabric_builder.hpp"
+#include "scenario/failure_injector.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/traffic.hpp"
@@ -98,6 +100,44 @@ TEST(SimObservability, SnapshotBitIdenticalAcrossRunsAndThreads) {
       << "same seed, same options: snapshot must be bit-identical";
   EXPECT_EQ(first, snapshot_with_threads(4))
       << "compile threading must not leak into sim metrics";
+}
+
+TEST(SimObservability, FailoverSnapshotBitIdenticalAcrossRunsAndThreads) {
+  // The failover path adds fabric mutation mid-run (flap = failures AND
+  // restores) plus backup swaps; none of it may leak wall clock or
+  // thread order into the sim.* metric space or the report.
+  const scenario::ScenarioSpec spec = small_spec("torus4x4/uniform");
+
+  auto run_with_threads = [&spec](unsigned threads) {
+    obs::MetricRegistry registry;
+    sim::SimOptions options;
+    options.metrics = &registry;
+    options.compile_threads = threads;
+    options.protection_k = 1;
+    scenario::FailureInjectorParams inject;
+    inject.preset = scenario::FailurePreset::kFlap;
+    inject.seed = 31;
+    inject.count = 2;
+    options.failures = scenario::make_failure_schedule(
+        scenario::build_topology(spec), inject);
+    sim::SimReport report = sim::run_sim_scenario(spec, options);
+    report.forwarding.seconds = 0.0;  // the one wall-clock field
+    return std::make_pair(deterministic_view(registry.snapshot()), report);
+  };
+
+  const auto [first_snap, first_report] = run_with_threads(1);
+  EXPECT_FALSE(first_snap.entries.empty());
+  EXPECT_GT(first_report.forwarding.rerouted_pairs, 0u);
+  EXPECT_EQ(first_report.forwarding.wrong_egress, 0u);
+
+  const auto [again_snap, again_report] = run_with_threads(1);
+  EXPECT_EQ(first_snap, again_snap) << "rerun diverged under failover";
+  EXPECT_EQ(first_report, again_report);
+
+  const auto [threaded_snap, threaded_report] = run_with_threads(4);
+  EXPECT_EQ(first_snap, threaded_snap)
+      << "compile threading leaked into failover metrics";
+  EXPECT_EQ(first_report, threaded_report);
 }
 
 TEST(SimObservability, FlightRecorderIsDeterministic) {
