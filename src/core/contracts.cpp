@@ -1,0 +1,21 @@
+#include "core/contracts.hpp"
+
+#include <string>
+
+namespace hp::core {
+
+void contract_failed(const char* expr, const char* file, int line,
+                     const char* what) {
+  std::string message;
+  message.reserve(128);
+  message.append(what);
+  message.append(": !(");
+  message.append(expr);
+  message.append(") at ");
+  message.append(file);
+  message.push_back(':');
+  message.append(std::to_string(line));
+  throw ContractViolation(message);
+}
+
+}  // namespace hp::core

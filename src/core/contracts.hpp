@@ -1,0 +1,81 @@
+#pragma once
+// Enforced invariants: runtime contract checks and hot-struct pins.
+//
+// The repo's load-bearing conventions -- bit-identical reports for a
+// fixed seed, allocation-free hot paths, 32-byte compiled node records
+// -- were protected only by reviewer vigilance until this layer.  The
+// macros here turn them into machine-checked rules:
+//
+//  * HP_CHECK(cond, what)  -- always-on cheap invariant.  Stays in
+//    Release builds, so it is for O(1) checks on cold or per-event
+//    paths (a failover swap, an event-queue pop), never per-packet
+//    work.  Violations throw hp::core::ContractViolation with the
+//    failing expression and source location.
+//  * HP_DCHECK(cond, what) -- debug-only twin for per-hop/per-lane
+//    assertions inside the fold kernels and the simulator event loop.
+//    Compiled out under NDEBUG (the condition is still parsed, so it
+//    cannot rot), or forced on with -DHP_FORCE_DCHECKS.
+//  * HP_ASSERT_HOT_POD(type, bytes) -- compile-time pin for structs
+//    that live in flat batch arrays: trivially copyable, standard
+//    layout, and exactly `bytes` wide.  A drive-by member addition to
+//    CompiledNode or RouteLabel fails the build, not a cache-behaviour
+//    benchmark three PRs later.
+//
+// Throwing (rather than aborting) keeps violations testable and lets
+// library callers fail one run instead of the whole process.  Inside a
+// noexcept function a violated contract still terminates -- loudly,
+// which is the point.
+
+#include <stdexcept>
+#include <type_traits>
+
+namespace hp::core {
+
+/// Thrown when an HP_CHECK / HP_DCHECK invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Out-of-line failure path: formats "<what>: !(expr) at file:line" and
+/// throws ContractViolation.  Never inlined so the macro's fast path
+/// costs one predictable branch.
+[[noreturn]] void contract_failed(const char* expr, const char* file, int line,
+                                  const char* what);
+
+}  // namespace hp::core
+
+/// Always-on invariant; keep the condition O(1).
+#define HP_CHECK(cond, what)                                           \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]] {                                        \
+      ::hp::core::contract_failed(#cond, __FILE__, __LINE__, (what));  \
+    }                                                                  \
+  } while (false)
+
+/// Debug-only invariant for hot loops.  Under NDEBUG the condition is
+/// parsed but never evaluated (no side effects run, no code is
+/// emitted); -DHP_FORCE_DCHECKS re-enables it in optimized builds.
+#if !defined(NDEBUG) || defined(HP_FORCE_DCHECKS)
+#define HP_DCHECK(cond, what) HP_CHECK(cond, what)
+#else
+#define HP_DCHECK(cond, what)          \
+  do {                                 \
+    if (false) {                       \
+      static_cast<void>(cond);         \
+    }                                  \
+  } while (false)
+#endif
+
+/// Pin a batch-array struct: trivially copyable, standard layout, and
+/// exactly `bytes` wide.  Use at namespace scope right after the
+/// struct definition.
+#define HP_ASSERT_HOT_POD(type, bytes)                                    \
+  static_assert(std::is_trivially_copyable_v<type>,                       \
+                #type " must stay trivially copyable (lives in flat "     \
+                      "batch arrays)");                                   \
+  static_assert(std::is_standard_layout_v<type>,                          \
+                #type " must stay standard layout");                      \
+  static_assert(sizeof(type) == (bytes),                                  \
+                #type " must stay exactly " #bytes " bytes -- fix the "   \
+                      "layout or update every consumer of this pin")

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "gf2/poly64.hpp"
 
 namespace hp::gf2::fixed {
@@ -34,6 +35,10 @@ struct Barrett64 {
 
   friend constexpr bool operator==(Barrett64, Barrett64) noexcept = default;
 };
+
+// Two constant words plus the degree (padded): the per-node state the
+// PCLMUL fold keeps resident, embedded verbatim in CompiledNode.
+HP_ASSERT_HOT_POD(Barrett64, 24);
 
 /// floor(x^64 / g) by long division.  deg g must be in [1, 63] so the
 /// quotient (degree 64 - deg g) fits one word.

@@ -19,6 +19,8 @@ namespace {
 /// callers -- no polynomial arithmetic, no per-lane degree recompute.
 void build_fold_table_bits(std::uint64_t generator, unsigned degree,
                            std::uint64_t* out) noexcept {
+  HP_DCHECK(degree >= 1 && degree <= 32,
+            "build_fold_table_bits: caller must validate the degree");
   std::uint64_t powers[64];
   std::uint64_t power = 1;  // t^0 mod g
   for (unsigned i = 0; i < 64; ++i) {
@@ -186,8 +188,16 @@ std::uint32_t CompiledFabric::neighbor(std::size_t node,
   return next_[m.wiring_offset + port];
 }
 
+// HP_HOT_BEGIN(forward_batch)
+// Every CompiledFabric forwarding entry point from here down runs
+// allocation-free on preallocated spans: validation throws happen
+// before the walk, the walk itself is the shared interleaved kernel.
+// scripts/lint/hp_lint.py (hot-path-purity) rejects container growth
+// in this region; tests/alloc_guard_test.cpp pins it at runtime.
 std::size_t CompiledFabric::run(const detail::BatchSpec& spec,
                                 bool segmented) const {
+  HP_DCHECK(kernel_ != FoldKernel::kTable || !fold_.empty(),
+            "CompiledFabric::run: table kernel selected without tables");
   const detail::FabricView view{nodes_.data(), next_.data()};
   if (kernel_ == FoldKernel::kClmulBarrett) {
     return detail::clmul_batch(view, spec, segmented);
@@ -318,5 +328,6 @@ std::size_t CompiledFabric::forward_batch(std::span<const RouteLabel> labels,
   spec.max_hops = max_hops;
   return run(spec, /*segmented=*/false);
 }
+// HP_HOT_END(forward_batch)
 
 }  // namespace hp::polka

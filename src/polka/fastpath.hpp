@@ -29,6 +29,7 @@
 #include <span>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "gf2/barrett.hpp"
 #include "gf2/poly.hpp"
 #include "polka/label.hpp"
@@ -122,7 +123,10 @@ struct CompiledNode {
   std::uint32_t degree = 0;         ///< deg(generator), in [1, 32]
   std::uint32_t reserved_ = 0;
 };
-static_assert(sizeof(CompiledNode) == 32, "keep the hot record 32 bytes");
+// One prefetch must cover a whole record: 32 bytes, never straddling
+// more than one line boundary, and memcpy-safe for the flat nodes_
+// array.  (HP_ASSERT_HOT_POD also rejects accidental vtables/members.)
+HP_ASSERT_HOT_POD(CompiledNode, 32);
 
 namespace detail {
 struct BatchSpec;  // fold_kernels.hpp: one validated batch's pointers

@@ -73,9 +73,18 @@ struct TableFold {
 
 inline constexpr std::size_t kInFlight = 8;  ///< packets kept in flight
 
+// HP_HOT_BEGIN(run_batch)
+// The per-packet walk: no allocation, no container growth, no
+// wall-clock reads between these markers (enforced by
+// scripts/lint/hp_lint.py's hot-path-purity rule and pinned
+// dynamically by tests/alloc_guard_test.cpp).
 template <bool Segmented, class Fold>
 inline std::size_t run_batch(const FabricView& fabric, const BatchSpec& batch,
                              Fold fold) {
+  HP_DCHECK(batch.count == 0 || batch.results != nullptr,
+            "run_batch: results array missing");
+  HP_DCHECK(batch.count == 0 || batch.firsts != nullptr,
+            "run_batch: ingress array missing");
   // Zero hop budget: no folds happen, every packet is killed where the
   // scalar walks kill it (default egress fields, ttl_expired set).
   if (batch.max_hops == 0) {
@@ -110,6 +119,8 @@ inline std::size_t run_batch(const FabricView& fabric, const BatchSpec& batch,
     s.hops = 0;
     if constexpr (Segmented) {
       const SegmentRef& ref = batch.refs[i];
+      HP_DCHECK(ref.label_count > 0,
+                "run_batch: segmented lane with zero labels");
       s.seg_labels = batch.pool_labels + ref.first_label;
       s.seg_waypoints = batch.pool_waypoints + ref.first_waypoint;
       s.seg_count = ref.label_count;
@@ -174,6 +185,7 @@ inline std::size_t run_batch(const FabricView& fabric, const BatchSpec& batch,
   }
   return mods;
 }
+// HP_HOT_END(run_batch)
 
 // --- PCLMUL kernel entry points (fold_clmul.cpp) ----------------------
 // Stubs returning false/0 when the binary was built without PCLMUL

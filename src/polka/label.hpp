@@ -14,6 +14,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "polka/route.hpp"
 
 namespace hp::polka {
@@ -24,6 +25,11 @@ struct RouteLabel {
 
   friend bool operator==(RouteLabel, RouteLabel) noexcept = default;
 };
+
+// The wire form: exactly the packed coefficient word, nothing else.
+// Batches alias RouteLabel arrays as uint64 streams; any growth here
+// breaks that layout silently, so pin it.
+HP_ASSERT_HOT_POD(RouteLabel, 8);
 
 /// A route too long for one 64-bit label, cut into segments that each
 /// do fit: labels[0] is active from the ingress, and when the packet
@@ -56,6 +62,10 @@ struct SegmentRef {
   std::uint32_t label_count = 1;
 };
 
+// Three pool offsets, no padding: refs ride in per-lane flat arrays
+// next to the label stream.
+HP_ASSERT_HOT_POD(SegmentRef, 12);
+
 /// Outcome of one packet's walk through the fast path.  Mirrors the tail
 /// of PolkaFabric::Trace without recording intermediate hops, so batch
 /// results stay fixed-size and allocation-free.
@@ -70,6 +80,10 @@ struct PacketResult {
   friend bool operator==(const PacketResult&, const PacketResult&) noexcept =
       default;
 };
+
+// Batch result arrays are preallocated and rewritten wholesale; the
+// record must stay fixed-size (16 bytes: 3 words + flag + padding).
+HP_ASSERT_HOT_POD(PacketResult, 16);
 
 /// Pack a routeID into its wire form; nullopt when it does not fit
 /// (degree >= 64) and the polynomial slow path must be used.

@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <thread>
 
+#include "core/contracts.hpp"
 #include "gf2/crt.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -247,6 +248,11 @@ void BuiltFabric::compile_tree_routes(const netsim::PathTree& tree,
                               fabric_.node(fv).poly});
     }
     seg_degree += node_degree_[fv];
+    // The segment-cut rule above must keep every open segment's CRT
+    // modulus packable: one more violation here and pack_label_checked
+    // would throw deep inside a worker thread instead.
+    HP_CHECK(seg_degree <= 64,
+             "compile_tree_routes: open segment modulus exceeds 64 bits");
     ++crt_steps;
     links.push_back(tree.via[child]);
 
@@ -547,6 +553,14 @@ FailoverReport BuiltFabric::apply_failure(NodeIndex a, NodeIndex b) {
         pending_.push_back(pr);
         continue;
       }
+      // activate() only returns fully-live candidates; a backup that
+      // still crosses the link we just banned would re-sever the pair.
+      HP_DCHECK(std::ranges::none_of(backup->path,
+                                     [&](netsim::LinkIndex l) {
+                                       return l < link_down_.size() &&
+                                              link_down_[l] != 0;
+                                     }),
+                "apply_failure: activated backup crosses a dead link");
       CompiledRoute route;
       route.segments = backup->segments;
       if (route.segments.single_label()) {
@@ -583,6 +597,12 @@ FailoverReport BuiltFabric::apply_failure(NodeIndex a, NodeIndex b) {
     }
   }
   report.window_recompiles = stats_.routes_compiled - before.routes_compiled;
+  // The hitless acceptance bar, now a contract: with protection
+  // installed, the failure window is swaps and table lookups only --
+  // any recompile inside it means the backup plane silently stopped
+  // absorbing failures (PR 8's headline property).
+  HP_CHECK(protection_k_ == 0 || report.window_recompiles == 0,
+           "apply_failure: protected failover recompiled inside the window");
   // Inner compile_subtree calls recorded their own stats deltas; this
   // notes only the phase's wall clock.
   note_compile("fail_link", stats_, t0);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/contracts.hpp"
+
 namespace hp::scenario {
 
 void BackupTable::install(PairKey pair, std::vector<BackupRoute> backups) {
@@ -11,6 +13,15 @@ void BackupTable::install(PairKey pair, std::vector<BackupRoute> backups) {
     pairs_.erase(it);
   }
   if (backups.empty()) return;
+  for (const BackupRoute& b : backups) {
+    // A hitless swap copies these fields straight into the live route
+    // table; an empty label list would install an unroutable "backup"
+    // that only surfaces packets later, so reject it at install time.
+    HP_CHECK(!b.segments.labels.empty(),
+             "BackupTable::install: backup route without labels");
+    HP_CHECK(!b.path.empty(), "BackupTable::install: backup route "
+                              "without a link path");
+  }
   backup_count_ += backups.size();
   pairs_.emplace(pair, PairProtection{std::move(backups), kNone});
 }
@@ -37,6 +48,8 @@ const BackupRoute* BackupTable::activate(PairKey pair,
         });
     if (dead) continue;
     p.active = i;
+    HP_DCHECK(p.active < p.backups.size(),
+              "BackupTable::activate: active index out of range");
     return &p.backups[i];
   }
   return nullptr;

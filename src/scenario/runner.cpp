@@ -73,6 +73,12 @@ void replay_slice(const polka::CompiledFabric& fabric,
   std::vector<polka::PacketResult> seg_results(seg_capacity);
   std::size_t fill = 0;
   std::size_t seg_fill = 0;
+  // HP_HOT_BEGIN(replay_slice)
+  // Per-packet lane fill + batch flushes.  The buffers above are the
+  // slice's only allocations; from here on the loop must stay
+  // growth-free so replay cost is O(packets) folds, not allocator
+  // traffic (lint rule hot-path-purity; pinned by alloc_guard_test's
+  // packet-count-independent allocation assertion).
   auto score = [&](const polka::PacketResult& result, std::uint32_t lane) {
     if (result.ttl_expired) {
       ++out.ttl_expired;
@@ -141,6 +147,7 @@ void replay_slice(const polka::CompiledFabric& fabric,
   }
   flush();
   flush_segmented();
+  // HP_HOT_END(replay_slice)
   if (rm != nullptr) {
     rm->wrong_egress->add(out.wrong_egress);
     rm->ttl_expired->add(out.ttl_expired);
@@ -427,11 +434,11 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
           }
         }
         for (const auto& [lane, left] : quota) alive[lane] = 0;
-        auto replay_to = [&](std::size_t end) {
-          if (end <= done) return;
+        auto replay_to = [&](std::size_t upto) {
+          if (upto <= done) return;
           const SegmentTable segments{stream.seg_labels, stream.seg_waypoints,
                                       stream.seg_refs};
-          const std::size_t count = end - done;
+          const std::size_t count = upto - done;
           const ScenarioReport window = replay_shards(
               fast,
               std::span<const polka::RouteLabel>(stream.labels.data() + done,
@@ -442,10 +449,10 @@ ScenarioReport ScenarioRunner::run(BuiltFabric& fabric,
               expected, alive, segments, options_.threads,
               options_.batch_size, options_.max_hops, options_.metrics);
           report.merge_from(window);
-          done = end;
+          done = upto;
         };
-        for (const auto& [end, lane] : chops) {
-          replay_to(end);
+        for (const auto& [chop_end, lane] : chops) {
+          replay_to(chop_end);
           alive[lane] = 1;  // this lane converged; it forwards again
         }
         if (!unfinished.empty()) {

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/contracts.hpp"
+
 namespace hp::sim {
 
 /// Simulated time in integer nanoseconds.
@@ -32,6 +34,11 @@ struct Event {
   std::uint32_t kind = 0;
   std::uint32_t arg = 0;
 };
+
+// Heap entries stay 24 bytes (tick + seq + packed payload) so the
+// vector heap is three words per event and sift operations stay
+// memcpy-cheap.
+HP_ASSERT_HOT_POD(Event, 24);
 
 /// Min-heap of events ordered by (at, seq).
 ///
@@ -50,11 +57,16 @@ class EventQueue {
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
 
-  /// The earliest pending event (undefined when empty()).
-  [[nodiscard]] const Event& top() const noexcept { return heap_.front(); }
+  /// The earliest pending event.  Calling on an empty queue is a
+  /// contract violation (checked in debug builds).
+  [[nodiscard]] const Event& top() const {
+    HP_DCHECK(!heap_.empty(), "EventQueue::top on an empty queue");
+    return heap_.front();
+  }
 
   /// Remove and return the earliest pending event.
   Event pop() {
+    HP_DCHECK(!heap_.empty(), "EventQueue::pop on an empty queue");
     std::pop_heap(heap_.begin(), heap_.end(), After{});
     const Event e = heap_.back();
     heap_.pop_back();

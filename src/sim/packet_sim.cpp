@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "core/contracts.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry_bridge.hpp"
@@ -142,8 +143,19 @@ void PacketSim::inject(Tick at, polka::RouteLabel label, polka::SegmentRef ref,
   queue_.push(at, kArrive, index);
 }
 
+// HP_HOT_BEGIN(event_loop)
+// The discrete-event inner loop: every hop is a fold, a wiring lookup
+// and O(1) queue/state updates on storage sized at wiring time.  All
+// allocation (packets_, flows, the per-link vectors) happens in
+// inject()/register_metrics() before the clock starts; the loop itself
+// must stay growth-free (lint rule hot-path-purity) or event-rate
+// throughput becomes allocator-bound.  EventQueue::push re-uses its
+// heap's capacity after the first growth.
 void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
+  HP_DCHECK(packet < packets_.size(), "PacketSim: arrival for unknown packet");
   PacketState& s = packets_[packet];
+  HP_DCHECK(s.node < fabric_.node_count(),
+            "PacketSim: packet parked on an unknown node");
   SimCounters& c = result_.counters;
   // 1-in-N flight recording resolved once per hop; flight is a null
   // pointer for unsampled flows so every tap below is one branch.
@@ -293,6 +305,10 @@ SimResult PacketSim::run() {
   if (sampling && next_sample_ == 0) next_sample_ = period;
   while (!queue_.empty()) {
     const Event e = queue_.pop();
+    // Simulated time never rewinds: the heap orders by (at, seq), so a
+    // violation here means an engine scheduled into the past -- the
+    // exact class of bug that silently breaks bit-identical replay.
+    HP_CHECK(e.at >= now_, "PacketSim: event scheduled before now");
     if (sampling) {
       // Sample every boundary at or before this event, *before*
       // processing it: each point is the state as of the boundary tick,
@@ -308,6 +324,8 @@ SimResult PacketSim::run() {
         handle_arrival(e.at, e.arg);
         break;
       case kDrain:
+        HP_DCHECK(channel_state_[e.arg].queued > 0,
+                  "PacketSim: drain on an empty channel queue");
         --channel_state_[e.arg].queued;
         if (obs_.queue_depth != nullptr) obs_.link_depth[e.arg]->sub(1);
         break;
@@ -327,5 +345,6 @@ SimResult PacketSim::run() {
   result_.counters.end_ns = now_;
   return result_;
 }
+// HP_HOT_END(event_loop)
 
 }  // namespace hp::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
+#include <utility>
 
 namespace hp::sim {
 
@@ -18,6 +20,22 @@ Tick SimReport::fct_percentile_ns(double q) const {
 }
 
 void SimReport::merge_from(const SimReport& partial) {
+  merge_scalars_from(partial);
+  fct_ns.insert(fct_ns.end(), partial.fct_ns.begin(), partial.fct_ns.end());
+}
+
+void SimReport::merge_from(SimReport&& partial) {
+  merge_scalars_from(partial);
+  if (fct_ns.empty()) {
+    fct_ns = std::move(partial.fct_ns);
+  } else {
+    fct_ns.insert(fct_ns.end(),
+                  std::make_move_iterator(partial.fct_ns.begin()),
+                  std::make_move_iterator(partial.fct_ns.end()));
+  }
+}
+
+void SimReport::merge_scalars_from(const SimReport& partial) {
   forwarding.merge_from(partial.forwarding);
   // `seconds` summed by the counter schema, but simulated shards cover
   // the same period: restore the latest-end definition.
@@ -31,7 +49,6 @@ void SimReport::merge_from(const SimReport& partial) {
       std::max(mean_link_utilization, partial.mean_link_utilization);
   duration_ns = std::max(duration_ns, partial.duration_ns);
   forwarding.seconds = static_cast<double>(duration_ns) * 1e-9;
-  fct_ns.insert(fct_ns.end(), partial.fct_ns.begin(), partial.fct_ns.end());
 }
 
 }  // namespace hp::sim

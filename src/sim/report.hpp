@@ -65,7 +65,16 @@ struct SimReport {
   /// utilizations take the max, and the duration is the latest end.
   void merge_from(const SimReport& partial);
 
+  /// Consuming merge: identical schema, but the partial's FCT samples
+  /// are moved (or become the pool outright when ours is empty) instead
+  /// of copied -- shard joins discard their partials, so the copy is
+  /// pure waste there.
+  void merge_from(SimReport&& partial);
+
   friend bool operator==(const SimReport&, const SimReport&) = default;
+
+ private:
+  void merge_scalars_from(const SimReport& partial);
 };
 
 }  // namespace hp::sim

@@ -1,0 +1,11 @@
+// hp-lint-fixture: expect=3
+// Golden fixture: a legitimate wall-clock phase timer, the kind of
+// file src/obs/trace.cpp is.  With no allowlist it must produce the
+// three findings below; the self-test then re-runs the rule with this
+// file allowlisted and asserts every one of them is waived.
+#include <chrono>
+
+struct PhaseTimer {
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+};

@@ -1,0 +1,15 @@
+// hp-lint-fixture: expect=6
+// Golden fixture: every wall-clock / ambient-randomness API the
+// determinism rule bans, one finding per line below.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long bad_timing() {
+  const auto t0 = std::chrono::steady_clock::now();
+  srand(42);
+  const int r = rand();
+  const long t = time(nullptr);
+  const long c = clock();
+  return t0.time_since_epoch().count() + r + t + c;
+}

@@ -1,0 +1,21 @@
+// hp-lint-fixture: expect=0
+// Golden fixture: deterministic code the rule must NOT flag, including
+// near-miss identifiers (chronological_split, strand, runtime) and
+// banned tokens inside strings and comments, which the code mask must
+// hide from the token scan.
+#include <cstdint>
+#include <string>
+
+// std::chrono in a comment is fine; so is rand() and time().
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline int chronological_split(int strand, int runtime) {
+  const std::string note = "std::chrono and rand() inside a string";
+  return strand + runtime + static_cast<int>(note.size());
+}

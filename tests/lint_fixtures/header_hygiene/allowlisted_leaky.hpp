@@ -1,0 +1,8 @@
+// hp-lint-fixture: expect=1
+// Golden fixture: a knowingly non-standalone header (e.g. an x-macro
+// include stub) -- the case a justified allowlist entry covers.  The
+// self-test re-runs the rule with this file allowlisted and asserts
+// the finding is waived.
+#pragma once
+
+inline std::size_t stub_size() { return sizeof(int); }

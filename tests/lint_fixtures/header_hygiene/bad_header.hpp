@@ -1,0 +1,6 @@
+// hp-lint-fixture: expect=1
+// Golden fixture: uses std::string without including <string>, so it
+// only compiles when an includer happens to pull the include in first.
+#pragma once
+
+inline std::string leaky_name() { return "leaky"; }

@@ -1,0 +1,7 @@
+// hp-lint-fixture: expect=0
+// Golden fixture: self-sufficient header; compiles as its own TU.
+#pragma once
+
+#include <string>
+
+inline std::string fine_name() { return "fine"; }

@@ -1,0 +1,13 @@
+// hp-lint-fixture: expect=1
+// Golden fixture: an allocation inside a marked region that a
+// justified allowlist entry would waive (e.g. a one-time lazy init
+// guarded off the steady-state path).  The self-test re-runs the rule
+// with this file allowlisted and asserts the finding is waived.
+#include <vector>
+
+inline void lazy_hot(std::vector<int>& v, bool first_call) {
+  // HP_HOT_BEGIN(lazy)
+  if (first_call) v.reserve(1024);
+  v[0] = 1;
+  // HP_HOT_END(lazy)
+}

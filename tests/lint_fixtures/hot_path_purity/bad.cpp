@@ -1,0 +1,18 @@
+// hp-lint-fixture: expect=3
+// Golden fixture: every class of allocation the hot-path-purity rule
+// bans, inside a marked region.  Identical calls *outside* the region
+// must stay silent.
+#include <cstdlib>
+#include <vector>
+
+inline int hot_walk(std::vector<int>& v) {
+  v.push_back(0);  // outside the region: allowed
+  // HP_HOT_BEGIN(walk)
+  v.push_back(1);
+  int* p = new int[4];
+  void* q = std::malloc(8);
+  // HP_HOT_END(walk)
+  std::free(q);
+  delete[] p;
+  return v.back();
+}

@@ -1,0 +1,16 @@
+// hp-lint-fixture: expect=0
+// Golden fixture: a well-formed hot region doing only the things hot
+// paths are allowed to do -- indexed writes into pre-sized storage,
+// plus banned tokens hidden in comments and strings that the code
+// mask must keep the scan away from.
+#include <vector>
+
+inline void hot_fill(std::vector<int>& out) {
+  out.resize(64);  // growth outside the region: allowed
+  // HP_HOT_BEGIN(fill)
+  // push_back and new are fine to *mention* in a comment.
+  const char* note = "malloc( in a string is not a finding";
+  for (int i = 0; i < 64; ++i) out[static_cast<unsigned>(i)] = i;
+  static_cast<void>(note);
+  // HP_HOT_END(fill)
+}

@@ -1,0 +1,10 @@
+// hp-lint-fixture: expect=2
+// Golden fixture: malformed marker structure -- a nested
+// HP_HOT_BEGIN and a dangling HP_HOT_END are each a finding (markers
+// are flat, one region at a time).
+inline void malformed() {
+  // HP_HOT_BEGIN(outer)
+  // HP_HOT_BEGIN(inner)
+  // HP_HOT_END(inner)
+  // HP_HOT_END(outer)
+}

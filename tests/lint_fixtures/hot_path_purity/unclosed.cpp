@@ -1,0 +1,5 @@
+// hp-lint-fixture: expect=1
+// Golden fixture: a region that is opened and never closed.
+inline void dangling() {
+  // HP_HOT_BEGIN(orphan)
+}

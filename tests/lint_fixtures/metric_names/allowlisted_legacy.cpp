@@ -1,0 +1,13 @@
+// hp-lint-fixture: expect=2
+// Golden fixture: a "legacy" registration site with names outside the
+// documented families -- the situation an allowlist entry (with a
+// written reason) exists for.  The self-test re-runs the rule with
+// this file allowlisted and asserts both findings are waived.
+struct Registry {
+  void counter(const char* n);
+};
+
+inline void register_legacy(Registry& m) {
+  m.counter("legacy.import.rows");
+  m.counter("legacy.import.errors");
+}

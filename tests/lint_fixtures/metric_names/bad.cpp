@@ -1,0 +1,21 @@
+// hp-lint-fixture: expect=5
+// Golden fixture: one of each metric-names failure mode --
+//   1. grammar: uppercase segment
+//   2. grammar: too few dot segments
+//   3. documented-prefix miss
+//   4. one name registered as two kinds
+//   5. registration through a variable the rule cannot resolve
+struct Registry {
+  void counter(const char* n);
+  void gauge(const char* n);
+  void histogram(const char* n);
+};
+
+inline void register_bad(Registry& m, const char* computed_name) {
+  m.counter("Bad.Name");
+  m.counter("demo");
+  m.gauge("other.family.depth");
+  m.counter("demo.requests");
+  m.gauge("demo.requests");
+  m.histogram(computed_name);
+}

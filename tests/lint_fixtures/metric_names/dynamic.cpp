@@ -1,0 +1,19 @@
+// hp-lint-fixture: expect=1
+// Golden fixture: dynamically-built metric names.  The rule validates
+// the snprintf *format* (with %-specifiers normalized into grammar
+// stand-ins) instead of flagging the variable registration, so the
+// documented per-link pattern passes and the undocumented one is the
+// single expected finding.
+#include <cstdio>
+
+struct Registry {
+  void gauge(const char* n);
+};
+
+inline void register_dynamic(Registry& m, unsigned long link) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "demo.link.%05lu.queue_depth", link);
+  m.gauge(buf);
+  std::snprintf(buf, sizeof buf, "rogue.link.%05lu.queue_depth", link);
+  m.gauge(buf);
+}

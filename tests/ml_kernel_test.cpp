@@ -170,8 +170,8 @@ TEST_P(AllRegressorsSanity, PredictionSizeMatchesQuery) {
 
 INSTANTIATE_TEST_SUITE_P(Catalog, AllRegressorsSanity,
                          ::testing::ValuesIn(regressor_short_names()),
-                         [](const auto& info) {
-                           std::string name = info.param;
+                         [](const auto& param_info) {
+                           std::string name = param_info.param;
                            for (char& c : name) {
                              if (c == '-' || c == '_') c = '0';
                            }

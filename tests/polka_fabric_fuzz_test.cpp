@@ -248,8 +248,8 @@ INSTANTIATE_TEST_SUITE_P(
     Families, GeneratedTopologyParityFuzz,
     ::testing::Values("fat_tree_k4/uniform", "leaf_spine_4x8/uniform",
                       "ring12/uniform", "torus4x4/uniform", "rr16d4/uniform"),
-    [](const auto& info) {
-      std::string name = info.param;
+    [](const auto& param_info) {
+      std::string name = param_info.param;
       for (char& c : name) {
         if (c == '/' || c == '-') c = '_';
       }

@@ -72,13 +72,13 @@ std::vector<std::tuple<std::string, unsigned>> matrix_params() {
 
 INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioMatrix,
                          ::testing::ValuesIn(matrix_params()),
-                         [](const auto& info) {
-                           auto name = std::get<0>(info.param);
+                         [](const auto& param_info) {
+                           auto name = std::get<0>(param_info.param);
                            for (char& c : name) {
                              if (c == '/' || c == '-') c = '_';
                            }
                            return name + "_t" +
-                                  std::to_string(std::get<1>(info.param));
+                                  std::to_string(std::get<1>(param_info.param));
                          });
 
 TEST(ScenarioRunner, ThreadCountDoesNotChangeCounters) {

@@ -49,7 +49,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(TrafficPattern::kUniformRandom,
                       TrafficPattern::kPermutation, TrafficPattern::kHotspot,
                       TrafficPattern::kElephantMice),
-    [](const auto& info) { return std::string(to_string(info.param)); });
+    [](const auto& param_info) {
+      return std::string(to_string(param_info.param));
+    });
 
 TEST(Traffic, PermutationGivesEachRouterOnePartner) {
   BuiltFabric fabric(make_ring(10));

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "scenario/runner.hpp"
@@ -152,6 +153,36 @@ TEST(SimReportMerge, CountersSumHighWaterMarksMax) {
   EXPECT_DOUBLE_EQ(merged.forwarding.seconds, 4e-6);
   EXPECT_EQ(merged.fct_ns, (std::vector<sim::Tick>{10, 20, 30}));
   EXPECT_EQ(merged.drop_rate(), 3.0 / 33.0);
+}
+
+TEST(SimReportMerge, ConsumingMergeMatchesCopyingMerge) {
+  // The rvalue overload exists so shard joins skip the FCT deep copy;
+  // the observable result must be indistinguishable from the copying
+  // overload, including when the destination starts empty and adopts
+  // the partial's pool wholesale.
+  sim::SimReport partial;
+  partial.flows = 3;
+  partial.completed_flows = 3;
+  partial.duration_ns = 2'000;
+  partial.fct_ns = {40, 10, 30};
+
+  sim::SimReport copied;
+  copied.merge_from(partial);
+
+  sim::SimReport moved;
+  moved.merge_from(sim::SimReport{partial});
+  EXPECT_EQ(moved, copied);
+  EXPECT_EQ(moved.fct_ns, (std::vector<sim::Tick>{40, 10, 30}));
+
+  // Non-empty destination: samples append in partial order.
+  sim::SimReport base;
+  base.fct_ns = {5};
+  sim::SimReport copied2 = base;
+  copied2.merge_from(partial);
+  sim::SimReport moved2 = base;
+  moved2.merge_from(std::move(partial));
+  EXPECT_EQ(moved2, copied2);
+  EXPECT_EQ(moved2.fct_ns, (std::vector<sim::Tick>{5, 40, 10, 30}));
 }
 
 }  // namespace
