@@ -8,7 +8,7 @@
 //   scenario_sweep                 # sweep all scenarios at 1 and 4 threads
 //
 // Failover knobs (all optional): --fail a:b@frac names one link by hand;
-// --fail-schedule single|storm|flap generates a deterministic schedule
+// --fail-schedule single|storm|flap|srlg generates a deterministic schedule
 // per scenario topology (--fail-seed N, --fail-count N tune it);
 // --protect K pre-installs K link-disjoint backups per pair;
 // --loss-window N charges each recompiled pair N packets of loss.
@@ -142,7 +142,7 @@ int main(int argc, char** argv) {
       const auto preset = scenario::parse_failure_preset(preset_name);
       if (!preset.has_value()) {
         std::fprintf(stderr,
-                     "bad --fail-schedule %s (want single|storm|flap)\n",
+                     "bad --fail-schedule %s (want single|storm|flap|srlg)\n",
                      preset_name);
         return 2;
       }
@@ -165,7 +165,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: scenario_sweep [--list] [--scenario NAME] "
                    "[--threads N] [--fail a:b@frac] "
-                   "[--fail-schedule single|storm|flap] [--fail-seed N] "
+                   "[--fail-schedule single|storm|flap|srlg] [--fail-seed N] "
                    "[--fail-count N] [--protect K] [--loss-window N] "
                    "[--json PATH] [--trace PATH]\n");
       return arg == "--help" ? 0 : 2;

@@ -12,11 +12,19 @@
 // FIFO capacity), --ecn N (mark threshold, 0 disables), --flow N
 // (packets per flow), --seed N.
 //
-// Failover knobs (all optional): --fail-schedule single|storm|flap
-// generates a deterministic link-event schedule per scenario topology
-// (--fail-seed N, --fail-count N tune it); --protect K pre-installs K
-// link-disjoint backups per pair, shrinking the dead-wire loss window
-// from the recompile latency to the switchover latency.
+// Failover knobs (all optional): --fail-schedule
+// single|storm|flap|srlg generates a deterministic link-event schedule
+// per scenario topology (--fail-seed N, --fail-count N tune it);
+// --protect K pre-installs K link-disjoint backups per pair, shrinking
+// the dead-wire loss window from the recompile latency to the
+// switchover latency.
+//
+// Transport knobs (all optional): --transport switches the run from
+// open-loop schedule replay to the closed-loop sender state machine
+// (AIMD windows, ECN cuts, retransmit-on-drop, RTO backoff); --cwnd N
+// / --max-cwnd N set the initial/max congestion window, --rto-min NS /
+// --rto-max NS bound the retransmission timeout, --max-retries N caps
+// retransmissions per sequence before a flow is abandoned.
 //
 // Observability outputs (all optional):
 //   --json PATH    hp-report-v1 JSON, one entry per scenario run
@@ -53,6 +61,16 @@ void print_report(const std::string& name, const sim::SimReport& report) {
       static_cast<double>(report.fct_p95_ns()) / 1e3,
       report.max_queue_depth, report.max_link_utilization, report.ecn_marked,
       report.forwarding.fold_kernel_name());
+  if (report.transport.enabled) {
+    std::printf(
+        "%-28s transport: %zu/%zu flows done  %llu abandoned  "
+        "%llu rtx  %llu timeouts  goodput %5.1f%%\n",
+        "", report.completed_flows, report.flows,
+        static_cast<unsigned long long>(report.transport.abandoned_flows),
+        static_cast<unsigned long long>(report.transport.retransmits),
+        static_cast<unsigned long long>(report.transport.timeouts),
+        report.goodput_fraction() * 100.0);
+  }
   const auto& fwd = report.forwarding;
   if (fwd.backup_swapped_pairs + fwd.failover_packets_lost +
           fwd.unroutable_pairs + fwd.window_recompiles + fwd.rerouted_pairs !=
@@ -152,12 +170,27 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--transport") {
+      options.transport.enabled = true;
+    } else if (arg == "--cwnd") {
+      options.transport.init_cwnd =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--max-cwnd") {
+      options.transport.max_cwnd =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
+    } else if (arg == "--rto-min") {
+      options.transport.rto_min_ns = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--rto-max") {
+      options.transport.rto_max_ns = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--max-retries") {
+      options.transport.max_retries =
+          static_cast<std::uint32_t>(std::strtoul(next(), nullptr, 10));
     } else if (arg == "--fail-schedule") {
       const char* preset_name = next();
       const auto preset = scenario::parse_failure_preset(preset_name);
       if (!preset.has_value()) {
         std::fprintf(stderr,
-                     "bad --fail-schedule %s (want single|storm|flap)\n",
+                     "bad --fail-schedule %s (want single|storm|flap|srlg)\n",
                      preset_name);
         return 2;
       }
@@ -180,7 +213,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: sim_sweep [--list] [--scenario NAME] [--packets N] "
                    "[--rate MBPS] [--gap NS] [--queue N] [--ecn N] [--flow N] "
-                   "[--seed N] [--fail-schedule single|storm|flap] "
+                   "[--seed N] [--transport] [--cwnd N] [--max-cwnd N] "
+                   "[--rto-min NS] [--rto-max NS] [--max-retries N] "
+                   "[--fail-schedule single|storm|flap|srlg] "
                    "[--fail-seed N] [--fail-count N] [--protect K] "
                    "[--json PATH] [--trace PATH] [--flight PATH]\n");
       return arg == "--help" ? 0 : 2;

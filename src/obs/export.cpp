@@ -290,6 +290,31 @@ std::string to_json(const sim::SimReport& report) {
   json.value(static_cast<std::uint64_t>(report.fct_p95_ns()));
   json.key("fct_samples");
   json.value(static_cast<std::uint64_t>(report.fct_ns.size()));
+  json.key("transport");
+  json.begin_object();
+  json.key("enabled");
+  json.value(report.transport.enabled);
+  json.key("packets_sent");
+  json.value(report.transport.packets_sent);
+  json.key("retransmits");
+  json.value(report.transport.retransmits);
+  json.key("timeouts");
+  json.value(report.transport.timeouts);
+  json.key("ecn_cwnd_cuts");
+  json.value(report.transport.ecn_cwnd_cuts);
+  json.key("drop_cwnd_cuts");
+  json.value(report.transport.drop_cwnd_cuts);
+  json.key("spurious_deliveries");
+  json.value(report.transport.spurious_deliveries);
+  json.key("abandoned_flows");
+  json.value(report.transport.abandoned_flows);
+  json.key("offered_bytes");
+  json.value(report.transport.offered_bytes);
+  json.key("goodput_bytes");
+  json.value(report.transport.goodput_bytes);
+  json.key("goodput_fraction");
+  json.value(report.goodput_fraction());
+  json.end_object();
   json.end_object();
   return std::move(json).str();
 }

@@ -15,6 +15,8 @@ const char* to_string(FailurePreset preset) noexcept {
       return "storm";
     case FailurePreset::kFlap:
       return "flap";
+    case FailurePreset::kSrlg:
+      return "srlg";
   }
   return "unknown";
 }
@@ -24,6 +26,7 @@ std::optional<FailurePreset> parse_failure_preset(
   if (name == "single") return FailurePreset::kSingle;
   if (name == "storm") return FailurePreset::kStorm;
   if (name == "flap") return FailurePreset::kFlap;
+  if (name == "srlg") return FailurePreset::kSrlg;
   return std::nullopt;
 }
 
@@ -170,6 +173,24 @@ std::vector<LinkFailure> make_failure_schedule(
           t += down;
           schedule.push_back(make_event(t, links[c], true));
           t += params.mean_up_fraction * next_exponential(rng);
+        }
+      }
+      break;
+    }
+    case FailurePreset::kSrlg: {
+      // Shared-risk link groups: a conduit cut takes several distinct
+      // links down at one instant.  Unlike kStorm the group need not
+      // share an endpoint, so k-disjoint backups that avoid one failed
+      // wire can still ride through another group member.
+      if (params.srlg_size == 0) {
+        throw std::invalid_argument(
+            "make_failure_schedule: srlg_size must be >= 1");
+      }
+      for (std::size_t event = 0; event < count; ++event) {
+        const double at = params.start_fraction + span * next_unit(rng);
+        for (const std::size_t c :
+             pick_distinct(rng, params.srlg_size, links.size())) {
+          schedule.push_back(make_event(at, links[c], false));
         }
       }
       break;

@@ -14,7 +14,11 @@
 //            exponential dwell times (mean_up_fraction is the MTBF,
 //            mean_down_fraction the MTTR, both as stream fractions);
 //            down events carry restore = false, up events restore =
-//            true.
+//            true;
+//   kSrlg    `count` shared-risk link group events -- each fails a
+//            correlated group of `srlg_size` distinct links at one
+//            instant (a conduit cut / linecard loss: the links share
+//            fate without sharing an endpoint, unlike kStorm).
 //
 // Determinism is a hard contract: the schedule is a pure function of
 // (topology, params).  All randomness is hand-rolled over mt19937_64
@@ -36,11 +40,12 @@ enum class FailurePreset {
   kSingle,  ///< independent single-link failures
   kStorm,   ///< node storms: every adjacent link fails at once
   kFlap,    ///< links cycling down/up (MTBF/MTTR)
+  kSrlg,    ///< shared-risk groups: srlg_size correlated links at once
 };
 
 [[nodiscard]] const char* to_string(FailurePreset preset) noexcept;
 
-/// Parse "single" / "storm" / "flap"; nullopt otherwise.
+/// Parse "single" / "storm" / "flap" / "srlg"; nullopt otherwise.
 [[nodiscard]] std::optional<FailurePreset> parse_failure_preset(
     std::string_view name) noexcept;
 
@@ -54,6 +59,9 @@ struct FailureInjectorParams {
   double end_fraction = 0.90;    ///< no event at/after this stream point
   double mean_up_fraction = 0.20;    ///< kFlap: mean dwell while up
   double mean_down_fraction = 0.05;  ///< kFlap: mean dwell while down
+  /// kSrlg: links sharing fate per group event (clamped to the
+  /// eligible population; must be >= 1).
+  std::size_t srlg_size = 3;
 };
 
 /// Build a deterministic schedule over the duplex router-router links

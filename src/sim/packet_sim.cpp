@@ -19,6 +19,7 @@ enum EventKind : std::uint32_t {
   kDrain = 1,     ///< arg = channel index; one serialization finished
   kLinkDown = 2,  ///< arg = channel index; the wire disappears
   kLinkUp = 3,    ///< arg = channel index; the wire comes back
+  kTimer = 4,     ///< arg = opaque cookie handed to config.timer_hook
 };
 
 }  // namespace
@@ -105,8 +106,16 @@ std::uint32_t PacketSim::add_flow(const polka::PacketResult& expected) {
   return static_cast<std::uint32_t>(flow_expected_.size() - 1);
 }
 
-void PacketSim::inject(Tick at, polka::RouteLabel label, polka::SegmentRef ref,
-                       std::uint32_t source, std::uint32_t flow) {
+void PacketSim::schedule_timer(Tick at, std::uint32_t arg) {
+  if (!config_.timer_hook) {
+    throw std::logic_error("PacketSim::schedule_timer: no timer_hook set");
+  }
+  queue_.push(at, kTimer, arg);
+}
+
+std::uint32_t PacketSim::inject(Tick at, polka::RouteLabel label,
+                                polka::SegmentRef ref, std::uint32_t source,
+                                std::uint32_t flow) {
   if (source >= fabric_.node_count()) {
     throw std::invalid_argument("PacketSim::inject: bad source node");
   }
@@ -141,6 +150,7 @@ void PacketSim::inject(Tick at, polka::RouteLabel label, polka::SegmentRef ref,
     obs_.in_flight->add(1);
   }
   queue_.push(at, kArrive, index);
+  return index;
 }
 
 // HP_HOT_BEGIN(event_loop)
@@ -197,6 +207,7 @@ void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
       flight->record({t, s.flow, packet, s.node, port, 0,
                       obs::HopOutcome::kDelivered});
     }
+    if (config_.delivered_hook) config_.delivered_hook(t, s.flow, packet);
   };
   if (peer == polka::CompiledFabric::kNoNode) {
     // Unwired port: the packet egresses here -- a delivery.
@@ -213,6 +224,9 @@ void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
     if (flight != nullptr) {
       flight->record({t, s.flow, packet, s.node, port, 0,
                       obs::HopOutcome::kTtlExpired});
+    }
+    if (config_.drop_hook) {
+      config_.drop_hook(t, s.flow, packet, DropCause::kTtlExpired);
     }
     return;
   }
@@ -243,6 +257,9 @@ void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
       flight->record({t, s.flow, packet, s.node, port, state.queued,
                       obs::HopOutcome::kLinkDown});
     }
+    if (config_.drop_hook) {
+      config_.drop_hook(t, s.flow, packet, DropCause::kLinkDown);
+    }
     return;
   }
   if (state.queued >= link.queue_capacity) {
@@ -259,6 +276,9 @@ void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
       flight->record({t, s.flow, packet, s.node, port, state.queued,
                       obs::HopOutcome::kTailDrop});
     }
+    if (config_.drop_hook) {
+      config_.drop_hook(t, s.flow, packet, DropCause::kTailDrop);
+    }
     return;
   }
   ++state.queued;
@@ -268,7 +288,7 @@ void PacketSim::handle_arrival(Tick t, std::uint32_t packet) {
   if (ecn) {
     ++c.ecn_marked;
     ++stat.ecn_marks;
-    if (config_.ecn_hook) config_.ecn_hook(ch, state.queued);
+    if (config_.ecn_hook) config_.ecn_hook(ch, state.queued, s.flow);
   }
   if (obs_.queue_depth != nullptr) {
     obs_.queue_depth->record(state.queued);
@@ -337,6 +357,11 @@ SimResult PacketSim::run() {
       case kLinkUp:
         link_up_[e.arg] = 1;
         if (obs_.link_events != nullptr) obs_.link_events->add(1);
+        break;
+      case kTimer:
+        HP_DCHECK(static_cast<bool>(config_.timer_hook),
+                  "PacketSim: timer event with no timer_hook");
+        config_.timer_hook(e.at, e.arg);
         break;
       default:
         throw std::logic_error("PacketSim: unknown event kind");

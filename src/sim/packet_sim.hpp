@@ -100,13 +100,37 @@ struct FlowStat {
   friend bool operator==(const FlowStat&, const FlowStat&) noexcept = default;
 };
 
+/// Why a packet left the simulation without being delivered.  The
+/// drop hook receives the cause so a transport can distinguish
+/// congestion feedback (a tail drop is reported backwards, like a
+/// lossless-fabric NACK) from silent losses (a dead wire or a TTL kill
+/// gives the sender nothing -- only its retransmission timer notices).
+enum class DropCause : std::uint32_t {
+  kTailDrop,    ///< egress FIFO full
+  kLinkDown,    ///< routed onto a failed channel
+  kTtlExpired,  ///< hop cap reached
+};
+
 /// Engine-wide knobs.
 struct SimConfig {
   std::size_t max_hops = 64;  ///< same hop cap as the replay walks
   /// ECN-mark hook: called once per marked packet with (channel index,
-  /// queue depth after enqueue).  Marks are counted either way; the
-  /// hook is where a congestion-control layer (or a test) taps in.
-  std::function<void(std::uint32_t channel, std::uint32_t depth)> ecn_hook;
+  /// queue depth after enqueue, flow handle of the marked packet).
+  /// Marks are counted either way; the hook is where the congestion
+  /// -control layer (sim/transport.hpp) or a test taps in.
+  std::function<void(std::uint32_t channel, std::uint32_t depth,
+                     std::uint32_t flow)>
+      ecn_hook;
+  /// Closed-loop feedback taps (see sim/transport.hpp).  All optional:
+  /// delivered_hook fires once per delivered packet, drop_hook once per
+  /// lost packet with its cause, timer_hook once per kTimer event
+  /// scheduled through schedule_timer().
+  std::function<void(Tick t, std::uint32_t flow, std::uint32_t packet)>
+      delivered_hook;
+  std::function<void(Tick t, std::uint32_t flow, std::uint32_t packet,
+                     DropCause cause)>
+      drop_hook;
+  std::function<void(Tick t, std::uint32_t arg)> timer_hook;
   /// Observability taps, all optional (borrowed; must outlive run()).
   /// With `metrics` set the engine registers sim.* counters, the
   /// sim.queue_depth histogram and one sim.link.NNNNN.queue_depth gauge
@@ -189,10 +213,37 @@ class PacketSim {
   /// Schedule one packet: injected at fabric node `source` at time
   /// `at`, carrying `label` (or, when ref.label_count > 1, the pooled
   /// segment list `ref` names -- the first pooled label must equal
-  /// `label`, exactly as in a PacketStream).  Throws
+  /// `label`, exactly as in a PacketStream).  Returns the packet's
+  /// index (the handle delivered_hook / drop_hook report).  Safe to
+  /// call from inside a hook while run() drains, which is how the
+  /// transport layer injects retransmissions.  Throws
   /// std::invalid_argument on a bad source, flow or ref.
-  void inject(Tick at, polka::RouteLabel label, polka::SegmentRef ref,
-              std::uint32_t source, std::uint32_t flow);
+  std::uint32_t inject(Tick at, polka::RouteLabel label, polka::SegmentRef ref,
+                       std::uint32_t source, std::uint32_t flow);
+
+  /// Schedule a kTimer event at simulated time `at`; when it fires the
+  /// engine calls config.timer_hook(at, arg).  The queue never cancels:
+  /// stale timers are the hook owner's problem (the transport keeps an
+  /// arm generation per flow).  Throws std::logic_error when no
+  /// timer_hook is installed.
+  void schedule_timer(Tick at, std::uint32_t arg);
+
+  /// Install / replace the closed-loop feedback hooks after
+  /// construction (the transport layer wires itself onto an already
+  /// -built engine).
+  void set_ecn_hook(
+      std::function<void(std::uint32_t, std::uint32_t, std::uint32_t)> hook) {
+    config_.ecn_hook = std::move(hook);
+  }
+  void set_feedback_hooks(
+      std::function<void(Tick, std::uint32_t, std::uint32_t)> delivered,
+      std::function<void(Tick, std::uint32_t, std::uint32_t, DropCause)>
+          dropped,
+      std::function<void(Tick, std::uint32_t)> timer) {
+    config_.delivered_hook = std::move(delivered);
+    config_.drop_hook = std::move(dropped);
+    config_.timer_hook = std::move(timer);
+  }
 
   /// Schedule the directed channel to go down (up = false) or come
   /// back (up = true) at simulated time `at`.  While a channel is

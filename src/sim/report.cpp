@@ -49,6 +49,16 @@ void SimReport::merge_scalars_from(const SimReport& partial) {
       std::max(mean_link_utilization, partial.mean_link_utilization);
   duration_ns = std::max(duration_ns, partial.duration_ns);
   forwarding.seconds = static_cast<double>(duration_ns) * 1e-9;
+  transport.enabled = transport.enabled || partial.transport.enabled;
+  transport.packets_sent += partial.transport.packets_sent;
+  transport.retransmits += partial.transport.retransmits;
+  transport.timeouts += partial.transport.timeouts;
+  transport.ecn_cwnd_cuts += partial.transport.ecn_cwnd_cuts;
+  transport.drop_cwnd_cuts += partial.transport.drop_cwnd_cuts;
+  transport.spurious_deliveries += partial.transport.spurious_deliveries;
+  transport.abandoned_flows += partial.transport.abandoned_flows;
+  transport.offered_bytes += partial.transport.offered_bytes;
+  transport.goodput_bytes += partial.transport.goodput_bytes;
 }
 
 }  // namespace hp::sim

@@ -19,6 +19,7 @@
 
 #include "scenario/runner.hpp"
 #include "sim/packet_sim.hpp"
+#include "sim/transport.hpp"
 
 namespace hp::sim {
 
@@ -42,6 +43,19 @@ struct SimReport {
   /// FCT of each completed flow (ns), in completion order.  Kept raw so
   /// percentiles can be recomputed after a merge.
   std::vector<Tick> fct_ns;
+
+  /// Closed-loop outcome (all-zero with `enabled` false on open-loop
+  /// runs).  Counters merge by summation, `enabled` ORs.
+  TransportReport transport;
+
+  /// Delivered first-copy payload over offered payload (1.0 when the
+  /// transport was off or nothing was offered).
+  [[nodiscard]] double goodput_fraction() const noexcept {
+    return transport.offered_bytes == 0
+               ? 1.0
+               : static_cast<double>(transport.goodput_bytes) /
+                     static_cast<double>(transport.offered_bytes);
+  }
 
   /// Nearest-rank percentile of the completed-flow FCTs: the
   /// ceil(q * n)-th order statistic (0 when no flow completed).

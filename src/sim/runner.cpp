@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/telemetry_bridge.hpp"
@@ -31,6 +33,10 @@ Tick serialize_ns(std::uint64_t packet_bytes, double capacity_mbps) {
 
 SimReport SimRunner::run(scenario::BuiltFabric& fabric,
                          const scenario::PacketStream& stream) const {
+  HP_CHECK(options_.queue_capacity > 0,
+           "SimOptions: queue_capacity must be positive");
+  HP_CHECK(options_.ecn_threshold <= options_.queue_capacity,
+           "SimOptions: ecn_threshold beyond queue_capacity can never mark");
   const polka::CompiledFabric& fast = fabric.compiled();
   const netsim::Topology& topo = fabric.topology();
   const std::size_t n = fast.node_count();
@@ -114,10 +120,21 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
       serialize_ns(options_.packet_bytes, options_.source_rate_mbps);
   std::vector<Tick> inject_at(stream.size(), 0);
   Tick last_inject = 0;
+  // The same flow boundaries, recorded for the closed-loop branch: the
+  // transport opens one sender per pass-1 flow (same start tick, same
+  // pacing) and lets the window -- not the schedule -- decide sends.
+  struct FlowDef {
+    std::uint32_t lane = 0;
+    std::uint32_t source = 0;
+    Tick start = 0;
+    std::uint32_t packets = 0;
+  };
+  std::vector<FlowDef> flow_defs;
   {
     struct Cadence {
       std::size_t injected = 0;
       Tick next_inject = 0;
+      std::size_t def = 0;  ///< index into flow_defs
     };
     std::unordered_map<std::uint32_t, Cadence> cadence;  // lane -> state
     std::size_t flow_count = 0;
@@ -129,6 +146,9 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
         Cadence fresh;
         fresh.next_inject =
             static_cast<Tick>(flow_count) * options_.flow_gap_ns;
+        fresh.def = flow_defs.size();
+        flow_defs.push_back(
+            {lane, stream.ingress[i], fresh.next_inject, 0});
         ++flow_count;
         it = cadence.insert_or_assign(lane, fresh).first;
       }
@@ -136,6 +156,7 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
       last_inject = std::max(last_inject, inject_at[i]);
       ++it->second.injected;
       it->second.next_inject += src_gap;
+      ++flow_defs[it->second.def].packets;
     }
   }
 
@@ -252,49 +273,92 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
   }
   sim.set_segment_pool(pool_labels, pool_waypoints);
 
-  // --- pass 2: register flows and inject -----------------------------
-  // Identical to pass 1 except that a lane whose route version changed
-  // (by adoption tick) force-opens a new flow: the new route's hop
-  // count changes the delivery expectation, and a flow's expectation is
-  // fixed at registration.  Forced flows keep the lane's cadence, so
-  // the packet timing stays exactly pass 1's.
-  auto version_of = [&](std::uint32_t lane, Tick at) -> const RouteVersion* {
-    const auto it = versions.find(lane);
-    if (it == versions.end()) return nullptr;
-    const RouteVersion* best = nullptr;
-    for (const RouteVersion& v : it->second) {  // timelines are tiny
-      if (v.at <= at) best = &v;
+  std::optional<Transport> transport;
+  if (options_.transport.enabled) {
+    // --- closed loop: hand the flows to the transport ------------------
+    // One transport lane per traffic pair, carrying the pair's route
+    // timeline (base route at tick 0, then every adopted failover
+    // version); sends resolve their epoch at the send tick, so a
+    // retransmit issued after adoption carries the repaired label.
+    transport.emplace(sim, options_.transport, options_.packet_bytes,
+                      registry);
+    constexpr auto kNoLane = std::numeric_limits<std::uint32_t>::max();
+    std::vector<std::uint32_t> base_label_at(stream.pairs.size(), kNoLane);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      if (base_label_at[stream.pair[i]] == kNoLane) {
+        base_label_at[stream.pair[i]] = static_cast<std::uint32_t>(i);
+      }
     }
-    return best;
-  };
-  struct OpenFlow {
-    std::uint32_t handle = 0;
-    std::size_t injected = 0;
-    const RouteVersion* version = nullptr;
-  };
-  std::unordered_map<std::uint32_t, OpenFlow> open;  // lane -> open flow
-  for (std::size_t i = 0; i < stream.size(); ++i) {
-    const std::uint32_t lane = stream.pair[i];
-    const Tick at = inject_at[i];
-    const RouteVersion* ver = version_of(lane, at);
-    auto it = open.find(lane);
-    if (it == open.end() || it->second.injected >= options_.flow_packets ||
-        it->second.version != ver) {
-      OpenFlow flow;
-      flow.handle = sim.add_flow(ver != nullptr ? ver->expected
-                                                : stream.pairs[lane].expected);
-      flow.version = ver;
-      it = open.insert_or_assign(lane, flow).first;
+    std::vector<std::uint32_t> tp_lane(stream.pairs.size(), kNoLane);
+    for (std::uint32_t lane = 0; lane < stream.pairs.size(); ++lane) {
+      if (base_label_at[lane] == kNoLane) continue;  // pair without packets
+      std::vector<RouteEpoch> epochs;
+      RouteEpoch base;
+      base.from = 0;
+      base.label = stream.labels[base_label_at[lane]];
+      base.ref = lane < stream.seg_refs.size() ? stream.seg_refs[lane]
+                                               : polka::SegmentRef{};
+      base.expected = stream.pairs[lane].expected;
+      epochs.push_back(base);
+      if (const auto it = versions.find(lane); it != versions.end()) {
+        for (const RouteVersion& v : it->second) {
+          epochs.push_back({v.at, v.label, v.ref, v.expected});
+        }
+      }
+      tp_lane[lane] = transport->add_lane(std::move(epochs));
     }
-    OpenFlow& flow = it->second;
-    const polka::RouteLabel label =
-        ver != nullptr ? ver->label : stream.labels[i];
-    const polka::SegmentRef ref =
-        ver != nullptr ? ver->ref
-                       : (lane < stream.seg_refs.size() ? stream.seg_refs[lane]
-                                                        : polka::SegmentRef{});
-    sim.inject(at, label, ref, stream.ingress[i], flow.handle);
-    ++flow.injected;
+    for (const FlowDef& def : flow_defs) {
+      (void)transport->add_flow(tp_lane[def.lane], def.source, def.start,
+                                src_gap, def.packets);
+    }
+    transport->arm();
+  } else {
+    // --- pass 2: register flows and inject ---------------------------
+    // Identical to pass 1 except that a lane whose route version
+    // changed (by adoption tick) force-opens a new flow: the new
+    // route's hop count changes the delivery expectation, and a flow's
+    // expectation is fixed at registration.  Forced flows keep the
+    // lane's cadence, so the packet timing stays exactly pass 1's.
+    auto version_of = [&](std::uint32_t lane,
+                          Tick at) -> const RouteVersion* {
+      const auto it = versions.find(lane);
+      if (it == versions.end()) return nullptr;
+      const RouteVersion* best = nullptr;
+      for (const RouteVersion& v : it->second) {  // timelines are tiny
+        if (v.at <= at) best = &v;
+      }
+      return best;
+    };
+    struct OpenFlow {
+      std::uint32_t handle = 0;
+      std::size_t injected = 0;
+      const RouteVersion* version = nullptr;
+    };
+    std::unordered_map<std::uint32_t, OpenFlow> open;  // lane -> open flow
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      const std::uint32_t lane = stream.pair[i];
+      const Tick at = inject_at[i];
+      const RouteVersion* ver = version_of(lane, at);
+      auto it = open.find(lane);
+      if (it == open.end() || it->second.injected >= options_.flow_packets ||
+          it->second.version != ver) {
+        OpenFlow flow;
+        flow.handle = sim.add_flow(
+            ver != nullptr ? ver->expected : stream.pairs[lane].expected);
+        flow.version = ver;
+        it = open.insert_or_assign(lane, flow).first;
+      }
+      OpenFlow& flow = it->second;
+      const polka::RouteLabel label =
+          ver != nullptr ? ver->label : stream.labels[i];
+      const polka::SegmentRef ref =
+          ver != nullptr
+              ? ver->ref
+              : (lane < stream.seg_refs.size() ? stream.seg_refs[lane]
+                                               : polka::SegmentRef{});
+      sim.inject(at, label, ref, stream.ingress[i], flow.handle);
+      ++flow.injected;
+    }
   }
 
   phase.emplace(options_.trace, "sim.simulate", "sim");
@@ -321,15 +385,29 @@ SimReport SimRunner::run(scenario::BuiltFabric& fabric,
   report.duration_ns = result.counters.end_ns;
   // Simulated seconds (deterministic), not wall clock: see SimReport.
   report.forwarding.seconds = static_cast<double>(report.duration_ns) * 1e-9;
-  report.flows = result.flows.size();
   report.ecn_marked = result.counters.ecn_marked;
   obs::Histogram* fct_hist =
       registry != nullptr ? &registry->histogram("sim.fct_ns") : nullptr;
-  for (const FlowStat& flow : result.flows) {
-    if (!flow.complete()) continue;
-    ++report.completed_flows;
-    report.fct_ns.push_back(flow.fct_ns());
-    if (fct_hist != nullptr) fct_hist->record(flow.fct_ns());
+  if (transport.has_value()) {
+    // Engine FlowStats count per-epoch injections (retransmits
+    // included), so the logical flow facts come from the transport:
+    // a flow completes when every distinct sequence arrived, and its
+    // FCT spans first send to last first-copy delivery.
+    report.flows = transport->flow_count();
+    report.completed_flows = transport->completed_flows();
+    report.transport = transport->report();
+    for (const Tick fct : transport->completed_fct_ns()) {
+      report.fct_ns.push_back(fct);
+      if (fct_hist != nullptr) fct_hist->record(fct);
+    }
+  } else {
+    report.flows = result.flows.size();
+    for (const FlowStat& flow : result.flows) {
+      if (!flow.complete()) continue;
+      ++report.completed_flows;
+      report.fct_ns.push_back(flow.fct_ns());
+      if (fct_hist != nullptr) fct_hist->record(flow.fct_ns());
+    }
   }
   if (registry != nullptr) {
     registry->counter("sim.flows").add(report.flows);

@@ -34,6 +34,7 @@
 #include "scenario/runner.hpp"
 #include "scenario/traffic.hpp"
 #include "sim/report.hpp"
+#include "sim/transport.hpp"
 
 namespace hp::obs {
 class MetricRegistry;
@@ -72,6 +73,14 @@ struct SimOptions {
   /// the dead route and die at the wire, which is exactly the loss gap
   /// hitless protection shrinks.
   std::vector<scenario::LinkFailure> failures;
+  /// Closed-loop transport (transport.enabled): instead of replaying
+  /// the open-loop schedule verbatim, each flow runs the Transport
+  /// sender state machine -- AIMD window, ECN-cut, retransmit-on-drop,
+  /// RTO backoff, max-retries abandonment -- and retransmissions
+  /// traverse the same compiled fabric.  The failure schedule still
+  /// maps its fractions onto the *open-loop* injection window, so an
+  /// open and a closed run face the same failure ticks.
+  TransportOptions transport;
   /// Pre-install up to k disjoint backups per pair before simulating
   /// (BuiltFabric::enable_protection).  0 leaves the fabric eager.
   unsigned protection_k = 0;

@@ -44,7 +44,8 @@ bool same_schedule(const std::vector<LinkFailure>& lhs,
 TEST(FailureInjector, SameSeedSameSchedule) {
   const Topology topo = make_fat_tree(4);
   for (const FailurePreset preset :
-       {FailurePreset::kSingle, FailurePreset::kStorm, FailurePreset::kFlap}) {
+       {FailurePreset::kSingle, FailurePreset::kStorm, FailurePreset::kFlap,
+        FailurePreset::kSrlg}) {
     const auto first =
         make_failure_schedule(topo, params_for(preset, 77, 3));
     const auto second =
@@ -60,7 +61,8 @@ TEST(FailureInjector, SameSeedSameSchedule) {
 TEST(FailureInjector, ScheduleIsSortedAndWindowed) {
   const Topology topo = make_torus(4, 4);
   for (const FailurePreset preset :
-       {FailurePreset::kSingle, FailurePreset::kStorm, FailurePreset::kFlap}) {
+       {FailurePreset::kSingle, FailurePreset::kStorm, FailurePreset::kFlap,
+        FailurePreset::kSrlg}) {
     FailureInjectorParams params = params_for(preset, 5, 4);
     params.start_fraction = 0.30;
     params.end_fraction = 0.80;
@@ -134,6 +136,37 @@ TEST(FailureInjector, FlapAlternatesDownUpPerLink) {
   }
 }
 
+TEST(FailureInjector, SrlgFailsACorrelatedGroupAtOneInstant) {
+  // One shared-risk event on a torus: exactly srlg_size distinct links
+  // down at the same fraction, no restores.
+  const Topology topo = make_torus(4, 4);
+  FailureInjectorParams params = params_for(FailurePreset::kSrlg, 31, 1);
+  params.srlg_size = 4;
+  const auto schedule = make_failure_schedule(topo, params);
+  ASSERT_EQ(schedule.size(), 4U);
+  std::set<std::pair<NodeIndex, NodeIndex>> links;
+  for (const LinkFailure& event : schedule) {
+    EXPECT_FALSE(event.restore);
+    EXPECT_DOUBLE_EQ(event.at_fraction, schedule.front().at_fraction)
+        << "group members must share fate at one instant";
+    links.insert({std::min(event.a, event.b), std::max(event.a, event.b)});
+  }
+  EXPECT_EQ(links.size(), 4U) << "srlg group reused a link";
+
+  // Group size clamps to the eligible population instead of throwing.
+  FailureInjectorParams huge = params_for(FailurePreset::kSrlg, 31, 1);
+  huge.srlg_size = 10'000;
+  const auto clamped = make_failure_schedule(topo, huge);
+  EXPECT_GE(clamped.size(), 1U);
+  EXPECT_LE(clamped.size(), 10'000U);
+
+  // A zero group size is a caller bug.
+  FailureInjectorParams zero = params_for(FailurePreset::kSrlg, 31, 1);
+  zero.srlg_size = 0;
+  EXPECT_THROW((void)make_failure_schedule(topo, zero),
+               std::invalid_argument);
+}
+
 TEST(FailureInjector, RejectsBadWindowsAndLinklessGraphs) {
   const Topology topo = make_ring(4);
   FailureInjectorParams params;
@@ -157,7 +190,8 @@ TEST(FailureInjector, RejectsBadWindowsAndLinklessGraphs) {
 
 TEST(FailureInjector, PresetNamesRoundTrip) {
   for (const FailurePreset preset :
-       {FailurePreset::kSingle, FailurePreset::kStorm, FailurePreset::kFlap}) {
+       {FailurePreset::kSingle, FailurePreset::kStorm, FailurePreset::kFlap,
+        FailurePreset::kSrlg}) {
     const auto parsed = parse_failure_preset(to_string(preset));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, preset);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "core/contracts.hpp"
 #include "netsim/topology.hpp"
 #include "scenario/fabric_builder.hpp"
 #include "scenario/registry.hpp"
@@ -120,6 +121,34 @@ TEST(SimRunner, FixedSeedIsBitIdenticalAcrossRunsAndThreadCounts) {
     EXPECT_EQ(first, report)
         << "compile_threads=" << threads << " changed the simulated report";
   }
+}
+
+TEST(SimRunner, RejectsZeroQueueCapacity) {
+  const scenario::ScenarioSpec* base =
+      scenario::find_scenario("torus4x4/hotspot");
+  ASSERT_NE(base, nullptr);
+  const scenario::ScenarioSpec spec =
+      small_spec(*base, scenario::TrafficPattern::kHotspot);
+  sim::SimOptions options;
+  options.queue_capacity = 0;
+  options.ecn_threshold = 0;
+  EXPECT_THROW((void)sim::run_sim_scenario(spec, options),
+               hp::core::ContractViolation);
+}
+
+TEST(SimRunner, RejectsEcnThresholdBeyondQueueCapacity) {
+  // A mark threshold the queue can never reach silently disables ECN;
+  // better a loud contract violation than a knob that does nothing.
+  const scenario::ScenarioSpec* base =
+      scenario::find_scenario("torus4x4/hotspot");
+  ASSERT_NE(base, nullptr);
+  const scenario::ScenarioSpec spec =
+      small_spec(*base, scenario::TrafficPattern::kHotspot);
+  sim::SimOptions options;
+  options.queue_capacity = 32;
+  options.ecn_threshold = 33;
+  EXPECT_THROW((void)sim::run_sim_scenario(spec, options),
+               hp::core::ContractViolation);
 }
 
 TEST(SimRunner, SegmentedRoutesSimulateWithWaypointParity) {
